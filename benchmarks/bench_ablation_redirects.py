@@ -1,0 +1,32 @@
+"""Ablation — Wikipedia redirect exploitation on/off.
+
+Section IV-A: redirect pages let the title extractor capture name
+variants ("Hillary Clinton" for "Hillary Rodham Clinton").  Disabling
+them should reduce the number of important terms the extractor finds.
+"""
+
+from repro.corpus.datasets import DatasetName
+from repro.corpus import build_corpus
+from repro.extractors.wiki_titles import WikipediaTitleExtractor
+
+
+def test_ablation_redirects(benchmark, config, builder, save_result):
+    corpus = build_corpus(DatasetName.SNYT, config)
+    sample = corpus.documents[: min(300, len(corpus))]
+    with_redirects = WikipediaTitleExtractor(builder.substrates.wikipedia)
+    without_redirects = WikipediaTitleExtractor(
+        builder.substrates.wikipedia, use_redirects=False
+    )
+
+    def run():
+        n_with = sum(len(with_redirects.extract(d)) for d in sample)
+        n_without = sum(len(without_redirects.extract(d)) for d in sample)
+        return n_with, n_without
+
+    n_with, n_without = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_redirects",
+        f"important terms over {len(sample)} docs: "
+        f"with redirects {n_with}, without {n_without}",
+    )
+    assert n_with > n_without

@@ -1,0 +1,69 @@
+"""Ablation — the Sanderson-Croft subsumption threshold (paper: 0.8).
+
+Sweeps P(x|y) thresholds and reports hierarchy structure (branching,
+narrowing, coverage) plus oracle precision: low thresholds over-attach
+(more branching, worse placement), high thresholds shatter the forest.
+"""
+
+from repro.corpus.datasets import DatasetName
+from repro.corpus import build_corpus
+from repro.core.annotate import annotate_database
+from repro.core.contextualize import contextualize
+from repro.core.hierarchy import build_facet_hierarchies
+from repro.core.selection import select_facet_terms
+from repro.eval.goldset import build_gold_set
+from repro.eval.hierarchy_metrics import hierarchy_metrics
+from repro.eval.precision import PrecisionStudy
+from repro.extractors.base import ExtractorName
+from repro.extractors.registry import build_extractors
+
+
+def test_ablation_threshold(benchmark, config, builder, save_result):
+    corpus = build_corpus(DatasetName.SNYT, config)
+    gold = build_gold_set(corpus, config, builder.world)
+    study = PrecisionStudy(config, builder=builder)
+    extractors = build_extractors(
+        list(ExtractorName), wikipedia=builder.substrates.wikipedia
+    )
+    annotated = annotate_database(gold.documents, extractors)
+    contextualized = contextualize(
+        annotated, study._resource_list("Wikipedia Graph")
+    )
+    candidates = select_facet_terms(contextualized, top_k=150)
+
+    def run():
+        rows = {}
+        for threshold in (0.6, 0.7, 0.8, 0.9):
+            hierarchies = build_facet_hierarchies(
+                candidates,
+                contextualized,
+                threshold=threshold,
+                edge_validator=builder.edge_evidence,
+            )
+            metrics = hierarchy_metrics(hierarchies, len(gold.documents))
+            judged = study.judge_hierarchies(
+                hierarchies, cell=f"thresh-{threshold}"
+            )
+            rows[threshold] = (
+                metrics.facets,
+                metrics.branching_facets,
+                metrics.mean_narrowing,
+                study.precision_of(judged),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_threshold",
+        "\n".join(
+            f"threshold {t}: {facets} facets ({branching} branching), "
+            f"narrowing {narrowing:.2f}, precision {precision:.3f}"
+            for t, (facets, branching, narrowing, precision) in sorted(
+                rows.items()
+            )
+        ),
+    )
+    # Lower thresholds attach more (fewer roots / more branching).
+    assert rows[0.6][0] <= rows[0.9][0]
+    for row in rows.values():
+        assert 0 <= row[3] <= 1

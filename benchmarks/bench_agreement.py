@@ -1,0 +1,25 @@
+"""EXP-AGR — inter-annotator agreement of the simulated pool.
+
+The paper's protocol depends on agreement thresholds (>= 2 of 5 for
+gold terms); this benchmark measures the simulated annotators' Fleiss'
+kappa to verify the pool behaves like humans: agreement well above
+chance, well below unanimity.
+"""
+
+from repro.corpus.datasets import DatasetName
+from repro.corpus import build_corpus
+from repro.eval.agreement import measure_agreement
+
+
+def test_annotator_agreement(benchmark, config, builder, save_result):
+    corpus = build_corpus(DatasetName.SNYT, config)
+    sample = corpus.documents[: min(300, len(corpus))]
+
+    report = benchmark.pedantic(
+        lambda: measure_agreement(builder.world, sample, config),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("annotator_agreement", report.format_summary())
+    assert 0.02 < report.fleiss_kappa < 0.95
+    assert report.decisions > 1000

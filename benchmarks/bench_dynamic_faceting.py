@@ -1,0 +1,47 @@
+"""EXP-DYN — query-time faceting latency (Section V-D deployment claim).
+
+"In this case the results are ready before the real facet computation,
+which then takes only a few seconds and is almost independent of the
+collection size": with term/context extraction done offline, computing
+facets for a query's result set must take well under a second.
+"""
+
+import time
+
+from repro.corpus.datasets import DatasetName
+from repro.corpus import build_corpus
+from repro.core.dynamic import DynamicFaceter
+
+
+def test_dynamic_faceting_latency(benchmark, config, builder, save_result):
+    corpus = build_corpus(DatasetName.SNYT, config)
+    # Offline phase (not timed here): full-collection expansion.
+    result = builder.build().run(corpus.documents)
+    faceter = DynamicFaceter(
+        result.contextualized, edge_validator=builder.edge_evidence
+    )
+    interface = result.interface()
+    queries = ("summit treaty", "vaccine outbreak", "playoffs season")
+
+    def run():
+        latencies = []
+        for query in queries:
+            hits = interface.search(query, limit=150)
+            ids = [d.doc_id for d in hits]
+            start = time.perf_counter()
+            facets = faceter.facets_for(ids)
+            latencies.append((query, len(ids), len(facets),
+                              time.perf_counter() - start))
+        return latencies
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "dynamic_faceting",
+        "\n".join(
+            f"{query!r}: {hits} results -> {facets} facets in {t*1000:.0f} ms"
+            for query, hits, facets, t in latencies
+        ),
+    )
+    for _query, hits, _facets, t in latencies:
+        if hits:
+            assert t < 2.0  # "a few seconds" with a large margin

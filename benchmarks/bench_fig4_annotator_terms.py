@@ -1,0 +1,16 @@
+"""EXP-F4 — Figure 4: the most frequent annotator facet terms.
+
+The sample should be dominated by general concepts (politics,
+government, markets, location names) as in the paper's figure.
+"""
+
+from repro.harness.figures import figure4_terms
+
+
+def test_fig4_annotator_terms(benchmark, config, save_result):
+    terms = benchmark.pedantic(lambda: figure4_terms(config), rounds=1, iterations=1)
+    save_result("fig4_annotator_terms", ", ".join(terms))
+    assert len(terms) >= 20
+    joined = " ".join(terms)
+    assert "politics" in joined or "government" in joined
+    assert "location" in joined

@@ -1,0 +1,20 @@
+"""EXP-F5 — Figure 5: a plain subsumption baseline without expansion.
+
+The baseline latches onto high-document-frequency newswire filler
+("people", "report", "new", ...) rather than facet-worthy terms — the
+paper's motivation for the expansion pipeline.
+"""
+
+from repro.harness.figures import figure5_baseline_terms
+from repro.kb import build_world
+
+
+def test_fig5_baseline_subsumption(benchmark, config, save_result):
+    terms = benchmark.pedantic(
+        lambda: figure5_baseline_terms(config), rounds=1, iterations=1
+    )
+    save_result("fig5_baseline_subsumption", ", ".join(terms))
+    # The baseline's terms are overwhelmingly NOT facet terms.
+    taxonomy = build_world(config).taxonomy
+    facet_like = sum(1 for t in terms if t in taxonomy)
+    assert facet_like <= len(terms) * 0.3

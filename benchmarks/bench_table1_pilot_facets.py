@@ -1,0 +1,19 @@
+"""EXP-T1 — Table I: facets identified in the pilot study (Section III).
+
+Regenerates the Table I inventory: the most common facets twelve
+annotators assign to a day of stories, with prominent sub-facets.
+"""
+
+from repro.harness.tables import run_pilot_study
+
+
+def test_table1_pilot_facets(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        lambda: run_pilot_study(config), rounds=1, iterations=1
+    )
+    save_result("table1_pilot_facets", result.format_table())
+    # The paper's eight pilot facets should all surface.
+    facets = set(result.top_facets(8))
+    assert {"Location", "People", "Markets", "Event"} <= facets
+    assert "Leaders" in result.top_subfacets("People")
+    assert "Corporations" in result.top_subfacets("Markets")

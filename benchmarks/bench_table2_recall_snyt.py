@@ -1,0 +1,31 @@
+"""EXP-T2 — Table II: recall of extracted facet terms on SNYT.
+
+Extractor x resource grid; the paper's qualitative shape should hold:
+the All x All cell is the best, Wikipedia Graph is the strongest single
+resource, Wikipedia Synonyms the weakest, and WordNet collapses when
+paired with the named-entity extractor.
+"""
+
+from repro.corpus.datasets import DatasetName
+from repro.eval.recall import RecallStudy
+from repro.corpus import build_corpus
+
+
+def test_table2_recall_snyt(benchmark, config, builder, save_result):
+    study = RecallStudy(config, builder=builder)
+    corpus = build_corpus(DatasetName.SNYT, config)
+    matrix = benchmark.pedantic(lambda: study.run(corpus), rounds=1, iterations=1)
+    save_result("table2_recall_snyt", matrix.format_table())
+
+    # Shape checks from the paper.
+    assert matrix.value("All", "All") == max(matrix.values.values())
+    assert matrix.value("Wikipedia Graph", "All") > matrix.value("Google", "All")
+    assert matrix.value("Google", "All") > matrix.value("WordNet Hypernyms", "All")
+    assert (
+        matrix.value("WordNet Hypernyms", "NE")
+        < matrix.value("WordNet Hypernyms", "Yahoo")
+    )
+    assert (
+        matrix.value("Wikipedia Synonyms", "All")
+        < matrix.value("Wikipedia Graph", "All")
+    )

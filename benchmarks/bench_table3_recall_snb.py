@@ -1,0 +1,16 @@
+"""EXP-T3 — Table III: recall on the 24-source Newsblaster corpus (SNB)."""
+
+from repro.corpus.datasets import DatasetName
+from repro.eval.recall import RecallStudy
+from repro.corpus import build_corpus
+
+
+def test_table3_recall_snb(benchmark, config, builder, save_result):
+    study = RecallStudy(config, builder=builder)
+    corpus = build_corpus(DatasetName.SNB, config)
+    matrix = benchmark.pedantic(lambda: study.run(corpus), rounds=1, iterations=1)
+    save_result("table3_recall_snb", matrix.format_table())
+    assert matrix.value("All", "All") == max(matrix.values.values())
+    assert matrix.value("Wikipedia Graph", "All") > matrix.value(
+        "Wikipedia Synonyms", "All"
+    )

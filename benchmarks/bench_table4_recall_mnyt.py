@@ -1,0 +1,13 @@
+"""EXP-T4 — Table IV: recall on a month of NYT stories (MNYT)."""
+
+from repro.corpus.datasets import DatasetName
+from repro.eval.recall import RecallStudy
+from repro.corpus import build_corpus
+
+
+def test_table4_recall_mnyt(benchmark, config, builder, save_result):
+    study = RecallStudy(config, builder=builder)
+    corpus = build_corpus(DatasetName.MNYT, config)
+    matrix = benchmark.pedantic(lambda: study.run(corpus), rounds=1, iterations=1)
+    save_result("table4_recall_mnyt", matrix.format_table())
+    assert matrix.value("All", "All") == max(matrix.values.values())

@@ -1,0 +1,27 @@
+"""EXP-T5 — Table V: precision of the judged facet hierarchies on SNYT.
+
+Qualified simulated annotators vote (4-of-5) on usefulness + placement
+of every hierarchy term.  Paper shape: WordNet is the most precise
+resource (hypernyms naturally form a hierarchy); Google is the noisiest
+(it mines only titles and snippets).
+"""
+
+from repro.corpus.datasets import DatasetName
+from repro.eval.precision import PrecisionStudy
+from repro.corpus import build_corpus
+
+
+def test_table5_precision_snyt(benchmark, config, builder, save_result):
+    study = PrecisionStudy(config, builder=builder)
+    corpus = build_corpus(DatasetName.SNYT, config)
+    matrix = benchmark.pedantic(lambda: study.run(corpus), rounds=1, iterations=1)
+    save_result("table5_precision_snyt", matrix.format_table())
+
+    for extractor in ("NE", "Yahoo", "Wikipedia", "All"):
+        assert matrix.value("WordNet Hypernyms", extractor) > matrix.value(
+            "Google", extractor
+        )
+        assert matrix.value("Wikipedia Graph", extractor) > matrix.value(
+            "Google", extractor
+        )
+    assert matrix.value("WordNet Hypernyms", "All") > 0.7

@@ -1,0 +1,13 @@
+"""EXP-T6 — Table VI: precision on SNB."""
+
+from repro.corpus.datasets import DatasetName
+from repro.eval.precision import PrecisionStudy
+from repro.corpus import build_corpus
+
+
+def test_table6_precision_snb(benchmark, config, builder, save_result):
+    study = PrecisionStudy(config, builder=builder)
+    corpus = build_corpus(DatasetName.SNB, config)
+    matrix = benchmark.pedantic(lambda: study.run(corpus), rounds=1, iterations=1)
+    save_result("table6_precision_snb", matrix.format_table())
+    assert matrix.value("WordNet Hypernyms", "All") > matrix.value("Google", "All")

@@ -1,0 +1,13 @@
+"""EXP-T7 — Table VII: precision on MNYT."""
+
+from repro.corpus.datasets import DatasetName
+from repro.eval.precision import PrecisionStudy
+from repro.corpus import build_corpus
+
+
+def test_table7_precision_mnyt(benchmark, config, builder, save_result):
+    study = PrecisionStudy(config, builder=builder)
+    corpus = build_corpus(DatasetName.MNYT, config)
+    matrix = benchmark.pedantic(lambda: study.run(corpus), rounds=1, iterations=1)
+    save_result("table7_precision_mnyt", matrix.format_table())
+    assert matrix.value("WordNet Hypernyms", "All") > matrix.value("Google", "All")

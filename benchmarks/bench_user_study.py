@@ -1,0 +1,40 @@
+"""EXP-US — Section V-E: the five-user browsing study.
+
+Paper observations: keyword-search use drops (up to ~50%) as users move
+to the facet hierarchies; task time drops (~25%); satisfaction holds
+around 2.5/3.
+"""
+
+from repro.corpus.datasets import DatasetName
+from repro.corpus import build_corpus
+from repro.eval.user_study import UserStudy
+
+
+def test_user_study(benchmark, config, builder, save_result):
+    corpus = build_corpus(DatasetName.SNYT, config)
+    result = builder.with_top_k(400).build().run(corpus.documents)
+    interface = result.interface()
+    study = UserStudy(interface, builder.world, config)
+    out = benchmark.pedantic(study.run, rounds=1, iterations=1)
+
+    lines = [
+        "searches/repetition: "
+        + ", ".join(f"{x:.2f}" for x in out.searches_per_repetition),
+        "facet clicks/repetition: "
+        + ", ".join(f"{x:.2f}" for x in out.clicks_per_repetition),
+        "time/repetition (s): "
+        + ", ".join(f"{x:.1f}" for x in out.time_per_repetition),
+        f"search reduction (best user, the paper's 'up to'): "
+        f"{out.max_search_reduction:.0%}",
+        f"mean time reduction first->last: {out.time_reduction:.0%}",
+        f"mean satisfaction (0-3): {out.mean_satisfaction:.2f}",
+    ]
+    save_result("user_study", "\n".join(lines))
+
+    # Direction of every paper claim: searches drop by up to ~50%, task
+    # time drops ~25%, satisfaction holds ~2.5, facet use grows.
+    assert out.max_search_reduction >= 0.3
+    assert out.clicks_per_repetition[-1] >= out.clicks_per_repetition[0]
+    assert out.time_reduction > 0.1
+    assert 2.0 <= out.mean_satisfaction <= 3.0
+    assert all(s.completed for s in out.sessions)

@@ -1,0 +1,33 @@
+"""Compare term extractors and external resources (Tables II/V in miniature).
+
+Runs the extractor x resource grid on a small corpus and prints recall
+against the simulated annotators' gold facet terms — the experiment
+design of Section V-B at a laptop-friendly scale.
+
+Run:  python examples/compare_resources.py
+"""
+
+from __future__ import annotations
+
+from repro.config import ReproConfig
+from repro.corpus import build_snyt
+from repro.eval.recall import RecallStudy
+
+
+def main() -> None:
+    config = ReproConfig(scale=0.25)
+    corpus = build_snyt(config)
+    print(f"Running the 4x5 grid on {len(corpus)} stories ...\n")
+    study = RecallStudy(config)
+    matrix = study.run(corpus)
+    print(matrix.format_table())
+    print(
+        "\nReading guide (paper shape): the All x All cell should win, "
+        "Wikipedia Graph is the strongest single resource, Wikipedia "
+        "Synonyms the weakest, and WordNet collapses when paired with "
+        "the named-entity extractor."
+    )
+
+
+if __name__ == "__main__":
+    main()

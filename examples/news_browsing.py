@@ -1,0 +1,56 @@
+"""Faceted browsing: OLAP-style slice and dice over a news archive.
+
+Demonstrates the browsing interface of Section V-E: keyword search,
+facet drill-down, multi-facet dice, and dynamic facet counts over a
+query's result set (the paper's "facet hierarchies over lengthy query
+results").
+
+Run:  python examples/news_browsing.py
+"""
+
+from __future__ import annotations
+
+from repro import FacetPipelineBuilder
+from repro.config import ReproConfig
+from repro.corpus import build_snyt
+
+
+def main() -> None:
+    config = ReproConfig(scale=0.25)
+    corpus = build_snyt(config)
+    builder = FacetPipelineBuilder(config)
+    result = builder.with_top_k(300).build().run(corpus.documents)
+    interface = result.interface()
+
+    print("=== Facet sidebar (top-level counts) ===")
+    for entry in interface.top_level_counts()[:10]:
+        print(f"  {entry.term:<28} {entry.count:>4} docs")
+
+    browsable = next(f for f in interface.facets if f.size >= 3)
+    root = browsable.name
+    print(f"\n=== Drill-down into {root!r} ===")
+    for child in interface.children(root)[:6]:
+        print(f"  {root} > {child.term:<24} {child.count:>4} docs")
+
+    child = interface.children(root)[0].term
+    print(f"\n=== Dice: {root!r} AND {child!r} ===")
+    for doc in interface.dice([root, child])[:5]:
+        print(f"  [{doc.doc_id}] {doc.title}")
+
+    print("\n=== Search + facets ===")
+    query = "summit treaty"
+    hits = interface.search(query, limit=8)
+    print(f"search({query!r}) -> {len(hits)} hits")
+    for doc in hits[:3]:
+        print(f"  [{doc.doc_id}] {doc.title}")
+    hit_ids = {d.doc_id for d in hits}
+    print("dynamic facets over these results:")
+    for entry in interface.facet_counts_for(hit_ids, max_facets=5):
+        print(f"  {entry.term:<28} {entry.count:>3} of {len(hit_ids)}")
+
+    constrained = interface.search_with_facets(query, [root], limit=5)
+    print(f"search restricted to {root!r}: {len(constrained)} hits")
+
+
+if __name__ == "__main__":
+    main()

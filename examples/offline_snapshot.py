@@ -1,0 +1,73 @@
+"""Offline deployment: persist every artifact to SQLite and reload.
+
+Section V-D recommends performing term and context extraction offline.
+This example runs the full offline phase once, saves the document store,
+the simulated Wikipedia snapshot, AND the per-document expansions to
+SQLite files, then reloads everything in a fresh state and serves
+query-time dynamic faceting from the reloaded artifacts — the complete
+production loop.
+
+Run:  python examples/offline_snapshot.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import FacetPipelineBuilder
+from repro.config import ReproConfig
+from repro.core.dynamic import DynamicFaceter
+from repro.core.persistence import load_expansions, save_expansions
+from repro.corpus import build_snyt
+from repro.db.store import DocumentStore
+from repro.extractors.wiki_titles import WikipediaTitleExtractor
+from repro.wikipedia import WikipediaDatabase
+
+
+def main() -> None:
+    config = ReproConfig(scale=0.1)
+    corpus = build_snyt(config)
+    builder = FacetPipelineBuilder(config)
+    result = builder.build().run(corpus.documents)  # the offline phase
+
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = str(Path(tmp) / "corpus.sqlite")
+        wiki_path = str(Path(tmp) / "wikipedia.sqlite")
+        expansions_path = str(Path(tmp) / "expansions.sqlite")
+
+        DocumentStore.from_corpus(corpus).save(corpus_path)
+        builder.substrates.wikipedia.save(wiki_path)
+        save_expansions(result.contextualized, expansions_path)
+        print(f"saved {len(corpus)} documents -> {corpus_path}")
+        print(
+            f"saved {builder.substrates.wikipedia.page_count} Wikipedia "
+            f"pages -> {wiki_path}"
+        )
+        print(f"saved per-document expansions -> {expansions_path}")
+
+        # --- a fresh process would start here ---
+        store = DocumentStore.load(corpus_path)
+        snapshot = WikipediaDatabase.load(wiki_path)
+        restored = load_expansions(list(store), expansions_path)
+        print(
+            f"reloaded {len(store)} documents, {snapshot.page_count} pages, "
+            f"and expansions"
+        )
+
+        extractor = WikipediaTitleExtractor(snapshot)
+        doc = next(iter(store))
+        print(f"\n[{doc.doc_id}] {doc.title}")
+        print("important terms:", extractor.extract(doc))
+
+        faceter = DynamicFaceter(restored)
+        subset = [d.doc_id for d in list(store)[:30]]
+        terms = faceter.facet_terms(subset)
+        print(
+            "dynamic facets over 30 reloaded docs:",
+            [c.term for c in terms[:8]],
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: extract facet hierarchies from a news corpus.
+
+Builds a small simulated New York Times day, runs the full unsupervised
+pipeline of Dakka & Ipeirotis (ICDE 2008) — important-term extraction,
+context expansion, comparative frequency analysis, subsumption — and
+prints the resulting browsing facets.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import FacetPipelineBuilder
+from repro.config import ReproConfig
+from repro.corpus import build_snyt
+
+
+def main() -> None:
+    # Scale 0.25 builds a 250-story corpus: enough to see real facets
+    # in a few seconds.  Use scale=1.0 for the paper-sized corpus.
+    config = ReproConfig(scale=0.25)
+    corpus = build_snyt(config)
+    print(f"Corpus: {corpus.name} with {len(corpus)} stories")
+    story = corpus[0]
+    print(f"\nSample story: {story.title}\n  {story.body[:180]}...\n")
+
+    builder = FacetPipelineBuilder(config)
+    pipeline = builder.build()
+    result = pipeline.run(corpus.documents)
+
+    print(f"Pipeline stages (s): {result.timings}")
+    print(f"\nTop 20 facet terms (by log-likelihood):")
+    for candidate in result.facet_terms[:20]:
+        print(
+            f"  {candidate.term:<30} df {candidate.df_original:>4} -> "
+            f"{candidate.df_contextualized:>4}  score {candidate.score:8.1f}"
+        )
+
+    print("\nTop facets with children:")
+    shown = 0
+    for facet in result.hierarchies:
+        if facet.size < 2:
+            continue
+        children = ", ".join(
+            f"{child.term} ({child.count})" for child in facet.root.children[:5]
+        )
+        print(f"  {facet.name} ({facet.root.count} docs) -> {children}")
+        shown += 1
+        if shown >= 8:
+            break
+
+
+if __name__ == "__main__":
+    main()

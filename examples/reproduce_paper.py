@@ -1,0 +1,47 @@
+"""Run any paper experiment by id.
+
+Usage:
+    python examples/reproduce_paper.py            # list experiments
+    python examples/reproduce_paper.py EXP-T1     # run one
+    REPRO_SCALE=0.25 python examples/reproduce_paper.py EXP-T2
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.config import ReproConfig
+from repro.harness import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("Available experiments:")
+        for experiment in EXPERIMENTS.values():
+            print(f"  {experiment.experiment_id:<10} {experiment.title}")
+        print("\nUsage: python examples/reproduce_paper.py <EXP-ID>")
+        return 0
+    experiment_id = argv[1]
+    if experiment_id not in EXPERIMENTS:
+        print(f"unknown experiment: {experiment_id}")
+        return 1
+    config = ReproConfig()
+    print(f"Running {experiment_id}: {EXPERIMENTS[experiment_id].title}")
+    result = run_experiment(experiment_id, config)
+    if hasattr(result, "format_table"):
+        print(result.format_table())
+    elif hasattr(result, "format_summary"):
+        print(result.format_summary())
+    elif hasattr(result, "searches_per_repetition"):
+        print("searches/rep:", result.searches_per_repetition)
+        print("clicks/rep:", result.clicks_per_repetition)
+        print("search reduction: %.0f%%" % (100 * result.search_reduction))
+        print("time reduction: %.0f%%" % (100 * result.time_reduction))
+        print("satisfaction: %.2f" % result.mean_satisfaction)
+    else:
+        print(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

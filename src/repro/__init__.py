@@ -1,0 +1,37 @@
+"""repro — reproduction of Dakka & Ipeirotis, "Automatic Extraction of
+Useful Facet Hierarchies from Text Databases" (ICDE 2008).
+
+Quickstart::
+
+    from repro import FacetPipelineBuilder
+    from repro.config import ReproConfig
+    from repro.corpus import build_snyt
+
+    config = ReproConfig(scale=0.1)
+    corpus = build_snyt(config)
+    result = FacetPipelineBuilder(config).build().run(corpus.documents)
+    for facet in result.hierarchies[:5]:
+        print(facet.name, facet.root.count)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_CONFIG, ReproConfig
+from .core.pipeline import FacetExtractionResult, FacetExtractor
+from .core.interface import FacetedInterface
+from .builder import FacetPipelineBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproConfig",
+    "DEFAULT_CONFIG",
+    "FacetExtractor",
+    "FacetExtractionResult",
+    "FacetedInterface",
+    "FacetPipelineBuilder",
+    "__version__",
+]

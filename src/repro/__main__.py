@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the reproducible paper experiments.
+``run EXP-ID [...]``
+    Run one or more experiments (tables/figures) and print the results.
+``extract``
+    Run the pipeline on a generated corpus and print the facets.
+``browse``
+    Demonstrate the faceted interface (search, drill-down, dice).
+
+Scale with ``--scale`` (or the REPRO_SCALE environment variable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import ReproConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Automatic Extraction of Useful Facet "
+            "Hierarchies from Text Databases' (Dakka & Ipeirotis, ICDE 2008)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="corpus scale relative to the paper (default: REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list paper experiments")
+
+    run = sub.add_parser("run", help="run experiments by id")
+    run.add_argument("experiments", nargs="+", metavar="EXP-ID")
+
+    extract = sub.add_parser("extract", help="extract facets from a corpus")
+    extract.add_argument("--dataset", default="SNYT", choices=["SNYT", "SNB", "MNYT"])
+    extract.add_argument("--top", type=int, default=20, help="facet terms to print")
+
+    sub.add_parser("browse", help="demonstrate the faceted interface")
+
+    report = sub.add_parser(
+        "report", help="assemble benchmarks/results/ into a markdown report"
+    )
+    report.add_argument(
+        "--results", default="benchmarks/results", help="results directory"
+    )
+    report.add_argument(
+        "--output", default="REPORT.md", help="output markdown path"
+    )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ReproConfig:
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return ReproConfig(**kwargs)
+
+
+def _cmd_list() -> int:
+    from .harness import EXPERIMENTS
+
+    for experiment in EXPERIMENTS.values():
+        print(f"{experiment.experiment_id:<10} {experiment.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .harness import EXPERIMENTS, run_experiment
+
+    config = _config(args)
+    status = 0
+    for experiment_id in args.experiments:
+        if experiment_id not in EXPERIMENTS:
+            print(f"unknown experiment: {experiment_id}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"== {experiment_id}: {EXPERIMENTS[experiment_id].title} ==")
+        result = run_experiment(experiment_id, config)
+        if hasattr(result, "format_table"):
+            print(result.format_table())
+        elif hasattr(result, "format_summary"):
+            print(result.format_summary())
+        else:
+            print(result)
+        print()
+    return status
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from .builder import FacetPipelineBuilder
+    from .corpus import build_corpus
+
+    config = _config(args)
+    corpus = build_corpus(args.dataset, config)
+    print(f"extracting facets from {corpus.name} ({len(corpus)} stories)...")
+    result = FacetPipelineBuilder(config).build().run(corpus.documents)
+    for candidate in result.facet_terms[: args.top]:
+        print(
+            f"{candidate.term:<32} df {candidate.df_original:>5} -> "
+            f"{candidate.df_contextualized:>5}  score {candidate.score:10.1f}"
+        )
+    return 0
+
+
+def _cmd_browse(args: argparse.Namespace) -> int:
+    from .builder import FacetPipelineBuilder
+    from .corpus import build_snyt
+
+    config = _config(args)
+    corpus = build_snyt(config)
+    result = FacetPipelineBuilder(config).build().run(corpus.documents)
+    interface = result.interface()
+    print("top-level facets:")
+    for entry in interface.top_level_counts()[:10]:
+        print(f"  {entry.term:<30} {entry.count:>5} docs")
+    branching = [f for f in interface.facets if f.size >= 3]
+    if branching:
+        facet = branching[0]
+        print(f"\ndrill-down into {facet.name!r}:")
+        for child in interface.children(facet.name)[:6]:
+            print(f"  {facet.name} > {child.term:<24} {child.count:>5} docs")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "extract":
+        return _cmd_extract(args)
+    if args.command == "browse":
+        return _cmd_browse(args)
+    if args.command == "report":
+        from .harness.report import write_report
+
+        path = write_report(args.results, args.output)
+        print(f"wrote {path}")
+        return 0
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Convenience builder wiring the full default pipeline.
+
+Assembles the world, substrates, all three extractors, and all four
+resources into a ready-to-run :class:`~repro.core.pipeline.FacetExtractor`
+— the "All x All" configuration of the paper's tables.  Individual
+extractor/resource subsets (for the per-cell table experiments) are
+selected with :meth:`FacetPipelineBuilder.with_extractors` /
+:meth:`FacetPipelineBuilder.with_resources`.
+"""
+
+from __future__ import annotations
+
+from .config import ReproConfig
+from .core.evidence import LinkEvidence
+from .core.pipeline import FacetExtractor
+from .extractors.base import ExtractorName
+from .extractors.registry import build_extractors
+from .kb.world import World, build_world
+from .resources.base import ResourceName
+from .resources.composite import CompositeResource
+from .resources.registry import ResourceSubstrates, build_resources
+from .text.vocabulary import Vocabulary
+
+
+class FacetPipelineBuilder:
+    """Fluent construction of configured pipelines over shared substrates.
+
+    Substrates (the simulated Wikipedia, web, and WordNet) are built once
+    per builder and shared across every pipeline it produces, so sweeping
+    the extractor x resource grid does not rebuild them 20 times.
+    """
+
+    def __init__(
+        self,
+        config: ReproConfig | None = None,
+        world: World | None = None,
+        background: Vocabulary | None = None,
+    ) -> None:
+        self.config = config or ReproConfig()
+        self.world = world or build_world(self.config)
+        self.substrates = ResourceSubstrates.build(self.world, self.config)
+        self.edge_evidence = LinkEvidence(
+            wikipedia=self.substrates.wikipedia,
+            lexicon=self.substrates.lookup,
+        )
+        self._background = background
+        self._extractor_names: list[ExtractorName] = list(ExtractorName)
+        self._resource_names: list[ResourceName] = list(ResourceName)
+        self._top_k = 200
+        self._statistic = "log-likelihood"
+        self._require_both_shifts = True
+        self._build_hierarchies = True
+
+    # -- fluent configuration ----------------------------------------------------
+
+    def with_extractors(self, names: list[ExtractorName | str]) -> "FacetPipelineBuilder":
+        self._extractor_names = [
+            ExtractorName(n) if isinstance(n, str) else n for n in names
+        ]
+        return self
+
+    def with_resources(self, names: list[ResourceName | str]) -> "FacetPipelineBuilder":
+        self._resource_names = [
+            ResourceName(n) if isinstance(n, str) else n for n in names
+        ]
+        return self
+
+    def with_background(self, background: Vocabulary) -> "FacetPipelineBuilder":
+        """Background statistics for the Yahoo-style extractor's idf."""
+        self._background = background
+        return self
+
+    def with_top_k(self, top_k: int) -> "FacetPipelineBuilder":
+        self._top_k = top_k
+        return self
+
+    def with_statistic(self, statistic: str) -> "FacetPipelineBuilder":
+        self._statistic = statistic
+        return self
+
+    def with_shift_requirement(self, require_both: bool) -> "FacetPipelineBuilder":
+        self._require_both_shifts = require_both
+        return self
+
+    def without_hierarchies(self) -> "FacetPipelineBuilder":
+        self._build_hierarchies = False
+        return self
+
+    # -- construction -------------------------------------------------------------
+
+    def build(self) -> FacetExtractor:
+        """Materialize the configured pipeline."""
+        extractors = build_extractors(
+            list(self._extractor_names),
+            wikipedia=self.substrates.wikipedia,
+            background=self._background,
+        )
+        resources = build_resources(
+            list(self._resource_names), self.substrates, self.config
+        )
+        if len(resources) > 1:
+            resource_list = [CompositeResource(resources)]
+        else:
+            resource_list = resources
+        return FacetExtractor(
+            extractors=extractors,
+            resources=resource_list,
+            top_k=self._top_k,
+            statistic=self._statistic,
+            require_both_shifts=self._require_both_shifts,
+            build_hierarchies=self._build_hierarchies,
+            edge_validator=self.edge_evidence,
+        )

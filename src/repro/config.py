@@ -1,0 +1,117 @@
+"""Configuration objects shared across the library.
+
+All stochastic components receive seeds derived from a single
+:class:`ReproConfig`, so a fixed configuration reproduces every experiment
+bit-for-bit.  Dataset sizes follow the paper (SNYT = 1,000, SNB = 17,000,
+MNYT = 30,000 stories) scaled by ``scale`` (or the ``REPRO_SCALE``
+environment variable) for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+#: Dataset sizes used in the paper (Section V-A).
+PAPER_SNYT_SIZE = 1_000
+PAPER_SNB_SIZE = 17_000
+PAPER_MNYT_SIZE = 30_000
+
+#: Number of news sources aggregated by Newsblaster (Section V-A).
+PAPER_SNB_SOURCES = 24
+
+#: Number of stories annotated per dataset in the recall study (Section V-B).
+PAPER_ANNOTATED_SAMPLE = 1_000
+
+#: Annotators per story in the Mechanical Turk studies (Section V-B/V-C).
+PAPER_ANNOTATORS_PER_STORY = 5
+
+#: Agreement thresholds from the paper: a gold term needs >= 2 annotators;
+#: a facet term is "precise" when >= 4 of 5 annotators agree.
+PAPER_RECALL_AGREEMENT = 2
+PAPER_PRECISION_AGREEMENT = 4
+
+#: Top-k Wikipedia Graph neighbours returned per query (footnote 8).
+PAPER_WIKI_GRAPH_TOP_K = 50
+
+
+def _env_scale(default: float = 1.0) -> float:
+    """Read the ``REPRO_SCALE`` environment variable, if set."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ConfigError(f"REPRO_SCALE must be a number, got {raw!r}") from exc
+    if value <= 0:
+        raise ConfigError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Top-level configuration for experiments.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Component seeds are derived deterministically from it.
+    scale:
+        Multiplier applied to the paper's corpus sizes.  ``1.0`` builds the
+        full SNYT/SNB/MNYT corpora; smaller values shrink them
+        proportionally (the annotated sample shrinks too, but never below
+        50 stories).
+    wiki_graph_top_k:
+        ``k`` for the Wikipedia Graph resource (the paper uses 50).
+    annotators_per_story:
+        Mechanical Turk annotators assigned to each story.
+    """
+
+    seed: int = 20080407
+    scale: float = field(default_factory=_env_scale)
+    wiki_graph_top_k: int = PAPER_WIKI_GRAPH_TOP_K
+    annotators_per_story: int = PAPER_ANNOTATORS_PER_STORY
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale}")
+        if self.wiki_graph_top_k <= 0:
+            raise ConfigError(
+                f"wiki_graph_top_k must be positive, got {self.wiki_graph_top_k}"
+            )
+        if self.annotators_per_story < 1:
+            raise ConfigError(
+                "annotators_per_story must be at least 1, got "
+                f"{self.annotators_per_story}"
+            )
+
+    def rng(self, namespace: str) -> random.Random:
+        """Return a deterministic RNG for a named component."""
+        return random.Random(f"{self.seed}:{namespace}")
+
+    def scaled(self, size: int, minimum: int = 10) -> int:
+        """Scale a paper corpus size, bounded below by ``minimum``."""
+        return max(minimum, int(round(size * self.scale)))
+
+    @property
+    def snyt_size(self) -> int:
+        return self.scaled(PAPER_SNYT_SIZE)
+
+    @property
+    def snb_size(self) -> int:
+        return self.scaled(PAPER_SNB_SIZE)
+
+    @property
+    def mnyt_size(self) -> int:
+        return self.scaled(PAPER_MNYT_SIZE)
+
+    @property
+    def annotated_sample_size(self) -> int:
+        return self.scaled(PAPER_ANNOTATED_SAMPLE, minimum=50)
+
+
+DEFAULT_CONFIG = ReproConfig()

@@ -1,0 +1,85 @@
+"""Step 1: identify important terms within each document (Figure 1).
+
+For every document, each configured extractor contributes its important
+terms ``E_i(d)``; their union is the document annotation ``I(d)``.  The
+pass also records the original database's term statistics, which Step 3
+compares against the contextualized database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..corpus.document import Document
+from ..extractors.base import TermExtractor
+from ..text.phrases import candidate_phrases
+from ..text.stopwords import is_stopword
+from ..text.tokenizer import normalize_term, word_tokens
+from ..text.vocabulary import Vocabulary
+
+
+def document_terms(document: Document) -> list[str]:
+    """All countable terms of a document: words plus 2-3-word phrases.
+
+    This is the "Extract all terms from d" of Figure 1; the same
+    extraction is used on both the original and the contextualized
+    database so their statistics are comparable.
+    """
+    words = [w for w in word_tokens(document.text) if not is_stopword(w)]
+    phrases = candidate_phrases(document.text, max_words=3, include_unigrams=False)
+    return words + phrases
+
+
+@dataclass
+class AnnotatedDatabase:
+    """The original database plus per-document important terms."""
+
+    documents: list[Document]
+    important_terms: dict[str, list[str]]  # doc_id -> I(d)
+    vocabulary: Vocabulary = field(default_factory=Vocabulary)
+    term_sets: dict[str, set[str]] = field(default_factory=dict)
+    """doc_id -> normalized original terms (for df computations)."""
+
+    def important(self, doc_id: str) -> list[str]:
+        """Important terms ``I(d)`` of one document."""
+        return self.important_terms.get(doc_id, [])
+
+
+def annotate_database(
+    documents: list[Document],
+    extractors: list[TermExtractor],
+) -> AnnotatedDatabase:
+    """Run Step 1 over a document collection.
+
+    Every document is scanned once per extractor; the union of extractor
+    outputs (deduplicated on normalized form) becomes ``I(d)``.
+    """
+    important: dict[str, list[str]] = {}
+    vocabulary = Vocabulary()
+    term_sets: dict[str, set[str]] = {}
+    # First pass: corpus statistics, so that background-scored extractors
+    # (the Yahoo stand-in) have idf available during extraction.
+    for document in documents:
+        terms = document_terms(document)
+        normalized = [t for t in (normalize_term(t) for t in terms) if t]
+        vocabulary.add_document(normalized)
+        term_sets[document.doc_id] = set(normalized)
+    for extractor in extractors:
+        extractor.use_background(vocabulary)
+    # Second pass: important-term extraction.
+    for document in documents:
+        merged: list[str] = []
+        seen: set[str] = set()
+        for extractor in extractors:
+            for term in extractor.extract(document):
+                key = normalize_term(term)
+                if key and key not in seen:
+                    seen.add(key)
+                    merged.append(term)
+        important[document.doc_id] = merged
+    return AnnotatedDatabase(
+        documents=list(documents),
+        important_terms=important,
+        vocabulary=vocabulary,
+        term_sets=term_sets,
+    )

@@ -1,0 +1,125 @@
+"""Incremental archive maintenance.
+
+A news archive grows daily; the paper's deployment advice (Section V-D)
+is to keep term and context extraction offline and recompute the cheap
+facet statistics on demand.  :class:`FacetArchive` implements that
+loop: documents are appended in batches, only the new batch is
+annotated and expanded (resources memoize, so recurring terms cost
+nothing), and facets/hierarchies are recomputed from the accumulated
+statistics when asked.
+"""
+
+from __future__ import annotations
+
+from ..corpus.document import Document
+from ..errors import StorageError
+from ..extractors.base import TermExtractor
+from ..resources.base import ExternalResource
+from ..text.tokenizer import normalize_term
+from ..text.vocabulary import Vocabulary
+from .annotate import AnnotatedDatabase, annotate_database
+from .contextualize import ContextualizedDatabase
+from .hierarchy import FacetHierarchy, build_facet_hierarchies
+from .selection import FacetTermCandidate, select_facet_terms
+
+
+class FacetArchive:
+    """An append-only document archive with always-current facet state."""
+
+    def __init__(
+        self,
+        extractors: list[TermExtractor],
+        resources: list[ExternalResource],
+        edge_validator=None,
+    ) -> None:
+        if not extractors:
+            raise ValueError("FacetArchive needs at least one extractor")
+        if not resources:
+            raise ValueError("FacetArchive needs at least one resource")
+        self._extractors = list(extractors)
+        self._resources = list(resources)
+        self._edge_validator = edge_validator
+        self._documents: list[Document] = []
+        self._doc_ids: set[str] = set()
+        self._important: dict[str, list[str]] = {}
+        self._term_sets: dict[str, set[str]] = {}
+        self._expanded_sets: dict[str, set[str]] = {}
+        self._context_terms: dict[str, list[str]] = {}
+        self._original_vocab = Vocabulary()
+        self._expanded_vocab = Vocabulary()
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add_documents(self, documents: list[Document]) -> None:
+        """Append a batch: annotate and expand only the new documents."""
+        fresh = []
+        for document in documents:
+            if document.doc_id in self._doc_ids:
+                raise StorageError(f"duplicate doc_id: {document.doc_id!r}")
+            self._doc_ids.add(document.doc_id)
+            fresh.append(document)
+        if not fresh:
+            return
+        annotated = annotate_database(fresh, self._extractors)
+        for document in fresh:
+            doc_id = document.doc_id
+            self._documents.append(document)
+            self._important[doc_id] = annotated.important(doc_id)
+            originals = annotated.term_sets[doc_id]
+            self._term_sets[doc_id] = originals
+            self._original_vocab.add_document(originals)
+            context: list[str] = []
+            seen: set[str] = set()
+            for term in self._important[doc_id]:
+                for resource in self._resources:
+                    for context_term in resource.context_terms(term):
+                        key = normalize_term(context_term)
+                        if key and key not in seen:
+                            seen.add(key)
+                            context.append(context_term)
+            self._context_terms[doc_id] = context
+            expanded = set(originals) | seen
+            self._expanded_sets[doc_id] = expanded
+            self._expanded_vocab.add_document(expanded)
+
+    # -- state accessors ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    @property
+    def documents(self) -> list[Document]:
+        return list(self._documents)
+
+    def contextualized(self) -> ContextualizedDatabase:
+        """A snapshot of the accumulated expanded database."""
+        annotated = AnnotatedDatabase(
+            documents=list(self._documents),
+            important_terms=dict(self._important),
+            vocabulary=self._original_vocab,
+            term_sets=dict(self._term_sets),
+        )
+        return ContextualizedDatabase(
+            annotated=annotated,
+            context_terms=dict(self._context_terms),
+            expanded_sets=dict(self._expanded_sets),
+            vocabulary=self._expanded_vocab,
+        )
+
+    # -- facet state -------------------------------------------------------------------
+
+    def facet_terms(self, top_k: int | None = 200) -> list[FacetTermCandidate]:
+        """Current facet terms (Figure 3 over everything ingested)."""
+        if not self._documents:
+            return []
+        return select_facet_terms(self.contextualized(), top_k=top_k)
+
+    def hierarchies(self, top_k: int = 200) -> list[FacetHierarchy]:
+        """Current facet hierarchies."""
+        if not self._documents:
+            return []
+        database = self.contextualized()
+        candidates = select_facet_terms(database, top_k=top_k)
+        return build_facet_hierarchies(
+            candidates, database, edge_validator=self._edge_validator
+        )

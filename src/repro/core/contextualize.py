@@ -1,0 +1,69 @@
+"""Step 2: expand documents with context terms (Figure 2).
+
+Each important term of each document is sent to every external resource;
+the union of returned context terms ``C(d)`` augments the document.  The
+contextualized database keeps, per document, the original terms plus the
+context terms — the input to the comparative analysis of Step 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..resources.base import ExternalResource
+from ..text.tokenizer import normalize_term
+from ..text.vocabulary import Vocabulary
+from .annotate import AnnotatedDatabase
+
+
+@dataclass
+class ContextualizedDatabase:
+    """The expanded database ``C(D)``."""
+
+    annotated: AnnotatedDatabase
+    context_terms: dict[str, list[str]]  # doc_id -> C(d) (surface forms)
+    expanded_sets: dict[str, set[str]] = field(default_factory=dict)
+    """doc_id -> normalized original + context terms."""
+    vocabulary: Vocabulary = field(default_factory=Vocabulary)
+    """Term statistics of the contextualized database."""
+
+    def context(self, doc_id: str) -> list[str]:
+        """Context terms ``C(d)`` of one document."""
+        return self.context_terms.get(doc_id, [])
+
+
+def contextualize(
+    annotated: AnnotatedDatabase,
+    resources: list[ExternalResource],
+) -> ContextualizedDatabase:
+    """Run Step 2: query every resource with every important term.
+
+    Resources memoize per-term answers, so cost scales with the number
+    of *distinct* important terms, not with corpus size — this is what
+    makes the offline-expansion deployment of Section V-D practical.
+    """
+    context_terms: dict[str, list[str]] = {}
+    expanded_sets: dict[str, set[str]] = {}
+    vocabulary = Vocabulary()
+    for document in annotated.documents:
+        doc_id = document.doc_id
+        merged: list[str] = []
+        seen: set[str] = set()
+        for term in annotated.important(doc_id):
+            for resource in resources:
+                for context_term in resource.context_terms(term):
+                    key = normalize_term(context_term)
+                    if key and key not in seen:
+                        seen.add(key)
+                        merged.append(context_term)
+        context_terms[doc_id] = merged
+        expanded = set(annotated.term_sets.get(doc_id, set()))
+        expanded.update(seen)
+        expanded_sets[doc_id] = expanded
+        vocabulary.add_document(expanded)
+    return ContextualizedDatabase(
+        annotated=annotated,
+        context_terms=context_terms,
+        expanded_sets=expanded_sets,
+        vocabulary=vocabulary,
+    )

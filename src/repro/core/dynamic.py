@@ -1,0 +1,104 @@
+"""Dynamic faceting over query results (Section V-D deployment mode).
+
+"We can generate facet hierarchies over the complete database and
+dynamically over a set of lengthy query results": with term and context
+extraction performed offline (the resources memoize per-term answers),
+computing facets for a result set costs only the Figure 3 statistics and
+a small subsumption run — "a few seconds and almost independent of the
+collection size".
+
+:class:`DynamicFaceter` holds the offline artifacts (annotated +
+contextualized database for the whole collection) and derives facet
+hierarchies for any subset of documents on demand.
+"""
+
+from __future__ import annotations
+
+from ..corpus.document import Document
+from ..text.vocabulary import Vocabulary
+from .annotate import AnnotatedDatabase
+from .contextualize import ContextualizedDatabase
+from .hierarchy import FacetHierarchy, build_facet_hierarchies
+from .selection import FacetTermCandidate, select_facet_terms
+
+
+class DynamicFaceter:
+    """Facets for arbitrary document subsets, from offline expansions."""
+
+    def __init__(
+        self,
+        contextualized: ContextualizedDatabase,
+        top_k: int = 60,
+        edge_validator=None,
+    ) -> None:
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        self._full = contextualized
+        self._top_k = top_k
+        self._edge_validator = edge_validator
+        self._documents = {
+            doc.doc_id: doc for doc in contextualized.annotated.documents
+        }
+
+    def _subset_database(self, doc_ids: list[str]) -> ContextualizedDatabase:
+        """A contextualized database restricted to ``doc_ids``.
+
+        Reuses the offline per-document term sets — no re-extraction and
+        no resource queries happen here.
+        """
+        documents: list[Document] = []
+        original_vocab = Vocabulary()
+        expanded_vocab = Vocabulary()
+        term_sets: dict[str, set[str]] = {}
+        expanded_sets: dict[str, set[str]] = {}
+        context_terms: dict[str, list[str]] = {}
+        important: dict[str, list[str]] = {}
+        for doc_id in doc_ids:
+            document = self._documents.get(doc_id)
+            if document is None:
+                continue
+            documents.append(document)
+            originals = self._full.annotated.term_sets.get(doc_id, set())
+            expanded = self._full.expanded_sets.get(doc_id, set())
+            term_sets[doc_id] = originals
+            expanded_sets[doc_id] = expanded
+            context_terms[doc_id] = self._full.context(doc_id)
+            important[doc_id] = self._full.annotated.important(doc_id)
+            original_vocab.add_document(originals)
+            expanded_vocab.add_document(expanded)
+        annotated = AnnotatedDatabase(
+            documents=documents,
+            important_terms=important,
+            vocabulary=original_vocab,
+            term_sets=term_sets,
+        )
+        return ContextualizedDatabase(
+            annotated=annotated,
+            context_terms=context_terms,
+            expanded_sets=expanded_sets,
+            vocabulary=expanded_vocab,
+        )
+
+    def facet_terms(self, doc_ids: list[str]) -> list[FacetTermCandidate]:
+        """Facet terms for a result set (Figure 3 over the subset)."""
+        subset = self._subset_database(doc_ids)
+        if not subset.annotated.documents:
+            return []
+        return select_facet_terms(subset, top_k=self._top_k)
+
+    def facets_for(self, doc_ids: list[str]) -> list[FacetHierarchy]:
+        """Facet hierarchies for a result set."""
+        subset = self._subset_database(doc_ids)
+        if not subset.annotated.documents:
+            return []
+        candidates = select_facet_terms(subset, top_k=self._top_k)
+        return build_facet_hierarchies(
+            candidates, subset, edge_validator=self._edge_validator
+        )
+
+    def facets_for_query(
+        self, interface, query: str, limit: int = 200
+    ) -> list[FacetHierarchy]:
+        """Convenience: facets over the results of a keyword query."""
+        hits = interface.search(query, limit=limit)
+        return self.facets_for([doc.doc_id for doc in hits])

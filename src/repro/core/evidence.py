@@ -1,0 +1,61 @@
+"""Edge evidence for hierarchy construction.
+
+Pure subsumption over the *expanded* database over-attaches: any term
+that always co-occurs with another passes the P(x|y) test, even when
+the pair is semantically unrelated (a side effect of context expansion
+the original Sanderson-Croft setting does not have).  Following the
+paper's own pointer to evidence-combination taxonomy induction (Snow et
+al., cited as the better alternative), :class:`LinkEvidence` validates a
+candidate parent-child edge against independent signals:
+
+* a Wikipedia link between the two pages (either direction), or
+* a hypernym relation in the WordNet lexicon.
+
+Edges without supporting evidence are rejected; the child becomes a
+root instead of attaching to a spurious parent.
+"""
+
+from __future__ import annotations
+
+from ..wikipedia.database import WikipediaDatabase
+from ..wordnet.hypernyms import HypernymLookup
+from ..text.tokenizer import normalize_term
+
+
+class LinkEvidence:
+    """Callable edge validator combining Wikipedia and WordNet signals."""
+
+    def __init__(
+        self,
+        wikipedia: WikipediaDatabase | None = None,
+        lexicon: HypernymLookup | None = None,
+    ) -> None:
+        self._wikipedia = wikipedia
+        self._lexicon = lexicon
+
+    def _linked(self, child: str, parent: str) -> bool:
+        if self._wikipedia is None:
+            return False
+        child_title = self._wikipedia.resolve(child)
+        parent_title = self._wikipedia.resolve(parent)
+        if child_title is None or parent_title is None:
+            return False
+        if parent_title in self._wikipedia.out_links(child_title):
+            return True
+        return child_title in self._wikipedia.out_links(parent_title)
+
+    def _hypernym(self, child: str, parent: str) -> bool:
+        if self._lexicon is None:
+            return False
+        child_n = normalize_term(child)
+        if " " in child_n:
+            return False
+        parent_key = normalize_term(parent)
+        return any(
+            normalize_term(h) == parent_key
+            for h in self._lexicon.hypernyms(child_n)
+        )
+
+    def __call__(self, child: str, parent: str) -> bool:
+        """True when independent evidence supports ``child -> parent``."""
+        return self._linked(child, parent) or self._hypernym(child, parent)

@@ -1,0 +1,95 @@
+"""Export extracted facet hierarchies for downstream systems.
+
+A faceted interface usually lives in a UI layer or an OLAP tool (the
+paper: "our tools can be seamlessly integrated with current OLAP
+systems").  This module serializes a facet forest three ways:
+
+* :func:`to_dict` / :func:`to_json` — nested structures for APIs,
+* :func:`to_text_tree` — an indented tree for terminals and logs,
+* :func:`to_flat_rows` — ``(facet, path, term, count)`` rows, the shape
+  an OLAP dimension table ingests.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .hierarchy import FacetHierarchy, FacetNode
+
+
+def to_dict(hierarchies: list[FacetHierarchy], include_docs: bool = False) -> list[dict]:
+    """Nested dict form of a facet forest."""
+
+    def node_dict(node: FacetNode) -> dict:
+        data: dict = {"term": node.term, "count": node.count}
+        if include_docs:
+            data["doc_ids"] = sorted(node.doc_ids)
+        if node.children:
+            data["children"] = [node_dict(child) for child in node.children]
+        return data
+
+    return [node_dict(h.root) for h in hierarchies]
+
+
+def to_json(
+    hierarchies: list[FacetHierarchy],
+    include_docs: bool = False,
+    indent: int | None = 2,
+) -> str:
+    """JSON form of a facet forest."""
+    return json.dumps(to_dict(hierarchies, include_docs=include_docs), indent=indent)
+
+
+def to_text_tree(hierarchies: list[FacetHierarchy], max_facets: int | None = None) -> str:
+    """Indented text rendering (for terminals)."""
+    lines: list[str] = []
+
+    def walk(node: FacetNode, depth: int) -> None:
+        prefix = "  " * depth + ("- " if depth else "")
+        lines.append(f"{prefix}{node.term} ({node.count})")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    selected = hierarchies if max_facets is None else hierarchies[:max_facets]
+    for hierarchy in selected:
+        walk(hierarchy.root, 0)
+    return "\n".join(lines)
+
+
+def to_flat_rows(
+    hierarchies: list[FacetHierarchy],
+) -> list[tuple[str, str, str, int]]:
+    """``(facet, path, term, count)`` rows — an OLAP dimension table.
+
+    ``path`` is the ``/``-joined route from the facet root to the term
+    (inclusive), so rows can rebuild the tree or feed a drill-down UI.
+    """
+    rows: list[tuple[str, str, str, int]] = []
+
+    def walk(node: FacetNode, facet: str, prefix: list[str]) -> None:
+        path = prefix + [node.term]
+        rows.append((facet, "/".join(path), node.term, node.count))
+        for child in node.children:
+            walk(child, facet, path)
+
+    for hierarchy in hierarchies:
+        walk(hierarchy.root, hierarchy.name, [])
+    return rows
+
+
+def from_dict(data: list[dict]) -> list[FacetHierarchy]:
+    """Rebuild a facet forest from :func:`to_dict` output."""
+
+    def build(entry: dict) -> FacetNode:
+        node = FacetNode(
+            term=entry["term"],
+            doc_ids=set(entry.get("doc_ids", ())),
+        )
+        for child_entry in entry.get("children", ()):
+            node.children.append(build(child_entry))
+        if not entry.get("doc_ids"):
+            for child in node.children:
+                node.doc_ids.update(child.doc_ids)
+        return node
+
+    return [FacetHierarchy(root=build(entry)) for entry in data]

@@ -1,0 +1,147 @@
+"""Facet hierarchy construction over the selected facet terms.
+
+The selected terms are organized with Sanderson-Croft subsumption over
+co-occurrence in the *contextualized* database; each root of the
+resulting forest becomes one browsing facet, and every node is populated
+with the documents whose expanded term set contains the node's term —
+the OLAP-style structure the user study browses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HierarchyError
+from ..text.tokenizer import normalize_term
+from .contextualize import ContextualizedDatabase
+from .selection import FacetTermCandidate
+from .subsumption import SubsumptionHierarchy, build_subsumption_hierarchy
+
+
+@dataclass
+class FacetNode:
+    """One node of a facet hierarchy."""
+
+    term: str
+    children: list["FacetNode"] = field(default_factory=list)
+    doc_ids: set[str] = field(default_factory=set)
+
+    @property
+    def count(self) -> int:
+        """Number of documents at this node (inclusive of descendants)."""
+        return len(self.doc_ids)
+
+    def walk(self):
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, term: str) -> "FacetNode | None":
+        """Locate a descendant node by (normalized) term."""
+        key = normalize_term(term)
+        for node in self.walk():
+            if normalize_term(node.term) == key:
+                return node
+        return None
+
+
+@dataclass
+class FacetHierarchy:
+    """One facet: a named root plus its tree."""
+
+    root: FacetNode
+
+    @property
+    def name(self) -> str:
+        return self.root.term
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the facet tree."""
+        return sum(1 for _ in self.root.walk())
+
+    def terms(self) -> list[str]:
+        return [node.term for node in self.root.walk()]
+
+
+#: Default parent/child coverage ratio cap for facet trees (see
+#: :func:`repro.core.subsumption.build_subsumption_hierarchy`).
+DEFAULT_MAX_DF_RATIO = 30.0
+
+#: Terms covering more than this fraction of the collection cannot act
+#: as hierarchy *parents*: a facet node matching nearly every document
+#: would trivially adopt every orphan term under subsumption,
+#: collapsing the forest into one tree.  Such terms stay in the forest
+#: as stand-alone roots.
+DEFAULT_MAX_COVERAGE = 0.75
+
+
+def build_facet_hierarchies(
+    candidates: list[FacetTermCandidate],
+    database: ContextualizedDatabase,
+    threshold: float = 0.8,
+    min_docs: int = 1,
+    max_df_ratio: float | None = DEFAULT_MAX_DF_RATIO,
+    max_coverage: float = DEFAULT_MAX_COVERAGE,
+    edge_validator=None,
+) -> list[FacetHierarchy]:
+    """Group facet terms into per-facet trees and populate them.
+
+    Parameters
+    ----------
+    candidates:
+        Output of :func:`repro.core.selection.select_facet_terms`.
+    database:
+        The contextualized database (co-occurrence source and document
+        population).
+    threshold:
+        Subsumption threshold.
+    min_docs:
+        Nodes covering fewer documents are dropped.
+    """
+    if min_docs < 1:
+        raise HierarchyError(f"min_docs must be >= 1, got {min_docs}")
+    if not 0 < max_coverage <= 1:
+        raise HierarchyError(f"max_coverage must be in (0, 1], got {max_coverage}")
+    terms = [normalize_term(c.term) for c in candidates]
+    max_parent_df = int(max_coverage * max(len(database.annotated.documents), 1))
+    doc_sets: dict[str, set[str]] = {}
+    for term in terms:
+        docs = {
+            doc_id
+            for doc_id, expanded in database.expanded_sets.items()
+            if term in expanded
+        }
+        if len(docs) >= min_docs:
+            doc_sets[term] = docs
+    usable = [t for t in terms if t in doc_sets]
+    subsumption = build_subsumption_hierarchy(
+        usable,
+        doc_sets,
+        threshold=threshold,
+        max_df_ratio=max_df_ratio,
+        max_parent_df=max_parent_df,
+        edge_validator=edge_validator,
+    )
+    return hierarchies_from_subsumption(subsumption, doc_sets)
+
+
+def hierarchies_from_subsumption(
+    subsumption: SubsumptionHierarchy,
+    doc_sets: dict[str, set[str]],
+) -> list[FacetHierarchy]:
+    """Materialize :class:`FacetHierarchy` trees from a subsumption forest."""
+
+    def build_node(term: str) -> FacetNode:
+        node = FacetNode(term=term, doc_ids=set(doc_sets.get(term, set())))
+        for child_term in subsumption.children_of(term):
+            child = build_node(child_term)
+            node.children.append(child)
+            node.doc_ids.update(child.doc_ids)
+        node.children.sort(key=lambda n: (-n.count, n.term))
+        return node
+
+    facets = [FacetHierarchy(root=build_node(root)) for root in subsumption.roots]
+    facets.sort(key=lambda f: (-f.root.count, f.name))
+    return facets

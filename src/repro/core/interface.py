@@ -1,0 +1,170 @@
+"""The OLAP-style faceted browsing interface.
+
+"A faceted interface can be perceived as an OLAP-style cube over the
+text documents" (Section I).  This layer combines the extracted facet
+hierarchies with keyword search: users drill down facet nodes (slice),
+combine constraints across facets (dice), and intersect with BM25
+keyword results — the interaction pattern measured in the user study
+(Section V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..corpus.document import Document
+from ..db.inverted_index import InvertedIndex
+from ..db.search import BM25Searcher
+from ..db.store import DocumentStore
+from ..errors import HierarchyError
+from ..text.tokenizer import normalize_term
+from .hierarchy import FacetHierarchy, FacetNode
+
+
+@dataclass(frozen=True)
+class FacetCount:
+    """A facet node with its document count (for display)."""
+
+    term: str
+    count: int
+    depth: int
+
+
+class FacetedInterface:
+    """Browse a document collection through extracted facet hierarchies."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        facets: list[FacetHierarchy],
+        index: InvertedIndex | None = None,
+    ) -> None:
+        self._store = store
+        self._facets = list(facets)
+        if index is None:
+            index = InvertedIndex()
+            index.add_documents(list(store))
+        self._index = index
+        self._searcher = BM25Searcher(index)
+        self._nodes: dict[str, FacetNode] = {}
+        for facet in self._facets:
+            for node in facet.root.walk():
+                self._nodes.setdefault(normalize_term(node.term), node)
+
+    # -- facet navigation --------------------------------------------------------
+
+    @property
+    def facets(self) -> list[FacetHierarchy]:
+        """The top-level facets."""
+        return list(self._facets)
+
+    def facet_names(self) -> list[str]:
+        return [facet.name for facet in self._facets]
+
+    def node(self, term: str) -> FacetNode:
+        """Locate a facet node by term."""
+        node = self._nodes.get(normalize_term(term))
+        if node is None:
+            raise HierarchyError(f"no facet node for term: {term!r}")
+        return node
+
+    def has_node(self, term: str) -> bool:
+        return normalize_term(term) in self._nodes
+
+    def children(self, term: str) -> list[FacetCount]:
+        """Child nodes of a facet node, with counts (drill-down view)."""
+        node = self.node(term)
+        return [
+            FacetCount(child.term, child.count, depth=0)
+            for child in node.children
+        ]
+
+    def top_level_counts(self) -> list[FacetCount]:
+        """The facet roots with document counts (the sidebar view)."""
+        return [
+            FacetCount(facet.root.term, facet.root.count, depth=0)
+            for facet in self._facets
+        ]
+
+    # -- OLAP-style selection ------------------------------------------------------
+
+    def slice(self, term: str) -> list[Document]:
+        """Documents under one facet node."""
+        node = self.node(term)
+        return [self._store.get(doc_id) for doc_id in sorted(node.doc_ids)]
+
+    def dice(self, terms: list[str]) -> list[Document]:
+        """Documents satisfying *all* facet constraints (cube dice)."""
+        if not terms:
+            return list(self._store)
+        doc_ids: set[str] | None = None
+        for term in terms:
+            node_docs = self.node(term).doc_ids
+            doc_ids = node_docs.copy() if doc_ids is None else doc_ids & node_docs
+        return [self._store.get(doc_id) for doc_id in sorted(doc_ids or set())]
+
+    def union(self, terms: list[str]) -> list[Document]:
+        """Documents under *any* of the facet nodes (multi-select within
+        a facet, e.g. "France or Germany")."""
+        doc_ids: set[str] = set()
+        for term in terms:
+            doc_ids |= self.node(term).doc_ids
+        return [self._store.get(doc_id) for doc_id in sorted(doc_ids)]
+
+    def breadcrumb(self, term: str) -> list[str]:
+        """Root-to-node trail of a facet node (for display)."""
+        key = normalize_term(term)
+        for facet in self._facets:
+            trail: list[str] = []
+
+            def descend(node: FacetNode, path: list[str]) -> list[str] | None:
+                current = path + [node.term]
+                if normalize_term(node.term) == key:
+                    return current
+                for child in node.children:
+                    found = descend(child, current)
+                    if found:
+                        return found
+                return None
+
+            found = descend(facet.root, trail)
+            if found:
+                return found
+        raise HierarchyError(f"no facet node for term: {term!r}")
+
+    # -- search integration -------------------------------------------------------------
+
+    def search(self, query: str, limit: int = 10) -> list[Document]:
+        """Plain BM25 keyword search."""
+        return [
+            self._store.get(result.doc_id)
+            for result in self._searcher.search(query, limit=limit)
+        ]
+
+    def search_with_facets(
+        self, query: str, facet_terms: list[str], limit: int = 10
+    ) -> list[Document]:
+        """Keyword search restricted to documents matching facet constraints."""
+        allowed: set[str] | None = None
+        if facet_terms:
+            allowed = {doc.doc_id for doc in self.dice(facet_terms)}
+        results = []
+        for result in self._searcher.search(query, limit=limit * 10):
+            if allowed is None or result.doc_id in allowed:
+                results.append(self._store.get(result.doc_id))
+                if len(results) >= limit:
+                    break
+        return results
+
+    def facet_counts_for(
+        self, doc_ids: set[str], max_facets: int = 10
+    ) -> list[FacetCount]:
+        """Per-facet counts restricted to a result set (dynamic faceting
+        over lengthy query results, as the paper proposes)."""
+        counts = []
+        for facet in self._facets:
+            overlap = len(facet.root.doc_ids & doc_ids)
+            if overlap:
+                counts.append(FacetCount(facet.root.term, overlap, depth=0))
+        counts.sort(key=lambda fc: (-fc.count, fc.term))
+        return counts[:max_facets]

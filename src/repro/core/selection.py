@@ -1,0 +1,95 @@
+"""Step 3: select facet terms by comparative frequency analysis (Figure 3).
+
+A term qualifies as a candidate when both shift functions are positive;
+candidates are ranked by the log-likelihood statistic and the top-k are
+returned as ``Facet(D)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .contextualize import ContextualizedDatabase
+from .likelihood import chi_square_statistic, log_likelihood_ratio
+from .shifts import frequency_shift, rank_shift
+
+#: Default number of facet terms returned (the paper's top-k).
+DEFAULT_TOP_K = 200
+
+
+@dataclass(frozen=True)
+class FacetTermCandidate:
+    """One selected facet term with its full statistics."""
+
+    term: str
+    df_original: int
+    df_contextualized: int
+    shift_f: int
+    shift_r: int
+    score: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.term} (df {self.df_original} -> {self.df_contextualized}, "
+            f"score {self.score:.1f})"
+        )
+
+
+def select_facet_terms(
+    database: ContextualizedDatabase,
+    top_k: int | None = DEFAULT_TOP_K,
+    statistic: str = "log-likelihood",
+    require_both_shifts: bool = True,
+) -> list[FacetTermCandidate]:
+    """Run the Figure 3 selection.
+
+    Parameters
+    ----------
+    database:
+        Output of :func:`repro.core.contextualize.contextualize`.
+    top_k:
+        Number of facet terms to return, ranked by the statistic; None
+        returns every candidate that passes the shift tests (used by the
+        recall study — the paper's recall is not top-k-capped, only the
+        judged hierarchies are).
+    statistic:
+        ``"log-likelihood"`` (the paper's choice) or ``"chi-square"``
+        (for the ablation study).
+    require_both_shifts:
+        When False, only the frequency shift is required to be positive
+        (rank-shift ablation).
+    """
+    if top_k is not None and top_k <= 0:
+        raise ValueError(f"top_k must be positive, got {top_k}")
+    if statistic not in ("log-likelihood", "chi-square"):
+        raise ValueError(f"unknown statistic: {statistic!r}")
+    original = database.annotated.vocabulary
+    contextualized = database.vocabulary
+    n = max(len(database.annotated.documents), 1)
+
+    candidates: list[FacetTermCandidate] = []
+    for term in contextualized.terms():
+        shift_f = frequency_shift(term, original, contextualized)
+        if shift_f <= 0:
+            continue
+        shift_r = rank_shift(term, original, contextualized)
+        if require_both_shifts and shift_r <= 0:
+            continue
+        df = original.df(term)
+        df_c = contextualized.df(term)
+        if statistic == "log-likelihood":
+            score = log_likelihood_ratio(df, df_c, n)
+        else:
+            score = chi_square_statistic(df, df_c, n)
+        candidates.append(
+            FacetTermCandidate(
+                term=term,
+                df_original=df,
+                df_contextualized=df_c,
+                shift_f=shift_f,
+                shift_r=shift_r,
+                score=score,
+            )
+        )
+    candidates.sort(key=lambda c: (-c.score, c.term))
+    return candidates if top_k is None else candidates[:top_k]

@@ -1,0 +1,66 @@
+"""Document and corpus containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+
+@dataclass(frozen=True)
+class GoldAnnotation:
+    """Ground truth attached to a generated document.
+
+    This mirrors what the paper's human annotators knew about a story:
+    which subject it covers, which entities it mentions, and which facet
+    terms apply.  It exists **only for evaluation** — the extraction
+    pipeline never reads it.
+    """
+
+    topic: str
+    entity_names: tuple[str, ...]
+    facet_terms: tuple[str, ...]
+    leaked_terms: tuple[str, ...] = ()
+    """Facet terms that also appear verbatim in the article text."""
+
+
+@dataclass(frozen=True)
+class Document:
+    """A news story in the text database."""
+
+    doc_id: str
+    title: str
+    body: str
+    source: str = "The New York Times"
+    published: date = date(2005, 11, 14)
+    gold: GoldAnnotation | None = None
+
+    @property
+    def text(self) -> str:
+        """Title and body concatenated (what the extractors see)."""
+        return f"{self.title}. {self.body}"
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+
+@dataclass
+class Corpus:
+    """A named collection of documents."""
+
+    name: str
+    documents: list[Document] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self):
+        return iter(self.documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self.documents[index]
+
+    def sample(self, rng, count: int) -> "Corpus":
+        """A deterministic random sample of ``count`` documents."""
+        count = min(count, len(self.documents))
+        picked = rng.sample(self.documents, count)
+        return Corpus(name=f"{self.name}-sample{count}", documents=picked)

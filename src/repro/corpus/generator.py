@@ -1,0 +1,211 @@
+"""The synthetic news-article generator.
+
+Each article is grounded in the knowledge base: a topic supplies the
+vocabulary, sampled entities supply the protagonists, and the gold facet
+terms are the topic's facet terms plus the terms on the entities' facet
+paths.  Facet terms are deliberately *leaked* into the text only with low
+probability (:data:`FACET_LEAK_PROBABILITY`), reproducing the paper's
+pilot-study observation that 65% of user-identified facet terms do not
+appear in the story.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+from ..config import ReproConfig
+from ..kb.schema import Entity, EntityKind, Topic
+from ..kb.world import World
+from . import templates
+from .document import Document, GoldAnnotation
+
+#: Probability that a gold facet term is written into the article text.
+#: Calibrated so that, combined with facet terms that appear naturally
+#: (location names, topical nouns), roughly 35% of gold terms occur in
+#: the text — the complement of the paper's 65% figure.
+FACET_LEAK_PROBABILITY = 0.19
+
+#: Cap on deliberately leaked facet terms per article.
+MAX_LEAKS_PER_ARTICLE = 5
+
+#: Probability that a repeat mention of an entity uses a variant form.
+VARIANT_MENTION_PROBABILITY = 0.75
+
+#: Probability that even the *first* mention is canonical; newspapers
+#: often introduce well-known figures by a short form ("Mrs. Clinton"),
+#: so the canonical name may never appear in the story — the situation
+#: the Wikipedia-synonyms resource exists to repair.
+CANONICAL_FIRST_MENTION_PROBABILITY = 0.4
+
+
+class ArticleGenerator:
+    """Deterministic generator of simulated news stories.
+
+    ``prominence_exponent`` flattens entity-sampling skew: 1.0 mimics a
+    single paper's focus on prominent subjects; lower values (used for
+    the multi-source Newsblaster corpus) reach deeper into the entity
+    tail, which is why the paper's SNB gold set is the largest.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        config: ReproConfig | None = None,
+        prominence_exponent: float = 1.0,
+    ) -> None:
+        self._world = world
+        self._config = config or ReproConfig()
+        self._prominence_exponent = prominence_exponent
+
+    # -- mention handling ------------------------------------------------------
+
+    def _mention(self, entity: Entity, rng: random.Random, first: bool) -> str:
+        """Surface form for a mention: usually canonical first, then variants."""
+        if not entity.variants:
+            return entity.name
+        if first:
+            if rng.random() < CANONICAL_FIRST_MENTION_PROBABILITY:
+                return entity.name
+            return rng.choice(entity.variants)
+        if rng.random() < VARIANT_MENTION_PROBABILITY:
+            return rng.choice(entity.variants)
+        return entity.name
+
+    # -- article assembly -------------------------------------------------------
+
+    def _pick_entities(self, topic: Topic, rng: random.Random) -> list[Entity]:
+        count = rng.randint(2, 4)
+        exponent = self._prominence_exponent
+        entities = self._world.sample_entities(
+            rng,
+            count,
+            kinds=topic.entity_kinds,
+            facet_hints=topic.facet_hints,
+            prominence_exponent=exponent,
+        )
+        if not entities:
+            entities = self._world.sample_entities(
+                rng, count, prominence_exponent=exponent
+            )
+        has_location = any(e.kind == EntityKind.LOCATION for e in entities)
+        if not has_location and rng.random() < 0.75:
+            locations = self._world.entities_of_kind(EntityKind.LOCATION)
+            if locations:
+                extra = self._world.weighted_choice(rng, list(locations), exponent)
+                if all(extra.name != e.name for e in entities):
+                    entities.append(extra)
+        return entities
+
+    def _gold_terms(self, topic: Topic, entities: list[Entity]) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for term in topic.facet_terms:
+            seen.setdefault(term, None)
+        for entity in entities:
+            for term in entity.facet_terms:
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+    def _fill(
+        self,
+        template: str,
+        topic: Topic,
+        entities: list[Entity],
+        mentions: dict[str, int],
+        rng: random.Random,
+        leak_term: str | None = None,
+    ) -> str:
+        """Fill one template's slots."""
+        primary = rng.choice(entities)
+        secondary = rng.choice(entities)
+        first_primary = mentions.get(primary.name, 0) == 0
+        first_secondary = mentions.get(secondary.name, 0) == 0
+        word = rng.choice(topic.vocabulary)
+        description_pool = primary.description_words or ("effort",)
+        values = {
+            "e": self._mention(primary, rng, first_primary),
+            "e2": self._mention(secondary, rng, first_secondary),
+            "w": word,
+            "w2": rng.choice(topic.vocabulary),
+            "w3": rng.choice(topic.vocabulary),
+            "wt": word.title(),
+            "g": rng.choice(templates.GENERIC_FILLER),
+            "g2": rng.choice(templates.GENERIC_FILLER),
+            "d": rng.choice(description_pool),
+            "bv": rng.choice(templates.BODY_VERBS),
+            "hv": rng.choice(templates.HEADLINE_VERBS),
+            "f": (leak_term or "").lower(),
+        }
+        sentence = template.format(**values)
+        if "{e}" in template:
+            mentions[primary.name] = mentions.get(primary.name, 0) + 1
+        if "{e2}" in template:
+            mentions[secondary.name] = mentions.get(secondary.name, 0) + 1
+        return sentence
+
+    def generate(
+        self,
+        doc_id: str,
+        rng: random.Random,
+        source: str = "The New York Times",
+        published: date = date(2005, 11, 14),
+    ) -> Document:
+        """Generate one article."""
+        topic = self._world.sample_topic(rng)
+        entities = self._pick_entities(topic, rng)
+        gold_terms = self._gold_terms(topic, entities)
+        mentions: dict[str, int] = {}
+
+        title = self._fill(
+            rng.choice(templates.HEADLINE_TEMPLATES), topic, entities, mentions, rng
+        )
+
+        sentence_count = rng.randint(6, 12)
+        sentences = []
+        # Guarantee every chosen entity is mentioned at least once: the
+        # guaranteed sentence draws its mentions from that entity alone.
+        for entity in entities:
+            template = rng.choice(templates.BODY_TEMPLATES)
+            while "{e}" not in template:
+                template = rng.choice(templates.BODY_TEMPLATES)
+            sentences.append(self._fill(template, topic, [entity], mentions, rng))
+        while len(sentences) < sentence_count:
+            template = rng.choice(templates.BODY_TEMPLATES)
+            sentences.append(self._fill(template, topic, entities, mentions, rng))
+
+        # Facet leakage: a few gold terms may be written into the story.
+        leaked: list[str] = []
+        for term in gold_terms:
+            if len(leaked) >= MAX_LEAKS_PER_ARTICLE:
+                break
+            if rng.random() < FACET_LEAK_PROBABILITY:
+                leaked.append(term)
+                template = rng.choice(templates.FACET_LEAK_TEMPLATES)
+                position = rng.randint(1, len(sentences))
+                sentences.insert(
+                    position,
+                    self._fill(template, topic, entities, mentions, rng, leak_term=term),
+                )
+
+        # Optional dateline from a mentioned location.
+        body = " ".join(sentences)
+        location = next(
+            (e for e in entities if e.kind == EntityKind.LOCATION), None
+        )
+        if location is not None and rng.random() < 0.5:
+            body = templates.DATELINE_TEMPLATE.format(place=location.name.upper()) + body
+
+        gold = GoldAnnotation(
+            topic=topic.name,
+            entity_names=tuple(e.name for e in entities),
+            facet_terms=gold_terms,
+            leaked_terms=tuple(leaked),
+        )
+        return Document(
+            doc_id=doc_id,
+            title=title,
+            body=body,
+            source=source,
+            published=published,
+            gold=gold,
+        )

@@ -1,0 +1,39 @@
+"""News-source inventory for the simulated Newsblaster feed.
+
+Newsblaster (McKeown et al., 2003) aggregates 24 English news sources;
+the SNB dataset in the paper is one day of its output.  The names below
+are fictional but fill the same role: SNB documents carry a mix of
+sources, SNYT/MNYT documents carry a single one.
+"""
+
+from __future__ import annotations
+
+NYT_SOURCE = "The New York Times"
+
+#: 24 simulated feeds for the Newsblaster-style SNB corpus.
+NEWSBLASTER_SOURCES: tuple[str, ...] = (
+    NYT_SOURCE,
+    "The Harborview Courier",
+    "The Daily Meridian",
+    "Crestwood Tribune",
+    "The Morning Ledger",
+    "Bayfield Gazette",
+    "The Continental Post",
+    "Riverdale Observer",
+    "The Evening Standard-Herald",
+    "Stonebridge Chronicle",
+    "The National Register",
+    "Mapleton Times",
+    "The Metropolitan Review",
+    "Elmhurst Examiner",
+    "The Atlantic Dispatch",
+    "Brookside Journal",
+    "The Pacific Sentinel",
+    "Northgate News",
+    "The Capitol Record",
+    "Lakeshore Press",
+    "The Global Monitor",
+    "Summit City Star",
+    "The Federal Gazette",
+    "Keystone Daily",
+)

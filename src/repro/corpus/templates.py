@@ -1,0 +1,85 @@
+"""Sentence and headline templates for the article generator.
+
+Slots: ``{e}``/``{e2}`` entity mentions, ``{w}``/``{w2}``/``{w3}`` topic
+vocabulary, ``{g}``/``{g2}`` generic newswire filler, ``{d}`` an entity
+description word, ``{f}`` a leaked facet term (lower-cased).
+
+The generic filler pool reproduces the high-document-frequency words the
+paper's Figure 5 shows a plain subsumption baseline latching onto
+("year", "new", "time", "people", ...).
+"""
+
+from __future__ import annotations
+
+#: High-frequency newswire filler (Figure 5 of the paper).
+GENERIC_FILLER: tuple[str, ...] = (
+    "year", "time", "people", "state", "work", "school", "home", "report",
+    "game", "million", "week", "percent", "help", "plan", "house", "world",
+    "month", "call", "thing", "right", "high", "live",
+)
+
+#: Verbs used in headline and body patterns.
+HEADLINE_VERBS: tuple[str, ...] = (
+    "Faces", "Weighs", "Unveils", "Defends", "Questions", "Backs",
+    "Rejects", "Signals", "Presses", "Revisits",
+)
+
+BODY_VERBS: tuple[str, ...] = (
+    "announced", "confirmed", "suggested", "warned", "acknowledged",
+    "argued", "reported", "insisted", "predicted", "disclosed",
+)
+
+HEADLINE_TEMPLATES: tuple[str, ...] = (
+    "{e} {hv} New {wt} Plan",
+    "{wt} Concerns Grow Around {e}",
+    "{e} {hv} {wt} Questions",
+    "For {e}, a {wt} Test",
+    "{wt} Shift Puts {e} in Spotlight",
+    "{e} and the {w} Debate",
+)
+
+BODY_TEMPLATES: tuple[str, ...] = (
+    "{e} {bv} that the {w} would reshape the {w2} this {g}.",
+    "Officials close to {e} {bv} a new {w} {g} after months of {w2}.",
+    "The {w} drew sharp reactions, and {e} {bv} that more {w2} was likely.",
+    "In a statement, {e} pointed to the {w} as a sign of {w2} to come.",
+    "Last {g}, {e} had already {bv} plans to review the {w2}.",
+    "People familiar with the {w} said {e} would address the {w2} next {g}.",
+    "Critics said the {w} could cost a {g} of dollars and slow the {w2}.",
+    "Supporters countered that the {w2} would {g2} the {d} of {e}.",
+    "A report released this {g} put the {w} at the center of the {w2}.",
+    "{e} and {e2} have clashed over the {w} since early this {g}.",
+    "At a briefing, {e2} {bv} that the {w} remained on track.",
+    "The {d} of {e} has long shaped how the {w2} is seen at {g} and abroad.",
+    "Few expected the {w} to move so quickly, one {d} said this {g}.",
+    "The {w2} comes as {e} prepares for a difficult {g} ahead.",
+    "Residents said the {w} changed daily {g2} in ways that are hard to {g}.",
+    "Analysts who follow the {w2} said {e} still faces {w3} pressure.",
+    "By the end of the {g}, the {w} had become a test of the {w2}.",
+    "The {w3} surrounding {e2} added urgency to the {w} discussions.",
+    "Both sides agree the {w2} will define the coming {g}.",
+    "A spokesman for {e} declined to discuss the {w3} in detail.",
+    "Inside {e}, the mood over the {w} has shifted since last {g}.",
+    "Documents reviewed this {g} show the {w2} was larger than {e} had said.",
+    "For {e2}, the {w} marks a sharp break with the past {g}.",
+    "Whether the {w2} holds depends, aides to {e} conceded, on the next {g}.",
+    "The {w} left {e} with fewer options than at any point this {g}.",
+    "Rivals of {e} moved quickly to exploit the {w2}.",
+)
+
+#: Sentences that leak a facet term into the text (low probability).
+FACET_LEAK_TEMPLATES: tuple[str, ...] = (
+    "Observers framed the story as a matter of {f}.",
+    "The episode renewed a broader debate over {f}.",
+    "It is the kind of development that puts {f} back on the front page.",
+    "Questions about {f} hovered over the announcement.",
+    "For many, this was really about {f}.",
+    "Editors filed the piece under {f}.",
+    "The dispute touches on {f} in ways both sides acknowledge.",
+    "Commentators kept returning to {f}.",
+    "At its core, the disagreement concerns {f}.",
+    "Readers saw in it a familiar theme: {f}.",
+)
+
+#: Dateline patterns: "PARIS —" style openings.
+DATELINE_TEMPLATE = "{place} — "

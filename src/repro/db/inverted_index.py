@@ -1,0 +1,100 @@
+"""Inverted index over a document collection.
+
+Maintains postings (term -> documents with term frequency) for both
+single words and candidate phrases, exposing the document-frequency and
+rank statistics consumed by the comparative frequency analysis
+(Section IV-C of the paper) and the BM25 searcher.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..corpus.document import Document
+from ..text.phrases import candidate_phrases
+from ..text.stopwords import is_stopword
+from ..text.tokenizer import word_tokens
+from ..text.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One document entry in a postings list."""
+
+    doc_id: str
+    term_frequency: int
+
+
+class InvertedIndex:
+    """Word- and phrase-level inverted index.
+
+    Words are indexed for search (stopwords excluded); phrases up to
+    ``max_phrase_words`` are indexed for the facet-term analysis.
+    """
+
+    def __init__(self, max_phrase_words: int = 3) -> None:
+        self._postings: dict[str, dict[str, int]] = defaultdict(dict)
+        self._doc_lengths: dict[str, int] = {}
+        self._vocabulary = Vocabulary()
+        self._max_phrase_words = max_phrase_words
+
+    # -- construction -----------------------------------------------------------
+
+    def add_document(self, document: Document) -> None:
+        """Index one document (words + phrases)."""
+        words = [w for w in word_tokens(document.text) if not is_stopword(w)]
+        phrases = candidate_phrases(
+            document.text, max_words=self._max_phrase_words, include_unigrams=False
+        )
+        terms = words + phrases
+        self._doc_lengths[document.doc_id] = len(words)
+        counts: dict[str, int] = defaultdict(int)
+        for term in terms:
+            counts[term] += 1
+        for term, count in counts.items():
+            self._postings[term][document.doc_id] = count
+        self._vocabulary.add_document(terms)
+
+    def add_documents(self, documents: Iterable[Document]) -> None:
+        """Index many documents."""
+        for document in documents:
+            self.add_document(document)
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """Corpus term statistics (tf/df/rank)."""
+        return self._vocabulary
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return sum(self._doc_lengths.values()) / len(self._doc_lengths)
+
+    def document_length(self, doc_id: str) -> int:
+        """Word count of one document (stopwords excluded)."""
+        return self._doc_lengths.get(doc_id, 0)
+
+    def postings(self, term: str) -> list[Posting]:
+        """Postings list for ``term`` (empty when unknown)."""
+        entries = self._postings.get(term, {})
+        return [Posting(doc_id, tf) for doc_id, tf in entries.items()]
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def documents_with(self, term: str) -> set[str]:
+        """Ids of documents containing ``term``."""
+        return set(self._postings.get(term, ()))
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings

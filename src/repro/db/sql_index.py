@@ -1,0 +1,146 @@
+"""A SQLite-backed inverted index.
+
+The in-memory :class:`~repro.db.inverted_index.InvertedIndex` is the
+fast path; this class stores postings relationally (the paper's setup
+stores its Wikipedia snapshot in a relational database, and a production
+deployment of the facet system would do the same for the text archive).
+Supports the same document-frequency queries plus SQL-side conjunctive
+document lookup, and can be built once and reopened across processes.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable
+
+from ..corpus.document import Document
+from ..errors import StorageError
+from ..text.phrases import candidate_phrases
+from ..text.stopwords import is_stopword
+from ..text.tokenizer import word_tokens
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS postings (
+    term   TEXT NOT NULL,
+    doc_id TEXT NOT NULL,
+    tf     INTEGER NOT NULL,
+    PRIMARY KEY (term, doc_id)
+);
+CREATE INDEX IF NOT EXISTS idx_postings_doc ON postings(doc_id);
+CREATE TABLE IF NOT EXISTS doc_lengths (
+    doc_id TEXT PRIMARY KEY,
+    length INTEGER NOT NULL
+);
+"""
+
+
+class SqlInvertedIndex:
+    """Inverted index persisted in SQLite (":memory:" by default)."""
+
+    def __init__(self, path: str = ":memory:", max_phrase_words: int = 3) -> None:
+        self._connection = sqlite3.connect(path)
+        self._max_phrase_words = max_phrase_words
+        try:
+            with self._connection:
+                self._connection.executescript(_SCHEMA)
+        except sqlite3.DatabaseError as exc:
+            raise StorageError(f"cannot open index at {path!r}") from exc
+
+    # -- construction ----------------------------------------------------------
+
+    def add_document(self, document: Document) -> None:
+        """Index one document (words + phrases)."""
+        words = [w for w in word_tokens(document.text) if not is_stopword(w)]
+        phrases = candidate_phrases(
+            document.text,
+            max_words=self._max_phrase_words,
+            include_unigrams=False,
+        )
+        counts: dict[str, int] = {}
+        for term in words + phrases:
+            counts[term] = counts.get(term, 0) + 1
+        try:
+            with self._connection:
+                self._connection.execute(
+                    "INSERT INTO doc_lengths VALUES (?, ?)",
+                    (document.doc_id, len(words)),
+                )
+                self._connection.executemany(
+                    "INSERT INTO postings VALUES (?, ?, ?)",
+                    [
+                        (term, document.doc_id, tf)
+                        for term, tf in counts.items()
+                    ],
+                )
+        except sqlite3.IntegrityError as exc:
+            raise StorageError(
+                f"document already indexed: {document.doc_id!r}"
+            ) from exc
+
+    def add_documents(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add_document(document)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM doc_lengths"
+        ).fetchone()
+        return row[0]
+
+    def document_frequency(self, term: str) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM postings WHERE term = ?", (term,)
+        ).fetchone()
+        return row[0]
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        row = self._connection.execute(
+            "SELECT tf FROM postings WHERE term = ? AND doc_id = ?",
+            (term, doc_id),
+        ).fetchone()
+        return row[0] if row else 0
+
+    def documents_with(self, term: str) -> set[str]:
+        rows = self._connection.execute(
+            "SELECT doc_id FROM postings WHERE term = ?", (term,)
+        ).fetchall()
+        return {row[0] for row in rows}
+
+    def documents_with_all(self, terms: list[str]) -> set[str]:
+        """Conjunctive lookup, computed on the SQL side."""
+        if not terms:
+            return set()
+        placeholders = ",".join("?" for _ in terms)
+        rows = self._connection.execute(
+            f"""
+            SELECT doc_id FROM postings
+            WHERE term IN ({placeholders})
+            GROUP BY doc_id
+            HAVING COUNT(DISTINCT term) = ?
+            """,
+            (*terms, len(terms)),
+        ).fetchall()
+        return {row[0] for row in rows}
+
+    def top_terms(self, n: int = 10) -> list[tuple[str, int]]:
+        """Terms with highest document frequency."""
+        rows = self._connection.execute(
+            """
+            SELECT term, COUNT(*) AS df FROM postings
+            GROUP BY term ORDER BY df DESC, term ASC LIMIT ?
+            """,
+            (n,),
+        ).fetchall()
+        return [(row[0], row[1]) for row in rows]
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SqlInvertedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,144 @@
+"""Document storage.
+
+:class:`DocumentStore` keeps documents in memory and can persist to or
+load from SQLite (stdlib ``sqlite3``), so corpora survive between runs of
+the benchmark harness without regeneration.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Iterator
+from datetime import date
+
+from ..corpus.document import Corpus, Document, GoldAnnotation
+from ..errors import StorageError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS documents (
+    doc_id     TEXT PRIMARY KEY,
+    title      TEXT NOT NULL,
+    body       TEXT NOT NULL,
+    source     TEXT NOT NULL,
+    published  TEXT NOT NULL,
+    gold_topic TEXT,
+    gold_entities TEXT,
+    gold_facets   TEXT,
+    gold_leaked   TEXT
+);
+"""
+
+_FIELD_SEP = "\x1f"  # unit separator: safe because terms never contain it
+
+
+def _pack(values: tuple[str, ...]) -> str:
+    return _FIELD_SEP.join(values)
+
+
+def _unpack(packed: str | None) -> tuple[str, ...]:
+    if not packed:
+        return ()
+    return tuple(packed.split(_FIELD_SEP))
+
+
+class DocumentStore:
+    """An ordered collection of documents with id lookup."""
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._documents: list[Document] = []
+        self._by_id: dict[str, Document] = {}
+        for document in documents:
+            self.add(document)
+
+    @classmethod
+    def from_corpus(cls, corpus: Corpus) -> "DocumentStore":
+        """Build a store holding every document of ``corpus``."""
+        return cls(corpus.documents)
+
+    def add(self, document: Document) -> None:
+        """Add one document; ids must be unique."""
+        if document.doc_id in self._by_id:
+            raise StorageError(f"duplicate doc_id: {document.doc_id!r}")
+        self._by_id[document.doc_id] = document
+        self._documents.append(document)
+
+    def get(self, doc_id: str) -> Document:
+        """Fetch a document by id."""
+        try:
+            return self._by_id[doc_id]
+        except KeyError:
+            raise StorageError(f"unknown doc_id: {doc_id!r}") from None
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    # -- SQLite persistence -----------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist all documents to a SQLite database file."""
+        connection = sqlite3.connect(path)
+        try:
+            with connection:
+                connection.executescript(_SCHEMA)
+                connection.execute("DELETE FROM documents")
+                connection.executemany(
+                    "INSERT INTO documents VALUES (?,?,?,?,?,?,?,?,?)",
+                    [
+                        (
+                            doc.doc_id,
+                            doc.title,
+                            doc.body,
+                            doc.source,
+                            doc.published.isoformat(),
+                            doc.gold.topic if doc.gold else None,
+                            _pack(doc.gold.entity_names) if doc.gold else None,
+                            _pack(doc.gold.facet_terms) if doc.gold else None,
+                            _pack(doc.gold.leaked_terms) if doc.gold else None,
+                        )
+                        for doc in self._documents
+                    ],
+                )
+        finally:
+            connection.close()
+
+    @classmethod
+    def load(cls, path: str) -> "DocumentStore":
+        """Load a store previously written with :meth:`save`."""
+        connection = sqlite3.connect(path)
+        try:
+            rows = connection.execute(
+                "SELECT doc_id, title, body, source, published, gold_topic,"
+                " gold_entities, gold_facets, gold_leaked"
+                " FROM documents ORDER BY rowid"
+            ).fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise StorageError(f"cannot read document store at {path!r}") from exc
+        finally:
+            connection.close()
+        store = cls()
+        for row in rows:
+            gold = None
+            if row[5] is not None:
+                gold = GoldAnnotation(
+                    topic=row[5],
+                    entity_names=_unpack(row[6]),
+                    facet_terms=_unpack(row[7]),
+                    leaked_terms=_unpack(row[8]),
+                )
+            store.add(
+                Document(
+                    doc_id=row[0],
+                    title=row[1],
+                    body=row[2],
+                    source=row[3],
+                    published=date.fromisoformat(row[4]),
+                    gold=gold,
+                )
+            )
+        return store

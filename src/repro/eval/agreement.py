@@ -1,0 +1,95 @@
+"""Inter-annotator agreement for the simulated annotation studies.
+
+The paper relies on agreement thresholds (>= 2 of 5 for gold terms,
+>= 4 of 5 for precision) without reporting agreement coefficients; for a
+simulation it is worth *measuring* agreement, both to sanity-check the
+annotator model (humans agree well above chance, far below perfectly)
+and to expose the knob the thresholds implicitly depend on.
+
+Implements pairwise observed agreement and Fleiss' kappa over the
+per-story term-selection decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ReproConfig
+from ..corpus.document import Document
+from ..kb.world import World
+from .annotators import SimulatedAnnotator, candidate_terms
+from .metrics import match_key
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Agreement statistics over one annotated sample."""
+
+    stories: int
+    decisions: int
+    observed_agreement: float
+    fleiss_kappa: float
+
+    def format_summary(self) -> str:
+        return (
+            f"{self.stories} stories, {self.decisions} term decisions: "
+            f"observed agreement {self.observed_agreement:.3f}, "
+            f"Fleiss' kappa {self.fleiss_kappa:.3f}"
+        )
+
+
+def measure_agreement(
+    world: World,
+    documents: list[Document],
+    config: ReproConfig | None = None,
+) -> AgreementReport:
+    """Fleiss' kappa over annotators' include/exclude decisions.
+
+    Each (story, candidate term) pair is one item; each annotator's
+    decision is whether they reported the term for that story.
+    """
+    config = config or ReproConfig()
+    annotators = [
+        SimulatedAnnotator(annotator_id=i, world=world)
+        for i in range(config.annotators_per_story)
+    ]
+    n_raters = len(annotators)
+    items: list[int] = []  # "include" votes per item
+    for document in documents:
+        pool = candidate_terms(world, document)
+        if not pool:
+            continue
+        selections = []
+        for annotator in annotators:
+            rng = config.rng(
+                f"agreement:{annotator.annotator_id}:{document.doc_id}"
+            )
+            chosen = {match_key(t) for t in annotator.annotate(document, rng)}
+            selections.append(chosen)
+        for term, _probability in pool:
+            key = match_key(term)
+            items.append(sum(1 for chosen in selections if key in chosen))
+
+    if not items or n_raters < 2:
+        return AgreementReport(len(documents), 0, 0.0, 0.0)
+
+    # Per-item observed agreement: fraction of agreeing rater pairs.
+    pair_count = n_raters * (n_raters - 1)
+    p_i = [
+        (votes * (votes - 1) + (n_raters - votes) * (n_raters - votes - 1))
+        / pair_count
+        for votes in items
+    ]
+    p_bar = sum(p_i) / len(p_i)
+
+    # Expected agreement from the marginal include-rate.
+    include_rate = sum(items) / (len(items) * n_raters)
+    p_e = include_rate**2 + (1 - include_rate) ** 2
+    kappa = (p_bar - p_e) / (1 - p_e) if p_e < 1 else 0.0
+
+    return AgreementReport(
+        stories=len(documents),
+        decisions=len(items),
+        observed_agreement=p_bar,
+        fleiss_kappa=kappa,
+    )

@@ -1,0 +1,148 @@
+"""Simulated Mechanical Turk annotators.
+
+Each annotator reads a story and reports up to 10 terms "useful for
+faceted navigation" (the Section V-B instructions).  The simulation
+draws from the story's ground truth — the facet-path terms of mentioned
+entities, the topic's facet terms, and the names of prominent mentioned
+entities (annotators do use "Iraq" or "bush administration" as facet
+terms; see Figure 4 of the paper) — with per-annotator recall and a
+dash of idiosyncratic noise.  The >= 2-of-5 agreement rule then filters
+the noise, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..config import ReproConfig
+from ..corpus.document import Document
+from ..kb.schema import EntityKind
+from ..kb.world import World
+from .metrics import match_key
+
+#: Maximum facet terms one annotator reports per story (paper: 10).
+MAX_TERMS_PER_STORY = 10
+
+#: Probability an annotator includes a taxonomy facet term or a
+#: prominent entity name from the candidate pool.
+ANNOTATOR_TERM_RECALL = 0.5
+
+#: Probability an annotator coins a story-specific concept term (the
+#: long tail of Figure 4: "bush administration", "italian culture").
+ANNOTATOR_SPECIFIC_RECALL = 0.3
+
+#: Probability an annotator appends one idiosyncratic noise term.
+ANNOTATOR_NOISE_RATE = 0.25
+
+#: Entity kinds whose canonical names annotators use as facet terms.
+_NAMEABLE_KINDS = (EntityKind.LOCATION, EntityKind.EVENT, EntityKind.ORGANIZATION)
+
+#: Minimum prominence for an entity name to be used as a facet term.
+_NAMEABLE_PROMINENCE = 1.0
+
+
+def candidate_terms(world: World, document: Document) -> list[tuple[str, float]]:
+    """The ground-truth candidate pool an annotator samples from.
+
+    Returns ``(term, inclusion_probability)`` pairs: general facet terms
+    and prominent entity names are likely picks; story-specific concept
+    terms (the entities' related terms, e.g. "President of France") form
+    a long tail that only some annotators report — which is what makes
+    the dataset-level gold set keep growing with sample size, as in the
+    paper's sensitivity test.
+    """
+    if document.gold is None:
+        return []
+    pool: list[tuple[str, float]] = [
+        (term, ANNOTATOR_TERM_RECALL) for term in document.gold.facet_terms
+    ]
+    for name in document.gold.entity_names:
+        entity = world.entity(name)
+        if entity.kind in _NAMEABLE_KINDS and entity.prominence >= _NAMEABLE_PROMINENCE:
+            pool.append((entity.name, ANNOTATOR_TERM_RECALL))
+        for related in entity.related_terms:
+            pool.append((related, ANNOTATOR_SPECIFIC_RECALL))
+    # De-duplicate, preserving order (general terms come first).
+    seen: set[str] = set()
+    unique: list[tuple[str, float]] = []
+    for term, probability in pool:
+        key = match_key(term)
+        if key and key not in seen:
+            seen.add(key)
+            unique.append((term, probability))
+    return unique
+
+
+@dataclass
+class SimulatedAnnotator:
+    """One worker with their own seed (hence their own quirks)."""
+
+    annotator_id: int
+    world: World
+    term_recall: float = ANNOTATOR_TERM_RECALL
+    noise_rate: float = ANNOTATOR_NOISE_RATE
+
+    def annotate(self, document: Document, rng: random.Random) -> list[str]:
+        """Facet terms this annotator reports for ``document``."""
+        pool = candidate_terms(self.world, document)
+        chosen: list[str] = []
+        # ``term_recall`` rescales the per-term probabilities, so sloppier
+        # or keener annotators can be modelled with one knob.
+        quality = self.term_recall / ANNOTATOR_TERM_RECALL
+        for term, probability in pool:
+            if len(chosen) >= MAX_TERMS_PER_STORY:
+                break
+            if rng.random() < probability * quality:
+                chosen.append(term)
+        # Idiosyncratic noise: a random taxonomy term unrelated to the
+        # story.  Two annotators rarely pick the same noise term, so the
+        # agreement rule removes it.
+        if rng.random() < self.noise_rate and len(chosen) < MAX_TERMS_PER_STORY:
+            noise = rng.choice(self.world.taxonomy.terms())
+            chosen.append(noise)
+        return chosen
+
+
+class AnnotatorPool:
+    """Runs ``k`` annotators per story and applies the agreement rule."""
+
+    def __init__(
+        self,
+        world: World,
+        config: ReproConfig | None = None,
+        agreement: int = 2,
+    ) -> None:
+        if agreement < 1:
+            raise ValueError(f"agreement must be >= 1, got {agreement}")
+        self._world = world
+        self._config = config or ReproConfig()
+        self._agreement = agreement
+        self._annotators = [
+            SimulatedAnnotator(annotator_id=i, world=world)
+            for i in range(self._config.annotators_per_story)
+        ]
+
+    def annotate_document(self, document: Document) -> list[str]:
+        """Terms reported by >= ``agreement`` annotators for one story."""
+        votes: dict[str, int] = {}
+        surface: dict[str, str] = {}
+        for annotator in self._annotators:
+            rng = self._config.rng(
+                f"annotate:{annotator.annotator_id}:{document.doc_id}"
+            )
+            for term in annotator.annotate(document, rng):
+                key = match_key(term)
+                if not key:
+                    continue
+                votes[key] = votes.get(key, 0) + 1
+                surface.setdefault(key, term)
+        return [
+            surface[key]
+            for key, count in sorted(votes.items())
+            if count >= self._agreement
+        ]
+
+    def annotate_corpus(self, documents: list[Document]) -> dict[str, list[str]]:
+        """Per-story agreed facet terms: doc_id -> terms."""
+        return {doc.doc_id: self.annotate_document(doc) for doc in documents}

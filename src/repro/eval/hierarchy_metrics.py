@@ -1,0 +1,88 @@
+"""Structural quality metrics for extracted facet hierarchies.
+
+The paper evaluates hierarchies with human judgments; these metrics
+quantify the *structure* those judgments implicitly reward: trees that
+branch (not flat term lists), nodes that actually narrow their parent,
+and facets that jointly cover the collection without one facet
+swallowing everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.hierarchy import FacetHierarchy
+
+
+@dataclass(frozen=True)
+class HierarchyMetrics:
+    """Aggregate structure metrics for a facet forest."""
+
+    facets: int
+    nodes: int
+    max_depth: int
+    branching_facets: int
+    """Facets with at least one child under the root."""
+    mean_branching_factor: float
+    """Mean children per internal node."""
+    mean_narrowing: float
+    """Mean child/parent document-count ratio (lower narrows more)."""
+    coverage: float
+    """Fraction of the collection under at least one facet."""
+
+    def format_summary(self) -> str:
+        return "\n".join(
+            [
+                f"facets: {self.facets} ({self.branching_facets} branching)",
+                f"nodes: {self.nodes}, max depth {self.max_depth}",
+                f"mean branching factor: {self.mean_branching_factor:.2f}",
+                f"mean narrowing ratio: {self.mean_narrowing:.2f}",
+                f"collection coverage: {self.coverage:.0%}",
+            ]
+        )
+
+
+def hierarchy_metrics(
+    hierarchies: list[FacetHierarchy], collection_size: int
+) -> HierarchyMetrics:
+    """Compute :class:`HierarchyMetrics` for a facet forest."""
+    if collection_size < 0:
+        raise ValueError("collection_size must be >= 0")
+    nodes = 0
+    max_depth = 0
+    internal_nodes = 0
+    total_children = 0
+    narrowing_ratios: list[float] = []
+    covered: set[str] = set()
+
+    def walk(node, depth: int) -> None:
+        nonlocal nodes, max_depth, internal_nodes, total_children
+        nodes += 1
+        max_depth = max(max_depth, depth)
+        if node.children:
+            internal_nodes += 1
+            total_children += len(node.children)
+            for child in node.children:
+                if node.count:
+                    narrowing_ratios.append(child.count / node.count)
+                walk(child, depth + 1)
+
+    for hierarchy in hierarchies:
+        covered.update(hierarchy.root.doc_ids)
+        walk(hierarchy.root, 0)
+
+    return HierarchyMetrics(
+        facets=len(hierarchies),
+        nodes=nodes,
+        max_depth=max_depth,
+        branching_facets=sum(1 for h in hierarchies if h.root.children),
+        mean_branching_factor=(
+            total_children / internal_nodes if internal_nodes else 0.0
+        ),
+        mean_narrowing=(
+            sum(narrowing_ratios) / len(narrowing_ratios)
+            if narrowing_ratios
+            else 0.0
+        ),
+        coverage=len(covered) / collection_size if collection_size else 0.0,
+    )

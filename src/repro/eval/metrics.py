@@ -1,0 +1,44 @@
+"""Term matching and set metrics shared by the evaluation studies.
+
+Human annotators do not distinguish "election" from "Elections"; terms
+are compared on a stemmed, normalized key so that inflectional variants
+count as the same facet term.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..text.stemmer import stem
+from ..text.tokenizer import normalize_term
+
+
+def match_key(term: str) -> str:
+    """Canonical comparison key: normalized, per-word Porter-stemmed."""
+    normalized = normalize_term(term)
+    if not normalized:
+        return ""
+    return " ".join(stem(word) for word in normalized.split())
+
+
+def to_key_set(terms: Iterable[str]) -> set[str]:
+    """Distinct match keys of a term collection."""
+    return {key for key in (match_key(t) for t in terms) if key}
+
+
+def term_set_recall(gold: Iterable[str], extracted: Iterable[str]) -> float:
+    """Fraction of gold terms present among extracted terms (key match)."""
+    gold_keys = to_key_set(gold)
+    if not gold_keys:
+        return 0.0
+    extracted_keys = to_key_set(extracted)
+    return len(gold_keys & extracted_keys) / len(gold_keys)
+
+
+def term_set_precision(extracted: Iterable[str], good: Iterable[str]) -> float:
+    """Fraction of extracted terms judged good (key match)."""
+    extracted_keys = to_key_set(extracted)
+    if not extracted_keys:
+        return 0.0
+    good_keys = to_key_set(good)
+    return len(extracted_keys & good_keys) / len(extracted_keys)

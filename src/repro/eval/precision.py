@@ -1,0 +1,293 @@
+"""The precision study (Tables V, VI, VII).
+
+Annotators who pass the qualification test examine the extracted facet
+hierarchies and judge, per facet term, (a) whether the term is useful
+and (b) whether it is accurately placed in the hierarchy.  A term is
+"precise" only when both hold, by at least 4 of 5 annotators
+(Section V-C protocol).
+
+The simulated judgment reads the ground truth: taxonomy terms are
+useful and correctly placed under their taxonomy ancestors; prominent
+location/event/organization names are useful facet terms; snippet
+fragments, boilerplate, and person-name shards are not.  Each judge
+applies the true judgment with their personal accuracy, so the vote
+models real inter-annotator noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..builder import FacetPipelineBuilder
+from ..config import ReproConfig
+from ..corpus.document import Corpus
+from ..core.annotate import annotate_database
+from ..core.contextualize import contextualize
+from ..core.hierarchy import FacetHierarchy, build_facet_hierarchies
+from ..core.selection import select_facet_terms
+from ..extractors.registry import build_extractors
+from ..kb.schema import EntityKind
+from ..kb.world import World
+from ..wordnet.hypernyms import HypernymLookup
+from ..wordnet.lexicon import build_lexicon
+from .goldset import build_gold_set
+from .metrics import match_key
+from .qualification import QualificationTest, recruit_judges
+from .recall import StudyMatrix, _extractor_sets, _resource_sets
+
+#: Facet terms per cell used to build the judged hierarchies.
+PRECISION_TOP_K = 150
+
+#: Judges whose verdicts are counted per term (paper: 5).
+JUDGES_PER_TERM = 5
+
+#: Votes required to call a term precise (paper: 4 of 5).
+PRECISION_AGREEMENT = 4
+
+_USEFUL_ENTITY_KINDS = (
+    EntityKind.LOCATION,
+    EntityKind.EVENT,
+    EntityKind.ORGANIZATION,
+)
+
+
+class GroundTruthOracle:
+    """True usefulness/placement judgments derived from the world."""
+
+    #: Entities this prominent are concepts an annotator recognizes; the
+    #: minor long-tail entities fall below it.
+    MIN_USEFUL_PROMINENCE = 0.35
+
+    def __init__(self, world: World, wikipedia=None) -> None:
+        self._world = world
+        self._taxonomy = world.taxonomy
+        self._wikipedia = wikipedia
+        self._lexicon = HypernymLookup(build_lexicon(world))
+        # Related term -> owning entity ("President of France" belongs
+        # to Jacques Chirac).
+        self._related_owner: dict[str, object] = {}
+        for entity in world.entities:
+            for related in entity.related_terms:
+                self._related_owner.setdefault(match_key(related), entity)
+        # Recognizable concept nouns beyond the mini WordNet: topical
+        # vocabulary and the description nouns used across the world
+        # ("officials", "capital", "career").  The real WordNet covers
+        # all of these; our lexicon keeps only hypernym-bearing entries.
+        self._common_keys: set[str] = set()
+        for topic in world.topics:
+            for word in topic.vocabulary:
+                self._common_keys.add(match_key(word))
+        for entity in world.entities:
+            for word in entity.description_words:
+                self._common_keys.add(match_key(word))
+
+    def _entity_for(self, term: str):
+        """Resolve a surface to an entity, like a human reader would.
+
+        Falls back to Wikipedia titles/redirects and to anchor phrases
+        with a single dominant target ("Samurai Tsunenaga" clearly
+        denotes Hasekura Tsunenaga; "the agency" denotes nobody).
+        """
+        entity = self._world.find_by_surface(term)
+        if entity is not None or self._wikipedia is None:
+            return entity
+        title = self._wikipedia.resolve(term)
+        if title is not None:
+            return self._world.find_by_surface(title)
+        stats = self._wikipedia.anchor_stats(term)
+        if stats is not None and stats.targets:
+            best = max(stats.targets, key=lambda t: stats.score(t))
+            if stats.score(best) >= 0.5:
+                return self._world.find_by_surface(best)
+        return None
+
+    def useful(self, term: str) -> bool:
+        """Would a careful annotator accept ``term`` as a facet term?
+
+        Taxonomy terms, recognizable entities, and concept phrases like
+        "President of France" qualify; boilerplate, name fragments, and
+        obscure long-tail entities do not.
+        """
+        if self._taxonomy.canonical(term) is not None:
+            return True
+        entity = self._entity_for(term)
+        if entity is not None:
+            return entity.prominence >= self.MIN_USEFUL_PROMINENCE
+        if match_key(term) in self._related_owner:
+            return True
+        # A single common noun that names a known categorical concept
+        # ("campaign", "president", "police") reads as a reasonable
+        # facet; the paper's Figure 4 is full of such terms.  Site
+        # chrome and name fragments have no such entry.
+        if " " not in term and self._lexicon.covers(term.lower()):
+            return True
+        if " " not in term and match_key(term) in self._common_keys:
+            return True
+        return False
+
+    def placed(self, term: str, parent: str | None) -> bool:
+        """Is ``term`` accurately placed under ``parent``?"""
+        if parent is None:
+            return True
+        taxonomy = self._taxonomy
+        term_c = taxonomy.canonical(term)
+        parent_c = taxonomy.canonical(parent)
+        if term_c is not None and parent_c is not None:
+            return taxonomy.is_ancestor(parent_c, term_c)
+        parent_key = match_key(parent)
+        entity = self._entity_for(term)
+        if entity is not None:
+            if parent_c is not None:
+                # e.g. "Jacques Chirac" under "Political Leaders".
+                return any(
+                    match_key(t) == parent_key for t in entity.facet_terms
+                )
+            parent_entity = self._entity_for(parent)
+            if parent_entity is not None:
+                # e.g. "Paris" under "France": the parent's name must be
+                # a facet term on the child's paths.
+                pk = match_key(parent_entity.name)
+                return any(match_key(t) == pk for t in entity.facet_terms)
+            return False
+        if " " not in term and self._lexicon.covers(term.lower()):
+            # A categorical common noun is well-placed under any of its
+            # hypernyms ("president" under "leaders").
+            chain_keys = {
+                match_key(h) for h in self._lexicon.hypernyms(term.lower())
+            }
+            if parent_key in chain_keys:
+                return True
+        owner = self._related_owner.get(match_key(term))
+        if owner is not None:
+            # "President of France" sits fine under Jacques Chirac,
+            # under France, under "Political Leaders", or next to the
+            # owner's other concept terms.
+            if parent_key == match_key(owner.name):
+                return True
+            if any(match_key(t) == parent_key for t in owner.facet_terms):
+                return True
+            if any(
+                match_key(r) == parent_key for r in owner.related_terms
+            ):
+                return True
+        return False
+
+    def precise(self, term: str, parent: str | None) -> bool:
+        """Both conditions of Section V-C."""
+        return self.useful(term) and self.placed(term, parent)
+
+
+@dataclass
+class JudgedTerm:
+    """One hierarchy node with its vote outcome."""
+
+    term: str
+    parent: str | None
+    votes: int
+    precise: bool
+
+
+class PrecisionStudy:
+    """Run the extractor x resource precision grid on one dataset."""
+
+    def __init__(
+        self,
+        config: ReproConfig | None = None,
+        builder: FacetPipelineBuilder | None = None,
+        top_k: int = PRECISION_TOP_K,
+    ) -> None:
+        self.config = config or ReproConfig()
+        self.builder = builder or FacetPipelineBuilder(self.config)
+        self.oracle = GroundTruthOracle(
+            self.builder.world, wikipedia=self.builder.substrates.wikipedia
+        )
+        self._top_k = top_k
+        test = QualificationTest(self.builder.world, self.config)
+        self.judges = recruit_judges(
+            test, self.config, needed=JUDGES_PER_TERM
+        )
+        from ..resources.base import ResourceName
+        from ..resources.registry import build_resources
+
+        self._resources = {
+            name: build_resources([name], self.builder.substrates, self.config)[0]
+            for name in ResourceName
+        }
+
+    def _resource_list(self, label: str):
+        from ..resources.composite import CompositeResource
+
+        names = _resource_sets()[label]
+        members = [self._resources[name] for name in names]
+        if len(members) == 1:
+            return members
+        return [CompositeResource(members)]
+
+    # -- judging ---------------------------------------------------------------
+
+    def judge_hierarchies(
+        self, hierarchies: list[FacetHierarchy], cell: str = ""
+    ) -> list[JudgedTerm]:
+        """Have the qualified judges vote on every hierarchy node."""
+        judged: list[JudgedTerm] = []
+        for hierarchy in hierarchies:
+            parent_of: dict[str, str | None] = {hierarchy.root.term: None}
+            for node in hierarchy.root.walk():
+                for child in node.children:
+                    parent_of[child.term] = node.term
+            for node in hierarchy.root.walk():
+                parent = parent_of.get(node.term)
+                truth = self.oracle.precise(node.term, parent)
+                votes = 0
+                for judge in self.judges:
+                    rng = self.config.rng(
+                        f"judge:{cell}:{judge.judge_id}:{node.term}:{parent}"
+                    )
+                    verdict = truth if rng.random() < judge.accuracy else not truth
+                    votes += int(verdict)
+                judged.append(
+                    JudgedTerm(
+                        term=node.term,
+                        parent=parent,
+                        votes=votes,
+                        precise=votes >= PRECISION_AGREEMENT,
+                    )
+                )
+        return judged
+
+    @staticmethod
+    def precision_of(judged: list[JudgedTerm]) -> float:
+        """Precise terms over all judged terms."""
+        if not judged:
+            return 0.0
+        return sum(1 for j in judged if j.precise) / len(judged)
+
+    # -- the grid -------------------------------------------------------------------
+
+    def run(self, corpus: Corpus) -> StudyMatrix:
+        """Measure precision for every cell of the grid."""
+        gold = build_gold_set(corpus, self.config, self.builder.world)
+        matrix = StudyMatrix(dataset=corpus.name, metric="Precision")
+        for extractor_label, extractor_names in _extractor_sets().items():
+            extractors = build_extractors(
+                extractor_names, wikipedia=self.builder.substrates.wikipedia
+            )
+            annotated = annotate_database(gold.documents, extractors)
+            for resource_label in _resource_sets():
+                contextualized = contextualize(
+                    annotated, self._resource_list(resource_label)
+                )
+                candidates = select_facet_terms(contextualized, top_k=self._top_k)
+                hierarchies = build_facet_hierarchies(
+                    candidates,
+                    contextualized,
+                    edge_validator=self.builder.edge_evidence,
+                )
+                judged = self.judge_hierarchies(
+                    hierarchies, cell=f"{extractor_label}/{resource_label}"
+                )
+                matrix.set(
+                    resource_label, extractor_label, self.precision_of(judged)
+                )
+        return matrix

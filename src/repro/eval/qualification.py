@@ -1,0 +1,161 @@
+"""The qualification test for precision annotators (Section V-C).
+
+The paper built its test from random Open Directory subtrees: some kept
+intact ("correct" hierarchies), others perturbed by re-parenting and
+cross-subtree swaps ("noisy").  A prospective annotator must classify
+at least 18 of 20 hierarchies correctly to participate.
+
+We generate the same kind of test from the ground-truth taxonomy, and
+model each prospective worker as a judge with a latent accuracy; the
+test then selects the careful ones, exactly the filtering effect the
+paper's protocol aims for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..config import ReproConfig
+from ..kb.world import World
+
+#: Items per qualification test (paper: 20).
+TEST_SIZE = 20
+
+#: Correct answers required to pass (paper: 18).
+PASS_MARK = 18
+
+
+@dataclass(frozen=True)
+class TestItem:
+    """One test hierarchy: (parent, children) pairs plus the gold label."""
+
+    edges: tuple[tuple[str, str], ...]
+    is_correct: bool
+
+
+@dataclass(frozen=True)
+class Judge:
+    """A prospective annotator with a latent care level."""
+
+    judge_id: int
+    accuracy: float
+
+
+class QualificationTest:
+    """Generate test items and administer the test to judges."""
+
+    def __init__(self, world: World, config: ReproConfig | None = None) -> None:
+        self._world = world
+        self._config = config or ReproConfig()
+        self._items = self._generate_items()
+
+    # -- item generation -----------------------------------------------------
+
+    def _subtree_edges(
+        self, root: str, rng: random.Random
+    ) -> list[tuple[str, str]]:
+        taxonomy = self._world.taxonomy
+        edges: list[tuple[str, str]] = []
+        for child in taxonomy.children(root):
+            edges.append((root, child))
+            for grandchild in taxonomy.children(child)[:3]:
+                edges.append((child, grandchild))
+        return edges
+
+    def _perturb(
+        self, edges: list[tuple[str, str]], rng: random.Random
+    ) -> list[tuple[str, str]]:
+        """Swap children across parents / flip an edge: a noisy hierarchy."""
+        noisy = list(edges)
+        if len(noisy) >= 2:
+            # Swap children across *different* parents, so the perturbed
+            # hierarchy really is wrong.
+            for _ in range(20):
+                i, j = rng.sample(range(len(noisy)), 2)
+                if noisy[i][0] != noisy[j][0]:
+                    break
+            pi, ci = noisy[i]
+            pj, cj = noisy[j]
+            noisy[i] = (pi, cj)
+            noisy[j] = (pj, ci)
+            if noisy[i][0] == noisy[j][0]:  # same parent: flip an edge instead
+                parent, child = noisy[0]
+                noisy[0] = (child, parent)
+        else:
+            parent, child = noisy[0]
+            noisy[0] = (child, parent)
+        return noisy
+
+    def _generate_items(self) -> list[TestItem]:
+        rng = self._config.rng("qualification")
+        taxonomy = self._world.taxonomy
+        candidates = [
+            term for term in taxonomy.terms() if len(taxonomy.children(term)) >= 2
+        ]
+        items: list[TestItem] = []
+        for index in range(TEST_SIZE):
+            root = rng.choice(candidates)
+            edges = self._subtree_edges(root, rng)
+            if index % 2 == 0:
+                items.append(TestItem(edges=tuple(edges), is_correct=True))
+            else:
+                items.append(
+                    TestItem(edges=tuple(self._perturb(edges, rng)), is_correct=False)
+                )
+        return items
+
+    @property
+    def items(self) -> list[TestItem]:
+        return list(self._items)
+
+    # -- administering ----------------------------------------------------------
+
+    def item_truth(self, item: TestItem) -> bool:
+        """Whether the item's edges all agree with the taxonomy."""
+        taxonomy = self._world.taxonomy
+        return all(
+            parent in taxonomy
+            and child in taxonomy
+            and taxonomy.is_ancestor(
+                taxonomy.canonical(parent), taxonomy.canonical(child)
+            )
+            for parent, child in item.edges
+        )
+
+    def administer(self, judge: Judge) -> bool:
+        """True when ``judge`` passes (>= 18 of 20 correct)."""
+        rng = self._config.rng(f"qualtest:{judge.judge_id}")
+        correct = 0
+        for item in self._items:
+            answers_right = rng.random() < judge.accuracy
+            if answers_right:
+                correct += 1
+        return correct >= PASS_MARK
+
+
+def recruit_judges(
+    test: QualificationTest,
+    config: ReproConfig,
+    needed: int,
+    max_applicants: int = 200,
+) -> list[Judge]:
+    """Keep recruiting applicants until ``needed`` judges qualify.
+
+    Applicant care levels vary widely (as on Mechanical Turk); the test
+    retains the careful ones.
+    """
+    rng = config.rng("judgepool")
+    qualified: list[Judge] = []
+    for judge_id in range(max_applicants):
+        judge = Judge(judge_id=judge_id, accuracy=rng.uniform(0.7, 0.99))
+        if test.administer(judge):
+            qualified.append(judge)
+            if len(qualified) >= needed:
+                break
+    if len(qualified) < needed:
+        raise RuntimeError(
+            f"only {len(qualified)} of {needed} judges qualified after "
+            f"{max_applicants} applicants"
+        )
+    return qualified

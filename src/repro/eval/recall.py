@@ -1,0 +1,181 @@
+"""The recall study (Tables II, III, IV).
+
+For every combination of term extractor (NE / Yahoo / Wikipedia / All)
+and external resource (Google / WordNet Hypernyms / Wikipedia Synonyms /
+Wikipedia Graph / All), run the pipeline over the annotated sample and
+measure the fraction of the gold facet terms that the pipeline extracts.
+Annotation (Step 1) is shared across resource cells, and resources
+memoize their answers, so the full 4 x 5 grid costs far less than 20
+independent runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..builder import FacetPipelineBuilder
+from ..config import ReproConfig
+from ..corpus.document import Corpus
+from ..core.annotate import annotate_database
+from ..core.contextualize import contextualize
+from ..core.selection import select_facet_terms
+from ..extractors.base import ExtractorName
+from ..extractors.registry import build_extractors
+from ..resources.base import ResourceName
+from ..resources.composite import CompositeResource
+from ..resources.registry import build_resources
+from .goldset import GoldSet, build_gold_set
+from .metrics import match_key
+
+#: Row labels in table order (resources), incl. the "All" union row.
+RESOURCE_ROWS: tuple[str, ...] = (
+    ResourceName.GOOGLE.value,
+    ResourceName.WORDNET.value,
+    ResourceName.WIKI_SYNONYMS.value,
+    ResourceName.WIKI_GRAPH.value,
+    "All",
+)
+
+#: Column labels in table order (extractors), incl. the "All" column.
+EXTRACTOR_COLUMNS: tuple[str, ...] = (
+    ExtractorName.NAMED_ENTITIES.value,
+    ExtractorName.YAHOO.value,
+    ExtractorName.WIKIPEDIA.value,
+    "All",
+)
+
+#: Facet terms kept per cell for the recall measurement.  None keeps
+#: every candidate passing the shift tests (the paper does not cap the
+#: recall measurement; only the judged hierarchies are capped).
+RECALL_TOP_K: int | None = None
+
+
+@dataclass
+class StudyMatrix:
+    """A resource x extractor matrix of measurements."""
+
+    dataset: str
+    metric: str
+    values: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def value(self, resource: str, extractor: str) -> float:
+        return self.values[(resource, extractor)]
+
+    def set(self, resource: str, extractor: str, value: float) -> None:
+        self.values[(resource, extractor)] = value
+
+    def format_table(self) -> str:
+        """Render in the layout of the paper's tables."""
+        width = max(len(r) for r in RESOURCE_ROWS) + 2
+        header = " " * width + "".join(f"{c:>12}" for c in EXTRACTOR_COLUMNS)
+        lines = [
+            f"{self.metric} ({self.dataset})",
+            header,
+        ]
+        for resource in RESOURCE_ROWS:
+            cells = "".join(
+                f"{self.values.get((resource, extractor), float('nan')):>12.3f}"
+                for extractor in EXTRACTOR_COLUMNS
+            )
+            lines.append(f"{resource:<{width}}" + cells)
+        return "\n".join(lines)
+
+
+def _extractor_sets() -> dict[str, list[ExtractorName]]:
+    return {
+        ExtractorName.NAMED_ENTITIES.value: [ExtractorName.NAMED_ENTITIES],
+        ExtractorName.YAHOO.value: [ExtractorName.YAHOO],
+        ExtractorName.WIKIPEDIA.value: [ExtractorName.WIKIPEDIA],
+        "All": list(ExtractorName),
+    }
+
+
+def _resource_sets() -> dict[str, list[ResourceName]]:
+    return {
+        ResourceName.GOOGLE.value: [ResourceName.GOOGLE],
+        ResourceName.WORDNET.value: [ResourceName.WORDNET],
+        ResourceName.WIKI_SYNONYMS.value: [ResourceName.WIKI_SYNONYMS],
+        ResourceName.WIKI_GRAPH.value: [ResourceName.WIKI_GRAPH],
+        "All": list(ResourceName),
+    }
+
+
+class RecallStudy:
+    """Run the full extractor x resource recall grid on one dataset."""
+
+    def __init__(
+        self,
+        config: ReproConfig | None = None,
+        builder: FacetPipelineBuilder | None = None,
+        top_k: int | None = RECALL_TOP_K,
+    ) -> None:
+        self.config = config or ReproConfig()
+        self.builder = builder or FacetPipelineBuilder(self.config)
+        self._top_k = top_k
+        # One resource instance per name, shared across cells so caches
+        # persist for the whole grid.
+        self._resources = {
+            name: build_resources([name], self.builder.substrates, self.config)[0]
+            for name in ResourceName
+        }
+
+    def _resource_list(self, label: str):
+        names = _resource_sets()[label]
+        members = [self._resources[name] for name in names]
+        if len(members) == 1:
+            return members
+        return [CompositeResource(members)]
+
+    def concept_key(self, term: str) -> str:
+        """Comparison key that identifies name variants of one concept.
+
+        The paper's human annotators judge concept identity, not string
+        equality — "U.S." and "United States" are the same facet term.
+        Terms that resolve to a Wikipedia entry (directly or through a
+        redirect) are compared by the entry title.
+        """
+        title = self.builder.substrates.wikipedia.resolve(term)
+        return match_key(title if title is not None else term)
+
+    def recall(self, gold_terms: list[str], extracted: list[str]) -> float:
+        """Concept-level recall of ``extracted`` against ``gold_terms``."""
+        gold_keys = {k for k in (self.concept_key(t) for t in gold_terms) if k}
+        if not gold_keys:
+            return 0.0
+        extracted_keys = {
+            k for k in (self.concept_key(t) for t in extracted) if k
+        }
+        return len(gold_keys & extracted_keys) / len(gold_keys)
+
+    def extracted_terms(
+        self, corpus: Corpus, extractor_label: str, resource_label: str,
+        gold: GoldSet | None = None,
+    ) -> list[str]:
+        """Facet terms extracted for one grid cell (on the gold sample)."""
+        gold = gold or build_gold_set(corpus, self.config, self.builder.world)
+        extractors = build_extractors(
+            _extractor_sets()[extractor_label],
+            wikipedia=self.builder.substrates.wikipedia,
+        )
+        annotated = annotate_database(gold.documents, extractors)
+        contextualized = contextualize(annotated, self._resource_list(resource_label))
+        candidates = select_facet_terms(contextualized, top_k=self._top_k)
+        return [c.term for c in candidates]
+
+    def run(self, corpus: Corpus) -> StudyMatrix:
+        """Measure recall for every cell of the grid."""
+        gold = build_gold_set(corpus, self.config, self.builder.world)
+        matrix = StudyMatrix(dataset=corpus.name, metric="Recall")
+        for extractor_label, extractor_names in _extractor_sets().items():
+            extractors = build_extractors(
+                extractor_names, wikipedia=self.builder.substrates.wikipedia
+            )
+            annotated = annotate_database(gold.documents, extractors)
+            for resource_label in _resource_sets():
+                contextualized = contextualize(
+                    annotated, self._resource_list(resource_label)
+                )
+                candidates = select_facet_terms(contextualized, top_k=self._top_k)
+                recall = self.recall(gold.terms, [c.term for c in candidates])
+                matrix.set(resource_label, extractor_label, recall)
+        return matrix

@@ -1,0 +1,29 @@
+"""Important-term extractors (Step 1 of the pipeline, Figure 1).
+
+The paper combines three extractors, each reproduced here:
+
+* :class:`NamedEntityExtractor` — a rule-based named-entity tagger
+  standing in for LingPipe (capitalized-sequence chunking with headline
+  and dateline handling);
+* :class:`SignificantTermsExtractor` — a tf·idf key-phrase extractor
+  standing in for the "Yahoo Term Extraction" web service, including its
+  simulated per-document latency (the Section V-D bottleneck);
+* :class:`WikipediaTitleExtractor` — longest-match lookup of document
+  phrases against simulated Wikipedia titles and redirects.
+"""
+
+from .base import ExtractorName, TermExtractor
+from .named_entities import NamedEntityExtractor
+from .significant_terms import SignificantTermsExtractor
+from .wiki_titles import WikipediaTitleExtractor
+from .registry import build_extractor, build_extractors
+
+__all__ = [
+    "ExtractorName",
+    "TermExtractor",
+    "NamedEntityExtractor",
+    "SignificantTermsExtractor",
+    "WikipediaTitleExtractor",
+    "build_extractor",
+    "build_extractors",
+]

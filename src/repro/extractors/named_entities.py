@@ -1,0 +1,78 @@
+"""Rule-based named-entity extraction (the LingPipe stand-in).
+
+Chunks runs of capitalized tokens into entity candidates, with newswire
+conventions handled explicitly:
+
+* headline-cased sentences (most words capitalized) are skipped;
+* a single capitalized word at sentence start only counts when it
+  reappears capitalized elsewhere in the document;
+* spans of particles ("of", "van", "de") join adjacent capitalized runs
+  ("Bureau of Commerce").
+
+Like a real NE tagger — and this drives the shape of Tables II-IV —
+the extractor finds **only named entities**: topical common nouns
+("election", "storm") are never returned.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..corpus.document import Document
+from ..text.phrases import capitalized_spans, join_span
+from ..text.stopwords import is_common_opener, is_stopword
+from ..text.tokenizer import sentences, tokenize
+from .base import ExtractorName, TermExtractor
+
+#: Sentences with at least this fraction of capitalized words are
+#: treated as headlines and skipped.
+HEADLINE_CAP_RATIO = 0.7
+
+#: Maximum tokens in a named-entity span.
+MAX_SPAN_TOKENS = 6
+
+
+def _is_headline(sentence: str) -> bool:
+    tokens = [t for t in tokenize(sentence) if not t.is_numeric]
+    if len(tokens) < 4:
+        return False
+    capitalized = sum(1 for t in tokens if t.is_capitalized)
+    return capitalized / len(tokens) >= HEADLINE_CAP_RATIO
+
+
+class NamedEntityExtractor(TermExtractor):
+    """Capitalization-based NE chunker."""
+
+    name = ExtractorName.NAMED_ENTITIES
+
+    def extract(self, document: Document) -> list[str]:
+        text = document.text
+        body_sentences = [s for s in sentences(text) if not _is_headline(s)]
+        # Count capitalized occurrences to vet sentence-initial singletons.
+        cap_counts: Counter[str] = Counter()
+        for sentence in body_sentences:
+            for token in tokenize(sentence):
+                if token.is_capitalized:
+                    cap_counts[token.text] += 1
+
+        entities: list[str] = []
+        seen: set[str] = set()
+        for sentence in body_sentences:
+            for span in capitalized_spans(sentence):
+                if len(span) > MAX_SPAN_TOKENS:
+                    continue
+                surface = join_span(span)
+                if len(span) == 1:
+                    token = span[0]
+                    if is_stopword(token.text) or len(token.text) <= 2:
+                        continue
+                    if is_common_opener(token.text):
+                        continue
+                    at_sentence_start = token.start == 0
+                    if at_sentence_start and cap_counts[token.text] < 2:
+                        continue
+                key = surface.lower()
+                if key not in seen:
+                    seen.add(key)
+                    entities.append(surface)
+        return entities

@@ -1,0 +1,96 @@
+"""Significant-term extraction (the "Yahoo Term Extraction" stand-in).
+
+The real service takes a document and returns "a list of significant
+words or phrases"; its internals are undocumented (footnote 5 of the
+paper).  We implement the standard approach such services use: tf·idf
+scoring of candidate words and phrases against a background corpus,
+returning the top ``max_terms``.
+
+The paper measures the service at 2-3 seconds per document, which made
+it the bottleneck of term extraction (Section V-D); the stand-in carries
+that figure as :attr:`SIMULATED_LATENCY_SECONDS` so the efficiency
+benchmark can model a deployment that calls the real web service.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from ..corpus.document import Document
+from ..text.phrases import candidate_phrases
+from ..text.stopwords import is_stopword
+from ..text.tokenizer import word_tokens
+from ..text.vocabulary import Vocabulary
+from .base import ExtractorName, TermExtractor
+
+#: The per-document latency the paper measured for the real web service.
+SIMULATED_LATENCY_SECONDS = 2.5
+
+#: Terms returned per document.
+DEFAULT_MAX_TERMS = 10
+
+
+class SignificantTermsExtractor(TermExtractor):
+    """tf·idf key-word/key-phrase extraction against a background corpus.
+
+    Parameters
+    ----------
+    background:
+        Corpus statistics for idf.  When None, idf defaults to 1 and the
+        extractor degrades to pure term frequency.
+    max_terms:
+        Number of terms returned per document.
+    simulate_latency:
+        When True, ``extract`` sleeps for ``latency_seconds`` to emulate
+        the remote web service (used only by the efficiency study).
+    """
+
+    name = ExtractorName.YAHOO
+
+    def __init__(
+        self,
+        background: Vocabulary | None = None,
+        max_terms: int = DEFAULT_MAX_TERMS,
+        simulate_latency: bool = False,
+        latency_seconds: float = SIMULATED_LATENCY_SECONDS,
+    ) -> None:
+        if max_terms <= 0:
+            raise ValueError(f"max_terms must be positive, got {max_terms}")
+        self._background = background
+        self._max_terms = max_terms
+        self._simulate_latency = simulate_latency
+        self._latency_seconds = latency_seconds
+
+    def use_background(self, vocabulary: Vocabulary) -> None:
+        """Adopt corpus statistics unless an explicit background was set."""
+        if self._background is None:
+            self._background = vocabulary
+
+    def _idf(self, term: str) -> float:
+        if self._background is None or self._background.document_count == 0:
+            return 1.0
+        df = self._background.df(term)
+        n = self._background.document_count
+        return math.log((n + 1) / (df + 1)) + 1.0
+
+    def extract(self, document: Document) -> list[str]:
+        if self._simulate_latency:
+            time.sleep(self._latency_seconds)
+        counts: dict[str, int] = {}
+        words = [w for w in word_tokens(document.text) if not is_stopword(w)]
+        for word in words:
+            counts[word] = counts.get(word, 0) + 1
+        for phrase in candidate_phrases(
+            document.text, max_words=3, include_unigrams=False
+        ):
+            counts[phrase] = counts.get(phrase, 0) + 1
+        scored = [
+            # Weight phrases up slightly: services like Yahoo's favour
+            # multi-word key phrases over bare words.
+            (term, tf * self._idf(term) * (1.3 if " " in term else 1.0))
+            for term, tf in counts.items()
+            if len(term) > 2
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return [term for term, _ in scored[: self._max_terms]]

@@ -1,0 +1,38 @@
+"""Wikipedia-title term extraction (Section IV-A, "Wikipedia Terms").
+
+Marks a document phrase as important whenever it matches a Wikipedia
+page title, picking the longest title among overlapping candidates and
+following redirect pages so that name variants resolve to the canonical
+entry ("Hillary Clinton" -> "Hillary Rodham Clinton").
+"""
+
+from __future__ import annotations
+
+from ..corpus.document import Document
+from ..wikipedia.database import WikipediaDatabase
+from ..wikipedia.titles import TitleMatcher
+from .base import ExtractorName, TermExtractor
+
+
+class WikipediaTitleExtractor(TermExtractor):
+    """Longest-match title extraction over the simulated snapshot."""
+
+    name = ExtractorName.WIKIPEDIA
+
+    def __init__(
+        self, database: WikipediaDatabase, use_redirects: bool = True
+    ) -> None:
+        self._matcher = TitleMatcher(database, use_redirects=use_redirects)
+
+    def extract(self, document: Document) -> list[str]:
+        # The paper "marks the term" in the document, i.e. the surface
+        # form; resolution to the canonical page happens inside the
+        # resources that consume the term (graph, synonyms).
+        surfaces: list[str] = []
+        seen: set[str] = set()
+        for match in self._matcher.matches(document.text):
+            key = match.surface.lower()
+            if key not in seen:
+                seen.add(key)
+                surfaces.append(match.surface)
+        return surfaces

@@ -1,0 +1,31 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment has an id (``EXP-T2`` = Table II, ``EXP-F4`` = Figure 4,
+...), a runner in :mod:`repro.harness.tables` / :mod:`repro.harness.figures`,
+and a registry entry in :mod:`repro.harness.experiments` used by the
+benchmark suite.
+"""
+
+from .tables import (
+    PilotStudyResult,
+    run_pilot_study,
+    run_recall_table,
+    run_precision_table,
+)
+from .figures import figure4_terms, figure5_baseline_terms
+from .experiments import EXPERIMENTS, Experiment, run_experiment
+from .report import build_report, write_report
+
+__all__ = [
+    "PilotStudyResult",
+    "run_pilot_study",
+    "run_recall_table",
+    "run_precision_table",
+    "figure4_terms",
+    "figure5_baseline_terms",
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "build_report",
+    "write_report",
+]

@@ -1,0 +1,103 @@
+"""Experiment registry: one entry per paper table/figure/section.
+
+Used by the benchmark suite (one benchmark per experiment) and by
+``examples/reproduce_paper.py``.  Each runner returns a printable
+result; ``run_experiment`` executes by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..builder import FacetPipelineBuilder
+from ..config import ReproConfig
+from ..corpus.datasets import DatasetName, build_corpus
+from ..eval.efficiency import EfficiencyStudy
+from ..eval.goldset import build_gold_set
+from ..eval.user_study import UserStudy
+from .figures import figure4_terms, figure5_baseline_terms
+from .tables import (
+    gold_set_summary,
+    run_pilot_study,
+    run_precision_table,
+    run_recall_table,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[[ReproConfig], Any]
+
+    def run(self, config: ReproConfig | None = None) -> Any:
+        return self.runner(config or ReproConfig())
+
+
+def _sensitivity(config: ReproConfig) -> dict[str, dict[int, float]]:
+    """Section V-B: gold-term discovery vs annotated sample size."""
+    curves = {}
+    sample = config.annotated_sample_size
+    checkpoints = sorted({max(10, sample // 10), sample // 2, sample})
+    for dataset in DatasetName:
+        corpus = build_corpus(dataset, config)
+        gold = build_gold_set(corpus, config)
+        curves[dataset.value] = gold.discovery_curve(checkpoints)
+    return curves
+
+
+def _user_study(config: ReproConfig):
+    """Section V-E: the five-user browsing study."""
+    builder = FacetPipelineBuilder(config)
+    corpus = build_corpus(DatasetName.SNYT, config)
+    result = builder.with_top_k(400).build().run(corpus.documents)
+    interface = result.interface()
+    return UserStudy(interface, builder.world, config).run()
+
+
+def _efficiency(config: ReproConfig):
+    """Section V-D: per-stage throughput."""
+    corpus = build_corpus(DatasetName.SNYT, config)
+    sample = corpus.documents[: min(200, len(corpus))]
+    return EfficiencyStudy(config).run(sample)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in (
+        Experiment("EXP-T1", "Table I: pilot-study facets",
+                   lambda c: run_pilot_study(c)),
+        Experiment("EXP-T2", "Table II: recall on SNYT",
+                   lambda c: run_recall_table(DatasetName.SNYT, c)),
+        Experiment("EXP-T3", "Table III: recall on SNB",
+                   lambda c: run_recall_table(DatasetName.SNB, c)),
+        Experiment("EXP-T4", "Table IV: recall on MNYT",
+                   lambda c: run_recall_table(DatasetName.MNYT, c)),
+        Experiment("EXP-T5", "Table V: precision on SNYT",
+                   lambda c: run_precision_table(DatasetName.SNYT, c)),
+        Experiment("EXP-T6", "Table VI: precision on SNB",
+                   lambda c: run_precision_table(DatasetName.SNB, c)),
+        Experiment("EXP-T7", "Table VII: precision on MNYT",
+                   lambda c: run_precision_table(DatasetName.MNYT, c)),
+        Experiment("EXP-F4", "Figure 4: frequent annotator facet terms",
+                   lambda c: figure4_terms(c)),
+        Experiment("EXP-F5", "Figure 5: baseline subsumption terms",
+                   lambda c: figure5_baseline_terms(c)),
+        Experiment("EXP-GOLD", "Section V-B: gold-set sizes",
+                   lambda c: gold_set_summary(c)),
+        Experiment("EXP-SENS", "Section V-B: discovery sensitivity",
+                   _sensitivity),
+        Experiment("EXP-EFF", "Section V-D: efficiency",
+                   _efficiency),
+        Experiment("EXP-US", "Section V-E: user study",
+                   _user_study),
+    )
+}
+
+
+def run_experiment(experiment_id: str, config: ReproConfig | None = None) -> Any:
+    """Run one experiment by id (raises KeyError for unknown ids)."""
+    return EXPERIMENTS[experiment_id].run(config)

@@ -1,0 +1,70 @@
+"""Assemble benchmark results into one markdown report.
+
+``python -m repro report`` (and the benchmark suite's artifacts under
+``benchmarks/results/``) feed this module: it stitches every rendered
+table/figure into a single human-readable reproduction report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Result files in paper order with display titles.
+_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table1_pilot_facets", "Table I — pilot-study facets"),
+    ("table2_recall_snyt", "Table II — recall (SNYT)"),
+    ("table3_recall_snb", "Table III — recall (SNB)"),
+    ("table4_recall_mnyt", "Table IV — recall (MNYT)"),
+    ("table5_precision_snyt", "Table V — precision (SNYT)"),
+    ("table6_precision_snb", "Table VI — precision (SNB)"),
+    ("table7_precision_mnyt", "Table VII — precision (MNYT)"),
+    ("fig4_annotator_terms", "Figure 4 — frequent annotator facet terms"),
+    ("fig5_baseline_subsumption", "Figure 5 — plain subsumption baseline"),
+    ("gold_set_sizes", "Section V-B — gold-set sizes"),
+    ("discovery_sensitivity", "Section V-B — discovery sensitivity"),
+    ("efficiency", "Section V-D — efficiency"),
+    ("user_study", "Section V-E — user study"),
+    ("ablation_statistics", "Ablation — LLR vs chi-square"),
+    ("ablation_shifts", "Ablation — shift functions"),
+    ("ablation_redirects", "Ablation — redirect exploitation"),
+    ("ablation_topk", "Ablation — Wikipedia Graph top-k"),
+    ("ablation_scoring", "Ablation — LLR vs KL-contribution"),
+)
+
+
+def build_report(results_dir: str | Path) -> str:
+    """Markdown report from whatever results exist in ``results_dir``."""
+    results_dir = Path(results_dir)
+    lines = [
+        "# Reproduction report",
+        "",
+        "Generated from `benchmarks/results/`; run "
+        "`pytest benchmarks/ --benchmark-only` to refresh.",
+        "",
+    ]
+    found = 0
+    for stem, title in _SECTIONS:
+        path = results_dir / f"{stem}.txt"
+        if not path.exists():
+            continue
+        found += 1
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    if not found:
+        lines.append(
+            "_No results found — run the benchmark suite first._"
+        )
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: str | Path, output_path: str | Path
+) -> Path:
+    """Write the report to ``output_path`` and return the path."""
+    output_path = Path(output_path)
+    output_path.write_text(build_report(results_dir) + "\n")
+    return output_path

@@ -1,0 +1,124 @@
+"""Runners for Table I (pilot study) and Tables II-VII (recall/precision).
+
+The recall and precision grids delegate to the studies in
+:mod:`repro.eval`; the pilot study reimplements Section III: a dozen
+annotators tag a day of stories, and the most commonly used facets —
+with their prominent sub-facets — are tallied.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..builder import FacetPipelineBuilder
+from ..config import ReproConfig
+from ..corpus.datasets import DatasetName, build_corpus
+from ..eval.annotators import AnnotatorPool
+from ..eval.goldset import build_gold_set
+from ..eval.precision import PrecisionStudy
+from ..eval.recall import RecallStudy, StudyMatrix
+from ..kb.world import build_world
+
+#: Students recruited for the pilot study (Section III).
+PILOT_ANNOTATORS = 12
+
+
+@dataclass
+class PilotStudyResult:
+    """Facets identified by the pilot annotators (Table I)."""
+
+    facet_counts: Counter = field(default_factory=Counter)
+    subfacet_counts: dict[str, Counter] = field(default_factory=dict)
+
+    def top_facets(self, n: int = 8) -> list[str]:
+        """Most commonly identified top-level facets."""
+        return [facet for facet, _ in self.facet_counts.most_common(n)]
+
+    def top_subfacets(self, facet: str, n: int = 1) -> list[str]:
+        """Most common sub-facets below one facet."""
+        counter = self.subfacet_counts.get(facet, Counter())
+        return [sub for sub, _ in counter.most_common(n)]
+
+    def format_table(self) -> str:
+        """Render in the layout of Table I."""
+        lines = ["Facets (pilot study)"]
+        for facet in self.top_facets():
+            lines.append(facet)
+            for sub in self.top_subfacets(facet):
+                lines.append(f",-> {sub}")
+        return "\n".join(lines)
+
+
+def run_pilot_study(
+    config: ReproConfig | None = None,
+    sample_size: int | None = None,
+) -> PilotStudyResult:
+    """Reproduce the Section III pilot (Table I).
+
+    Twelve annotators tag a day's worth of stories; tallies are taken
+    over the taxonomy roots their terms fall under, with sub-facet
+    counts one level below each root.
+    """
+    config = config or ReproConfig()
+    world = build_world(config)
+    corpus = build_corpus(DatasetName.SNYT, config, world)
+    documents = list(corpus.documents)
+    if sample_size is not None:
+        documents = documents[:sample_size]
+    pool = AnnotatorPool(world, _pilot_config(config))
+    taxonomy = world.taxonomy
+    result = PilotStudyResult()
+    for doc_id, terms in pool.annotate_corpus(documents).items():
+        for term in terms:
+            canonical = taxonomy.canonical(term)
+            if canonical is None:
+                continue
+            root = taxonomy.root_of(canonical)
+            result.facet_counts[root] += 1
+            path = taxonomy.path(canonical)
+            if len(path) >= 2:
+                result.subfacet_counts.setdefault(root, Counter())[path[1]] += 1
+    return result
+
+
+def _pilot_config(config: ReproConfig) -> ReproConfig:
+    """The pilot used 12 annotators instead of the Mechanical Turk 5."""
+    return ReproConfig(
+        seed=config.seed,
+        scale=config.scale,
+        wiki_graph_top_k=config.wiki_graph_top_k,
+        annotators_per_story=PILOT_ANNOTATORS,
+    )
+
+
+def run_recall_table(
+    dataset: DatasetName | str,
+    config: ReproConfig | None = None,
+    builder: FacetPipelineBuilder | None = None,
+) -> StudyMatrix:
+    """Tables II (SNYT), III (SNB), IV (MNYT)."""
+    config = config or ReproConfig()
+    corpus = build_corpus(dataset, config)
+    return RecallStudy(config, builder=builder).run(corpus)
+
+
+def run_precision_table(
+    dataset: DatasetName | str,
+    config: ReproConfig | None = None,
+    builder: FacetPipelineBuilder | None = None,
+) -> StudyMatrix:
+    """Tables V (SNYT), VI (SNB), VII (MNYT)."""
+    config = config or ReproConfig()
+    corpus = build_corpus(dataset, config)
+    return PrecisionStudy(config, builder=builder).run(corpus)
+
+
+def gold_set_summary(config: ReproConfig | None = None) -> dict[str, int]:
+    """Gold facet-term counts per dataset (Section V-B: 633/756/703)."""
+    config = config or ReproConfig()
+    counts = {}
+    for dataset in DatasetName:
+        corpus = build_corpus(dataset, config)
+        counts[dataset.value] = len(build_gold_set(corpus, config))
+    return counts

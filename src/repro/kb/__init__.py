@@ -1,0 +1,35 @@
+"""Knowledge base: the ground-truth world behind the simulation.
+
+The paper evaluates on real news corpora (NYT, Newsblaster) with real
+external resources (Wikipedia, WordNet, Google) and real human annotators.
+None of those are available offline, so this subpackage defines a single
+consistent *world* from which all of them are derived:
+
+* a ground-truth **facet taxonomy** (:mod:`repro.kb.taxonomy`) — the facets
+  human annotators would use (Table I of the paper),
+* an **entity catalog** (:mod:`repro.kb.entities`) — people, organizations,
+  locations, and events with name variants and facet paths,
+* **topics** (:mod:`repro.kb.topics`) — newsroom subject areas with
+  vocabulary and implied facet terms,
+* the :class:`repro.kb.world.World` container tying them together.
+
+Because the corpus generator, the simulated resources, and the simulated
+annotators all read the same world, the paper's central phenomenon —
+facet terms rarely appear in documents but emerge after expansion — is
+reproduced structurally rather than hard-coded.
+"""
+
+from .schema import Entity, EntityKind, FacetPath, Topic
+from .taxonomy import FacetTaxonomy, default_taxonomy
+from .world import World, build_world
+
+__all__ = [
+    "Entity",
+    "EntityKind",
+    "FacetPath",
+    "Topic",
+    "FacetTaxonomy",
+    "default_taxonomy",
+    "World",
+    "build_world",
+]

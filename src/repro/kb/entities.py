@@ -1,0 +1,583 @@
+"""Programmatic construction of the full entity catalog.
+
+Starting from the hand-written seed entities, the factory generates a
+world of people, organizations, locations, and events whose facet
+anchors reference the ground-truth taxonomy.  Generation is fully
+deterministic for a given :class:`~repro.config.ReproConfig` seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from ..config import ReproConfig
+from ..errors import KnowledgeBaseError
+from . import names
+from .schema import Entity, EntityKind, FacetPath
+from .seed_entities import SEED_ENTITIES
+from .taxonomy import FacetTaxonomy
+
+_P = EntityKind.PERSON
+_O = EntityKind.ORGANIZATION
+_L = EntityKind.LOCATION
+_E = EntityKind.EVENT
+
+#: Hand-picked variants for location entities (Wikipedia-style redirects).
+_LOCATION_VARIANTS: dict[str, tuple[str, ...]] = {
+    "United States": ("U.S.", "America", "United States of America"),
+    "United Kingdom": ("Britain", "U.K.", "Great Britain"),
+    "New York": ("New York City", "NYC"),
+    "Washington": ("Washington, D.C.",),
+    "Russia": ("Russian Federation",),
+    "China": ("People's Republic of China",),
+    "South Korea": ("Republic of Korea",),
+    "Netherlands": ("Holland",),
+}
+
+_COUNTRY_DESCRIPTION = ("country", "capital", "officials", "border")
+_CITY_DESCRIPTION = ("city", "residents", "mayor", "downtown")
+_REGION_DESCRIPTION = ("region", "nations", "borders")
+
+_LEADER_TITLES = ("President", "Prime Minister", "Chancellor")
+
+
+def paths_from_anchors(
+    taxonomy: FacetTaxonomy, anchors: Iterable[str]
+) -> tuple[FacetPath, ...]:
+    """Expand terminal facet anchors into full root-to-anchor paths."""
+    paths = []
+    for anchor in anchors:
+        if anchor not in taxonomy:
+            raise KnowledgeBaseError(f"facet anchor not in taxonomy: {anchor!r}")
+        paths.append(taxonomy.path(anchor))
+    return tuple(paths)
+
+
+class EntityFactory:
+    """Builds the deterministic entity catalog for a configuration."""
+
+    def __init__(self, config: ReproConfig, taxonomy: FacetTaxonomy) -> None:
+        self._config = config
+        self._taxonomy = taxonomy
+        self._rng = config.rng("entities")
+        self._used_names: set[str] = set()
+        self._first_names = list(names.FIRST_NAMES)
+        self._last_names = list(names.LAST_NAMES)
+        self._rng.shuffle(self._first_names)
+        self._rng.shuffle(self._last_names)
+        self._name_cursor = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _person_name(self) -> str:
+        """Draw a unique First Last combination."""
+        for _ in range(10_000):
+            first = self._rng.choice(self._first_names)
+            last = self._rng.choice(self._last_names)
+            name = f"{first} {last}"
+            if name not in self._used_names:
+                return name
+        raise KnowledgeBaseError("exhausted person name pool")
+
+    def _register(self, entity: Entity) -> Entity:
+        for surface in entity.all_names:
+            if surface in self._used_names:
+                raise KnowledgeBaseError(f"duplicate entity surface: {surface!r}")
+            self._used_names.add(surface)
+        return entity
+
+    def _make(
+        self,
+        name: str,
+        kind: EntityKind,
+        anchors: tuple[str, ...],
+        variants: tuple[str, ...] = (),
+        related_terms: tuple[str, ...] = (),
+        description_words: tuple[str, ...] = (),
+        prominence: float = 1.0,
+    ) -> Entity:
+        # Drop variants already claimed by another entity (e.g. two people
+        # sharing a bare last name); the canonical name must stay unique.
+        free_variants = tuple(
+            variant
+            for variant in dict.fromkeys(variants)
+            if variant not in self._used_names and variant != name
+        )
+        return self._register(
+            Entity(
+                name=name,
+                kind=kind,
+                variants=free_variants,
+                facet_paths=paths_from_anchors(self._taxonomy, anchors),
+                related_terms=related_terms,
+                description_words=description_words,
+                prominence=prominence,
+            )
+        )
+
+    # -- category builders --------------------------------------------------------
+
+    def _seed(self) -> list[Entity]:
+        entities = []
+        for name, kind, anchors, variants, related, desc, prominence in SEED_ENTITIES:
+            entities.append(
+                self._make(
+                    name,
+                    kind,
+                    anchors,
+                    variants=variants,
+                    related_terms=related,
+                    description_words=desc,
+                    prominence=prominence,
+                )
+            )
+        return entities
+
+    def _locations(self) -> list[Entity]:
+        """One location entity per Location-subtree taxonomy term."""
+        entities = []
+        for term in self._taxonomy.descendants("Location"):
+            if term in self._used_names:
+                continue
+            depth = self._taxonomy.depth(term)
+            if depth == 1:  # continents / regions
+                description = _REGION_DESCRIPTION
+                prominence = 0.4
+            elif self._taxonomy.children(term):  # countries with cities below
+                description = _COUNTRY_DESCRIPTION
+                prominence = 1.5
+            elif self._taxonomy.depth(term) >= 3:  # cities
+                description = _CITY_DESCRIPTION
+                prominence = 1.2
+            else:  # leaf countries
+                description = _COUNTRY_DESCRIPTION
+                prominence = 1.0
+            entities.append(
+                self._make(
+                    term,
+                    _L,
+                    (term,),
+                    variants=_LOCATION_VARIANTS.get(term, ()),
+                    related_terms=(f"government of {term}", f"economy of {term}"),
+                    description_words=description,
+                    prominence=prominence,
+                )
+            )
+        return entities
+
+    def _political_leaders(self) -> list[Entity]:
+        countries = [
+            term
+            for term in self._taxonomy.descendants("Location")
+            if self._taxonomy.depth(term) == 2
+        ]
+        entities = []
+        for country in countries:
+            name = self._person_name()
+            title = self._rng.choice(_LEADER_TITLES)
+            last = name.split()[-1]
+            entities.append(
+                self._make(
+                    name,
+                    _P,
+                    ("Political Leaders", country),
+                    variants=(f"{title} {last}", last),
+                    related_terms=(
+                        f"{title} of {country}",
+                        f"politics of {country}",
+                    ),
+                    description_words=("president", "government", "minister"),
+                    prominence=self._rng.uniform(0.8, 2.2),
+                )
+            )
+        return entities
+
+    def _corporations(self) -> list[Entity]:
+        entities = []
+        stems = list(names.COMPANY_STEMS)
+        self._rng.shuffle(stems)
+        stem_cursor = 0
+        for sector, suffixes in names.COMPANY_SUFFIX_BY_SECTOR.items():
+            for _ in range(4):
+                stem = stems[stem_cursor % len(stems)]
+                stem_cursor += 1
+                suffix = self._rng.choice(suffixes)
+                name = f"{stem} {suffix}"
+                if name in self._used_names:
+                    name = f"{stem} {suffix} Group"
+                if name in self._used_names:
+                    continue
+                entities.append(
+                    self._make(
+                        name,
+                        _O,
+                        (sector,),
+                        variants=(stem,) if stem not in self._used_names else (),
+                        related_terms=(
+                            f"{sector.lower()}",
+                            "quarterly earnings",
+                        ),
+                        description_words=("company", "shares", "executive"),
+                        prominence=self._rng.uniform(0.5, 2.0),
+                    )
+                )
+        return entities
+
+    def _business_leaders(self, corporations: list[Entity]) -> list[Entity]:
+        entities = []
+        sample = self._rng.sample(corporations, min(14, len(corporations)))
+        for company in sample:
+            name = self._person_name()
+            last = name.split()[-1]
+            entities.append(
+                self._make(
+                    name,
+                    _P,
+                    ("Business Leaders",),
+                    variants=(last,) if last not in self._used_names else (),
+                    related_terms=(
+                        f"chief executive of {company.name}",
+                        company.name,
+                    ),
+                    description_words=("chief", "executive", "strategy"),
+                    prominence=self._rng.uniform(0.4, 1.5),
+                )
+            )
+        return entities
+
+    def _athletes(self) -> list[Entity]:
+        specs = (
+            ("Baseball Players", "Baseball", 8),
+            ("Football Players", "Football", 7),
+            ("Tennis Players", "Tennis", 5),
+            ("Basketball Players", "Basketball", 5),
+        )
+        entities = []
+        for anchor, sport, count in specs:
+            for _ in range(count):
+                name = self._person_name()
+                last = name.split()[-1]
+                entities.append(
+                    self._make(
+                        name,
+                        _P,
+                        (anchor, sport),
+                        variants=(last,) if last not in self._used_names else (),
+                        related_terms=(f"professional {sport.lower()}",),
+                        description_words=("player", "season", "team"),
+                        prominence=self._rng.uniform(0.4, 1.8),
+                    )
+                )
+        return entities
+
+    def _artists(self) -> list[Entity]:
+        specs = (
+            ("Musicians", ("album", "tour", "singer"), 8),
+            ("Actors", ("film", "role", "screen"), 8),
+            ("Writers", ("novel", "author", "book"), 5),
+            ("Painters", ("gallery", "canvas", "exhibit"), 3),
+        )
+        entities = []
+        for anchor, description, count in specs:
+            for _ in range(count):
+                name = self._person_name()
+                last = name.split()[-1]
+                entities.append(
+                    self._make(
+                        name,
+                        _P,
+                        (anchor,),
+                        variants=(last,) if last not in self._used_names else (),
+                        related_terms=(anchor.lower(),),
+                        description_words=description,
+                        prominence=self._rng.uniform(0.3, 1.5),
+                    )
+                )
+        return entities
+
+    def _professionals(self) -> list[Entity]:
+        specs = (
+            ("Medical Researchers", ("study", "patients", "trial"), 4),
+            ("Physicists", ("theory", "particle", "laboratory"), 3),
+            ("Scientists", ("research", "findings", "journal"), 3),
+            ("Journalists", ("report", "newsroom", "byline"), 5),
+            ("Religious Leaders", ("congregation", "faith", "sermon"), 5),
+            ("Military Leaders", ("command", "forces", "operation"), 6),
+            ("Historical Figures", ("era", "legacy", "memoir"), 4),
+        )
+        entities = []
+        for anchor, description, count in specs:
+            for _ in range(count):
+                name = self._person_name()
+                last = name.split()[-1]
+                entities.append(
+                    self._make(
+                        name,
+                        _P,
+                        (anchor,),
+                        variants=(last,) if last not in self._used_names else (),
+                        related_terms=(anchor.lower(),),
+                        description_words=description,
+                        prominence=self._rng.uniform(0.3, 1.2),
+                    )
+                )
+        return entities
+
+    def _institutions(self) -> list[Entity]:
+        entities = []
+        for stem in names.UNIVERSITY_STEMS[:10]:
+            pattern = self._rng.choice(("{stem} University", "University of {stem}"))
+            name = pattern.format(stem=stem)
+            entities.append(
+                self._make(
+                    name,
+                    _O,
+                    ("Universities", "Higher Education"),
+                    related_terms=("campus research", "higher education"),
+                    description_words=("students", "faculty", "campus"),
+                    prominence=self._rng.uniform(0.3, 1.0),
+                )
+            )
+        domains = list(names.AGENCY_DOMAINS)
+        self._rng.shuffle(domains)
+        for domain in domains:
+            pattern = self._rng.choice(names.AGENCY_PATTERNS)
+            name = pattern.format(domain=domain)
+            if name in self._used_names:
+                continue
+            entities.append(
+                self._make(
+                    name,
+                    _O,
+                    ("Government Agencies",),
+                    related_terms=("federal regulations", "public policy"),
+                    description_words=("officials", "policy", "report"),
+                    prominence=self._rng.uniform(0.3, 1.2),
+                )
+            )
+        entities.append(
+            self._make(
+                "Supreme Court",
+                _O,
+                ("Courts", "Government"),
+                variants=("the Supreme Court",),
+                related_terms=("judicial ruling", "constitutional law"),
+                description_words=("justices", "ruling", "appeal"),
+                prominence=1.5,
+            )
+        )
+        for index in range(3):
+            name = f"{names.UNIVERSITY_STEMS[10 + index]} Museum of Art"
+            entities.append(
+                self._make(
+                    name,
+                    _O,
+                    ("Museums", "Culture"),
+                    related_terms=("art collection", "exhibition"),
+                    description_words=("exhibit", "collection", "curator"),
+                    prominence=0.4,
+                )
+            )
+        for index in range(3):
+            name = f"{names.UNIVERSITY_STEMS[13 + index]} General Hospital"
+            entities.append(
+                self._make(
+                    name,
+                    _O,
+                    ("Hospitals", "Public Health"),
+                    related_terms=("patient care", "emergency room"),
+                    description_words=("patients", "doctors", "ward"),
+                    prominence=0.5,
+                )
+            )
+        return entities
+
+    def _teams_and_bands(self) -> list[Entity]:
+        entities = []
+        cities = list(names.TEAM_CITIES)
+        self._rng.shuffle(cities)
+        for index, mascot in enumerate(names.TEAM_MASCOTS_BASEBALL):
+            city = cities[index % len(cities)]
+            entities.append(
+                self._make(
+                    f"{city} {mascot}",
+                    _O,
+                    ("Baseball",),
+                    variants=(f"the {mascot}",),
+                    related_terms=("baseball franchise",),
+                    description_words=("team", "season", "fans"),
+                    prominence=self._rng.uniform(0.5, 1.5),
+                )
+            )
+        for index, mascot in enumerate(names.TEAM_MASCOTS_FOOTBALL):
+            city = cities[(index + 3) % len(cities)]
+            entities.append(
+                self._make(
+                    f"{city} {mascot}",
+                    _O,
+                    ("Football",),
+                    variants=(f"the {mascot}",),
+                    related_terms=("football franchise",),
+                    description_words=("team", "season", "fans"),
+                    prominence=self._rng.uniform(0.5, 1.5),
+                )
+            )
+        for band in names.BAND_NAMES:
+            entities.append(
+                self._make(
+                    band,
+                    _O,
+                    ("Musicians", "Music"),
+                    related_terms=("concert tour", "studio album"),
+                    description_words=("band", "album", "tour"),
+                    prominence=self._rng.uniform(0.3, 1.0),
+                )
+            )
+        return entities
+
+    def _events(self) -> list[Entity]:
+        entities = []
+        for name in names.HURRICANE_NAMES[:6]:
+            entities.append(
+                self._make(
+                    f"Hurricane {name}",
+                    _E,
+                    ("Hurricanes", "Storms"),
+                    related_terms=("storm surge", "evacuation order"),
+                    description_words=("storm", "winds", "damage"),
+                    prominence=self._rng.uniform(0.4, 1.5),
+                )
+            )
+        entities.append(
+            self._make(
+                "2005 Mayoral Election",
+                _E,
+                ("Elections", "New York"),
+                related_terms=("campaign trail", "city hall"),
+                description_words=("ballot", "voters", "campaign"),
+                prominence=1.0,
+            )
+        )
+        entities.append(
+            self._make(
+                "World Economic Forum",
+                _E,
+                ("Summits", "Economy"),
+                variants=("Davos forum",),
+                related_terms=("global economy", "panel discussion"),
+                description_words=("forum", "leaders", "agenda"),
+                prominence=0.8,
+            )
+        )
+        entities.append(
+            self._make(
+                "Cannes Film Festival",
+                _E,
+                ("Festivals", "Film"),
+                variants=("Cannes",),
+                related_terms=("film premiere", "red carpet"),
+                description_words=("festival", "premiere", "jury"),
+                prominence=0.8,
+            )
+        )
+        entities.append(
+            self._make(
+                "Grammy Awards",
+                _E,
+                ("Award Ceremonies", "Music"),
+                variants=("the Grammys",),
+                related_terms=("record of the year", "music industry"),
+                description_words=("award", "ceremony", "artists"),
+                prominence=0.8,
+            )
+        )
+        return entities
+
+    def _minor_entities(self) -> list[Entity]:
+        """A long tail of low-prominence figures and organizations.
+
+        Real news corpora mention hundreds of minor officials, analysts,
+        small firms, and one-off events; the paper's gold facet-term set
+        keeps growing with sample size because of exactly this tail
+        (Section V-B sensitivity test).
+        """
+        person_anchors = (
+            "Political Leaders", "Business Leaders", "Journalists",
+            "Scientists", "Athletes", "Writers", "Medical Researchers",
+        )
+        person_roles = (
+            "deputy minister", "city council member", "campaign adviser",
+            "senior analyst", "staff attorney", "program director",
+            "community organizer", "spokesperson",
+        )
+        org_anchors = (
+            "Retailers", "Media Companies", "Technology Companies",
+            "Financial Firms", "Universities", "Hospitals", "Museums",
+        )
+        entities: list[Entity] = []
+        story_suffixes = (
+            "commission", "inquiry", "initiative", "proposal", "hearings",
+            "testimony", "nomination", "investigation",
+        )
+        for index in range(110):
+            name = self._person_name()
+            anchor = self._rng.choice(person_anchors)
+            role = self._rng.choice(person_roles)
+            last = name.split()[-1]
+            suffix = self._rng.choice(story_suffixes)
+            entities.append(
+                self._make(
+                    name,
+                    _P,
+                    (anchor,),
+                    related_terms=(role, f"{last} {suffix}"),
+                    description_words=("statement", "role", "career"),
+                    prominence=self._rng.uniform(0.05, 0.3),
+                )
+            )
+        for index in range(50):
+            stem = self._rng.choice(names.COMPANY_STEMS)
+            area = self._rng.choice(names.UNIVERSITY_STEMS)
+            name = f"{area} {stem} Associates"
+            if name in self._used_names:
+                continue
+            anchor = self._rng.choice(org_anchors)
+            entities.append(
+                self._make(
+                    name,
+                    _O,
+                    (anchor,),
+                    related_terms=(f"{anchor.lower()} services",),
+                    description_words=("firm", "clients", "staff"),
+                    prominence=self._rng.uniform(0.05, 0.3),
+                )
+            )
+        return entities
+
+    # -- public API ------------------------------------------------------------------
+
+    def build(self) -> tuple[Entity, ...]:
+        """Construct the complete catalog."""
+        entities: list[Entity] = []
+        entities.extend(self._seed())
+        entities.extend(self._locations())
+        entities.extend(self._political_leaders())
+        corporations = self._corporations()
+        entities.extend(corporations)
+        entities.extend(self._business_leaders(corporations))
+        entities.extend(self._athletes())
+        entities.extend(self._artists())
+        entities.extend(self._professionals())
+        entities.extend(self._institutions())
+        entities.extend(self._teams_and_bands())
+        entities.extend(self._events())
+        entities.extend(self._minor_entities())
+        return tuple(entities)
+
+
+def build_entities(
+    config: ReproConfig, taxonomy: FacetTaxonomy
+) -> tuple[Entity, ...]:
+    """Build the deterministic entity catalog for ``config``."""
+    return EntityFactory(config, taxonomy).build()

@@ -1,0 +1,105 @@
+"""Name pools for programmatic entity generation.
+
+The entity factory combines these pools deterministically (seeded RNG) to
+populate the world with people, companies, and institutions beyond the
+hand-written notable entities.  Names are fictional; collisions with the
+taxonomy or the seeded entities are filtered out by the factory.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES: tuple[str, ...] = (
+    "Adam", "Alice", "Andre", "Anita", "Anton", "Benjamin", "Bridget",
+    "Carla", "Carlos", "Catherine", "Cecilia", "Daniel", "David", "Diane",
+    "Dmitri", "Edward", "Elena", "Emilio", "Erica", "Felix", "Fiona",
+    "Gabriel", "Grace", "Gregory", "Hannah", "Harold", "Hector", "Irene",
+    "Isaac", "Ivan", "Jerome", "Joan", "Jonas", "Julia", "Karim", "Laura",
+    "Lena", "Leon", "Louisa", "Marcus", "Margaret", "Maria", "Martin",
+    "Miriam", "Nadia", "Nathan", "Nora", "Oliver", "Omar", "Patricia",
+    "Paul", "Peter", "Rachel", "Raymond", "Rosa", "Samuel", "Sandra",
+    "Sergei", "Silvia", "Simon", "Sofia", "Stefan", "Tamara", "Theodore",
+    "Thomas", "Valerie", "Victor", "Walter", "Yusuf",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Abbott", "Almeida", "Anderson", "Baranov", "Barnes", "Becker",
+    "Bellamy", "Benson", "Berger", "Blanchard", "Bouchard", "Calloway",
+    "Cardoso", "Carmichael", "Castellan", "Chandler", "Corbin", "Crawford",
+    "Delacroix", "Donovan", "Drummond", "Eastwood", "Ellison", "Fairbanks",
+    "Falkner", "Ferreira", "Fitzgerald", "Fontaine", "Gallagher", "Geller",
+    "Goldstein", "Granger", "Greenwood", "Gutierrez", "Halloran", "Hargrove",
+    "Hawkins", "Hendricks", "Holloway", "Ibrahim", "Ivanov", "Jansen",
+    "Kaminski", "Keller", "Kovacs", "Kowalski", "Lambert", "Langford",
+    "Larsen", "Leclerc", "Lindqvist", "Lombardi", "Maddox", "Marchetti",
+    "Mercer", "Montgomery", "Moreau", "Nakamura", "Navarro", "Novak",
+    "Okafor", "Olsson", "Orlov", "Pellegrini", "Petrov", "Prescott",
+    "Quinlan", "Ramires", "Renard", "Rossi", "Sandoval", "Schneider",
+    "Sorensen", "Takahashi", "Tanaka", "Thornton", "Ulrich", "Vandenberg",
+    "Vasquez", "Voronov", "Wakefield", "Weiss", "Whitfield", "Yamamoto",
+    "Zhukov",
+)
+
+COMPANY_STEMS: tuple[str, ...] = (
+    "Meridian", "Apex", "Vanguard", "Summit", "Pinnacle", "Horizon",
+    "Atlas", "Sterling", "Crescent", "Beacon", "Cascade", "Keystone",
+    "Northgate", "Paragon", "Quantum", "Redwood", "Sapphire", "Titan",
+    "Vertex", "Zenith", "Aurora", "Catalyst", "Dynamo", "Evergreen",
+    "Frontier", "Granite", "Helios", "Ironwood", "Juniper", "Lakeshore",
+)
+
+COMPANY_SUFFIX_BY_SECTOR: dict[str, tuple[str, ...]] = {
+    "Technology Companies": ("Systems", "Software", "Technologies", "Labs"),
+    "Financial Firms": ("Capital", "Securities", "Holdings", "Partners"),
+    "Energy Companies": ("Energy", "Petroleum", "Power", "Resources"),
+    "Media Companies": ("Media", "Broadcasting", "Publishing", "Studios"),
+    "Automakers": ("Motors", "Automotive", "Vehicles", "Mobility"),
+    "Retailers": ("Stores", "Retail", "Markets", "Outfitters"),
+    "Airlines": ("Airways", "Airlines", "Air", "Aviation"),
+    "Pharmaceutical Companies": (
+        "Pharmaceuticals", "Therapeutics", "Biosciences", "Health",
+    ),
+}
+
+UNIVERSITY_STEMS: tuple[str, ...] = (
+    "Ashford", "Brookfield", "Clearwater", "Dunmore", "Eastbrook",
+    "Fairmont", "Glenville", "Hartwell", "Kingsley", "Lakewood",
+    "Northfield", "Oakridge", "Pembroke", "Ridgemont", "Silverton",
+    "Westhaven",
+)
+
+AGENCY_PATTERNS: tuple[str, ...] = (
+    "Department of {domain}",
+    "Federal {domain} Administration",
+    "National {domain} Agency",
+    "Bureau of {domain}",
+    "Office of {domain}",
+)
+
+AGENCY_DOMAINS: tuple[str, ...] = (
+    "Commerce", "Transportation", "Agriculture", "Labor", "Housing",
+    "Veterans Affairs", "Emergency Management", "Public Safety",
+    "Environmental Protection", "Disease Control", "Aviation", "Energy",
+)
+
+HURRICANE_NAMES: tuple[str, ...] = (
+    "Beatrice", "Clement", "Dorian", "Estelle", "Fabian", "Giselle",
+    "Horatio", "Imelda", "Jasper", "Katia",
+)
+
+TEAM_CITIES: tuple[str, ...] = (
+    "Riverdale", "Brookside", "Harborview", "Stonebridge", "Mapleton",
+    "Crestwood", "Bayfield", "Elmhurst",
+)
+
+TEAM_MASCOTS_BASEBALL: tuple[str, ...] = (
+    "Hawks", "Pioneers", "Mariners", "Royals", "Senators", "Barons",
+)
+
+TEAM_MASCOTS_FOOTBALL: tuple[str, ...] = (
+    "Wolves", "Chargers", "Stallions", "Knights", "Thunder", "Rangers",
+)
+
+BAND_NAMES: tuple[str, ...] = (
+    "The Copper Lanterns", "Midnight Arcade", "Paper Compass",
+    "The Velvet Sparrows", "Northern Echo", "Glass Harbor",
+)

@@ -1,0 +1,184 @@
+"""Hand-written notable entities.
+
+These include every worked example from the paper (Jacques Chirac, the
+2005 G8 summit, Hillary Rodham Clinton, Hasekura Tsunenaga, Steve Jobs),
+so the library's documentation examples run against the simulated world,
+plus a core of prominent fictional-but-plausible entities.  The factory in
+:mod:`repro.kb.entities` extends this core programmatically.
+
+Each record is ``(name, kind, facet_anchors, variants, related_terms,
+description_words, prominence)`` where ``facet_anchors`` are terminal
+taxonomy terms; the factory expands them to full root-to-leaf paths.
+"""
+
+from __future__ import annotations
+
+from .schema import EntityKind
+
+_P = EntityKind.PERSON
+_O = EntityKind.ORGANIZATION
+_L = EntityKind.LOCATION
+_E = EntityKind.EVENT
+
+#: (name, kind, anchors, variants, related_terms, description_words, prominence)
+SeedRecord = tuple[
+    str,
+    EntityKind,
+    tuple[str, ...],
+    tuple[str, ...],
+    tuple[str, ...],
+    tuple[str, ...],
+    float,
+]
+
+SEED_ENTITIES: tuple[SeedRecord, ...] = (
+    (
+        "Jacques Chirac",
+        _P,
+        ("Political Leaders", "France"),
+        ("Chirac", "President Chirac", "Jacques Rene Chirac"),
+        ("President of France", "French government"),
+        ("president", "government", "minister"),
+        3.0,
+    ),
+    (
+        "2005 G8 Summit",
+        _E,
+        ("Summits", "Diplomacy"),
+        ("G8 Summit", "Gleneagles Summit"),
+        ("Africa debt cancellation", "global warming"),
+        ("summit", "agenda", "leaders"),
+        2.0,
+    ),
+    (
+        "Hillary Rodham Clinton",
+        _P,
+        ("Political Leaders", "New York"),
+        (
+            "Hillary Clinton",
+            "Hillary R. Clinton",
+            "Clinton, Hillary Rodham",
+            "Hillary Diane Rodham Clinton",
+        ),
+        ("United States Senate", "senator from New York"),
+        ("senator", "campaign", "legislation"),
+        3.0,
+    ),
+    (
+        "Hasekura Tsunenaga",
+        _P,
+        ("Historical Figures", "Japan"),
+        ("Samurai Tsunenaga",),
+        ("samurai", "Japanese language", "embassy to Europe"),
+        ("samurai", "mission", "historian"),
+        0.6,
+    ),
+    (
+        "Steve Jobs",
+        _P,
+        ("Business Leaders", "Technology Companies", "California"),
+        ("Jobs", "Steven P. Jobs"),
+        ("personal computer", "entertainment industry", "technology leaders"),
+        ("chief", "executive", "product"),
+        2.5,
+    ),
+    (
+        "United Nations",
+        _O,
+        ("International Organizations", "Diplomacy"),
+        ("UN", "U.N."),
+        ("Security Council", "General Assembly", "peacekeeping"),
+        ("resolution", "council", "delegation"),
+        2.5,
+    ),
+    (
+        "World Bank",
+        _O,
+        ("International Organizations", "Economy"),
+        ("The World Bank",),
+        ("development loans", "poverty reduction"),
+        ("loans", "development", "economists"),
+        1.5,
+    ),
+    (
+        "World Health Organization",
+        _O,
+        ("International Organizations", "Public Health"),
+        ("WHO",),
+        ("disease surveillance", "vaccination campaign"),
+        ("outbreak", "vaccine", "health"),
+        1.5,
+    ),
+    (
+        "Federal Reserve",
+        _O,
+        ("Central Banks", "Economy", "United States"),
+        ("The Fed", "Federal Reserve Board"),
+        ("interest rates", "monetary policy"),
+        ("rates", "policy", "inflation"),
+        2.0,
+    ),
+    (
+        "International Monetary Fund",
+        _O,
+        ("International Organizations", "Economy"),
+        ("IMF",),
+        ("bailout package", "fiscal reform"),
+        ("loans", "economists", "reform"),
+        1.2,
+    ),
+    (
+        "European Union",
+        _O,
+        ("International Organizations", "Europe", "Diplomacy"),
+        ("EU", "E.U."),
+        ("common market", "European Commission"),
+        ("treaty", "commission", "ministers"),
+        2.0,
+    ),
+    (
+        "World Series",
+        _E,
+        ("Baseball", "Sports"),
+        ("the World Series",),
+        ("pennant race", "championship series"),
+        ("championship", "game", "fans"),
+        1.5,
+    ),
+    (
+        "Summer Olympics",
+        _E,
+        ("Olympics", "Sports"),
+        ("the Olympics", "Olympic Games"),
+        ("gold medal", "opening ceremony"),
+        ("medal", "athletes", "ceremony"),
+        1.2,
+    ),
+    (
+        "Iraq War",
+        _E,
+        ("War", "Iraq", "National Security"),
+        ("war in Iraq", "the Iraq conflict"),
+        ("coalition forces", "reconstruction effort"),
+        ("troops", "forces", "security"),
+        2.5,
+    ),
+    (
+        "Kyoto Protocol",
+        _E,
+        ("Climate Change", "Diplomacy", "Legislation"),
+        ("the Kyoto treaty",),
+        ("emissions targets", "greenhouse gases"),
+        ("emissions", "treaty", "targets"),
+        1.0,
+    ),
+    (
+        "Avian Influenza",
+        _E,
+        ("Epidemics", "Public Health"),
+        ("bird flu", "avian flu", "H5N1"),
+        ("pandemic preparedness", "poultry culling"),
+        ("virus", "outbreak", "vaccine"),
+        1.5,
+    ),
+)

@@ -1,0 +1,307 @@
+"""The ground-truth facet taxonomy.
+
+The pilot study (Section III, Table I of the paper) found that human
+annotators organize news stories along facets such as "Location",
+"Institutes", "History", "People" (with "Leaders" below), "Social
+Phenomenon", "Markets" (with "Corporations" below), "Nature", and
+"Event".  :data:`_TAXONOMY_TREE` encodes those eight facets as roots of a
+three-level tree; the simulated annotators and the corpus generator both
+draw their facet terms from it.
+
+Every term appears exactly once in the tree, so "is this term correctly
+placed under that parent?" — the placement half of the precision judgment
+in Section V-C — is well-defined.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from ..errors import KnowledgeBaseError
+from ..text.tokenizer import normalize_term
+from .schema import FacetPath
+
+# Nested mapping: facet term -> children.  Leaves map to empty dicts.
+_TAXONOMY_TREE: Mapping[str, Mapping] = {
+    "Location": {
+        "North America": {
+            "United States": {
+                "New York": {},
+                "Washington": {},
+                "California": {},
+                "Texas": {},
+                "Chicago": {},
+            },
+            "Canada": {},
+            "Mexico": {},
+        },
+        "Europe": {
+            "France": {"Paris": {}},
+            "Germany": {"Berlin": {}},
+            "United Kingdom": {"London": {}},
+            "Italy": {"Rome": {}},
+            "Russia": {"Moscow": {}},
+            "Spain": {},
+            "Greece": {},
+        },
+        "Asia": {
+            "China": {"Beijing": {}},
+            "Japan": {"Tokyo": {}},
+            "India": {},
+            "Iraq": {"Baghdad": {}},
+            "Israel": {},
+            "Iran": {},
+            "Afghanistan": {},
+            "South Korea": {},
+        },
+        "Africa": {
+            "Egypt": {},
+            "Nigeria": {},
+            "South Africa": {},
+            "Kenya": {},
+            "Sudan": {},
+        },
+        "South America": {
+            "Brazil": {},
+            "Argentina": {},
+            "Venezuela": {},
+        },
+        "Oceania": {"Australia": {}},
+    },
+    "People": {
+        "Leaders": {
+            "Political Leaders": {},
+            "Business Leaders": {},
+            "Religious Leaders": {},
+            "Military Leaders": {},
+        },
+        "Athletes": {
+            "Baseball Players": {},
+            "Football Players": {},
+            "Tennis Players": {},
+            "Basketball Players": {},
+        },
+        "Artists": {
+            "Musicians": {},
+            "Actors": {},
+            "Writers": {},
+            "Painters": {},
+        },
+        "Scientists": {"Medical Researchers": {}, "Physicists": {}},
+        "Journalists": {},
+    },
+    "Markets": {
+        "Corporations": {
+            "Technology Companies": {},
+            "Financial Firms": {},
+            "Energy Companies": {},
+            "Media Companies": {},
+            "Automakers": {},
+            "Retailers": {},
+            "Airlines": {},
+            "Pharmaceutical Companies": {},
+        },
+        "Financial Markets": {
+            "Stock Market": {},
+            "Bond Market": {},
+            "Currency Market": {},
+        },
+        "Economy": {
+            "Inflation": {},
+            "Unemployment": {},
+            "Trade": {},
+            "Real Estate": {},
+        },
+        "Business": {"Earnings": {}, "Mergers": {}, "Bankruptcy": {}},
+    },
+    "Institutes": {
+        "Universities": {},
+        "Government Agencies": {},
+        "International Organizations": {},
+        "Courts": {},
+        "Museums": {},
+        "Hospitals": {},
+        "Central Banks": {},
+    },
+    "Event": {
+        "Political Events": {"Elections": {}, "Summits": {}, "Legislation": {}},
+        "Sports": {
+            "Baseball": {},
+            "Football": {},
+            "Basketball": {},
+            "Tennis": {},
+            "Olympics": {},
+            "Soccer": {},
+        },
+        "Natural Disasters": {
+            "Hurricanes": {},
+            "Earthquakes": {},
+            "Floods": {},
+            "Wildfires": {},
+        },
+        "Cultural Events": {
+            "Festivals": {},
+            "Award Ceremonies": {},
+            "Concerts": {},
+            "Exhibitions": {},
+        },
+        "Conflicts": {"War": {}, "Terrorism": {}, "Civil Unrest": {}},
+    },
+    "Nature": {
+        "Weather": {"Drought": {}, "Storms": {}, "Heat Waves": {}},
+        "Animals": {"Wildlife": {}, "Endangered Species": {}},
+        "Environment": {
+            "Climate Change": {},
+            "Pollution": {},
+            "Conservation": {},
+        },
+        "Geography": {"Mountains": {}, "Rivers": {}, "Forests": {}},
+    },
+    "Social Phenomenon": {
+        "Politics": {"Government": {}, "Diplomacy": {}, "National Security": {}},
+        "Crime": {"Fraud": {}, "Violence": {}, "Corruption": {}},
+        "Health": {"Epidemics": {}, "Public Health": {}, "Medicine": {}},
+        "Education": {"Schools": {}, "Higher Education": {}},
+        "Religion": {},
+        "Immigration": {},
+        "Poverty": {},
+        "Culture": {"Music": {}, "Film": {}, "Literature": {}, "Fashion": {}},
+        "Technology": {"Computers": {}, "Internet": {}, "Telecommunications": {}},
+    },
+    "History": {
+        "Wars": {"World War II": {}, "Vietnam War": {}},
+        "Anniversaries": {},
+        "Historical Figures": {},
+        "Archaeology": {},
+    },
+}
+
+
+class FacetTaxonomy:
+    """A tree of facet terms with navigation and placement queries."""
+
+    def __init__(self, tree: Mapping[str, Mapping]) -> None:
+        self._children: dict[str, tuple[str, ...]] = {}
+        self._parent: dict[str, str | None] = {}
+        self._paths: dict[str, FacetPath] = {}
+        self._normalized: dict[str, str] = {}
+        self._roots = tuple(tree)
+        for root, subtree in tree.items():
+            self._insert(root, subtree, parent=None, prefix=())
+        for term in self._paths:
+            key = normalize_term(term)
+            if key in self._normalized and self._normalized[key] != term:
+                raise KnowledgeBaseError(
+                    f"taxonomy terms collide after normalization: {term!r}"
+                )
+            self._normalized[key] = term
+
+    def _insert(
+        self,
+        term: str,
+        subtree: Mapping[str, Mapping],
+        parent: str | None,
+        prefix: FacetPath,
+    ) -> None:
+        if term in self._paths:
+            raise KnowledgeBaseError(f"duplicate facet term in taxonomy: {term!r}")
+        path = (*prefix, term)
+        self._paths[term] = path
+        self._parent[term] = parent
+        self._children[term] = tuple(subtree)
+        for child, child_tree in subtree.items():
+            self._insert(child, child_tree, parent=term, prefix=path)
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def roots(self) -> tuple[str, ...]:
+        """Top-level facets (the Table I inventory)."""
+        return self._roots
+
+    def __contains__(self, term: str) -> bool:
+        return normalize_term(term) in self._normalized
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._paths)
+
+    def canonical(self, term: str) -> str | None:
+        """Canonical spelling of ``term`` (case/punctuation-insensitive)."""
+        return self._normalized.get(normalize_term(term))
+
+    def parent(self, term: str) -> str | None:
+        """Parent facet term, or None for a root."""
+        canonical = self._require(term)
+        return self._parent[canonical]
+
+    def children(self, term: str) -> tuple[str, ...]:
+        """Direct children of ``term``."""
+        canonical = self._require(term)
+        return self._children[canonical]
+
+    def path(self, term: str) -> FacetPath:
+        """Path from root down to ``term`` (inclusive)."""
+        canonical = self._require(term)
+        return self._paths[canonical]
+
+    def root_of(self, term: str) -> str:
+        """The top-level facet ``term`` belongs to."""
+        return self.path(term)[0]
+
+    def depth(self, term: str) -> int:
+        """0 for roots, 1 for their children, and so on."""
+        return len(self.path(term)) - 1
+
+    def is_ancestor(self, ancestor: str, descendant: str) -> bool:
+        """True when ``ancestor`` lies strictly above ``descendant``."""
+        ancestor_c = self._require(ancestor)
+        descendant_path = self.path(descendant)
+        return ancestor_c in descendant_path[:-1]
+
+    def descendants(self, term: str) -> tuple[str, ...]:
+        """All terms strictly below ``term`` (pre-order)."""
+        result: list[str] = []
+        stack = list(reversed(self.children(term)))
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(reversed(self._children[current]))
+        return tuple(result)
+
+    def terms(self) -> tuple[str, ...]:
+        """All facet terms (pre-order from each root)."""
+        return tuple(self._paths)
+
+    def leaves(self) -> tuple[str, ...]:
+        """Terms with no children."""
+        return tuple(term for term, kids in self._children.items() if not kids)
+
+    def correctly_placed(self, child: str, parent: str) -> bool:
+        """True when ``parent`` is ``child``'s actual taxonomy parent or an
+        ancestor — the placement criterion of the precision study."""
+        if child not in self or parent not in self:
+            return False
+        child_c = self.canonical(child)
+        parent_c = self.canonical(parent)
+        assert child_c is not None and parent_c is not None
+        return self.is_ancestor(parent_c, child_c)
+
+    def _require(self, term: str) -> str:
+        canonical = self.canonical(term)
+        if canonical is None:
+            raise KnowledgeBaseError(f"unknown facet term: {term!r}")
+        return canonical
+
+
+_DEFAULT: FacetTaxonomy | None = None
+
+
+def default_taxonomy() -> FacetTaxonomy:
+    """The shared ground-truth taxonomy instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = FacetTaxonomy(_TAXONOMY_TREE)
+    return _DEFAULT

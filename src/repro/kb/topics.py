@@ -1,0 +1,409 @@
+"""Newsroom topic definitions for the article generator.
+
+Each topic names the facet terms a story on that topic implies (all of
+which exist in the ground-truth taxonomy), the content vocabulary that the
+generator weaves into sentences, and hints about which entities take part.
+The mix of weights roughly follows a general-interest daily paper.
+"""
+
+from __future__ import annotations
+
+from .schema import EntityKind, Topic
+
+_P = EntityKind.PERSON
+_O = EntityKind.ORGANIZATION
+_L = EntityKind.LOCATION
+_E = EntityKind.EVENT
+
+TOPICS: tuple[Topic, ...] = (
+    Topic(
+        name="elections",
+        facet_terms=("Politics", "Elections", "Political Leaders", "Government"),
+        vocabulary=(
+            "campaign", "ballot", "voter", "poll", "candidate", "election",
+            "primary", "debate", "senate", "congress", "governor", "district",
+            "speech", "platform", "margin", "turnout", "incumbent",
+        ),
+        entity_kinds=(_P, _L),
+        facet_hints=("Political Leaders",),
+        weight=3.0,
+    ),
+    Topic(
+        name="diplomacy",
+        facet_terms=("Politics", "Diplomacy", "Summits", "Political Leaders"),
+        vocabulary=(
+            "summit", "treaty", "negotiation", "minister", "delegation",
+            "ambassador", "agreement", "sanctions", "talks", "resolution",
+            "alliance", "statement", "visit", "relations", "accord",
+        ),
+        entity_kinds=(_P, _L, _O),
+        facet_hints=("Political Leaders", "International Organizations"),
+        weight=2.5,
+    ),
+    Topic(
+        name="war",
+        facet_terms=("Conflicts", "War", "National Security", "Military Leaders"),
+        vocabulary=(
+            "troops", "military", "forces", "soldier", "attack", "battle",
+            "insurgent", "bombing", "commander", "casualty", "strike",
+            "occupation", "convoy", "checkpoint", "offensive", "withdrawal",
+        ),
+        entity_kinds=(_P, _L, _E),
+        facet_hints=("Military Leaders", "Political Leaders"),
+        weight=2.5,
+    ),
+    Topic(
+        name="terrorism",
+        facet_terms=("Conflicts", "Terrorism", "National Security", "Crime"),
+        vocabulary=(
+            "attack", "plot", "security", "explosion", "suspect", "bomb",
+            "investigation", "intelligence", "threat", "arrest", "cell",
+            "extremist", "police", "warning", "alert",
+        ),
+        entity_kinds=(_P, _L, _O),
+        facet_hints=("Government Agencies", "Political Leaders"),
+        weight=1.5,
+    ),
+    Topic(
+        name="markets",
+        facet_terms=("Markets", "Stock Market", "Economy", "Financial Firms"),
+        vocabulary=(
+            "shares", "investor", "trading", "index", "profit", "stock",
+            "earnings", "quarter", "analyst", "revenue", "rally", "decline",
+            "portfolio", "dividend", "forecast", "exchange",
+        ),
+        entity_kinds=(_O, _P),
+        facet_hints=("Corporations", "Business Leaders"),
+        weight=2.5,
+    ),
+    Topic(
+        name="corporate",
+        facet_terms=("Corporations", "Business", "Mergers", "Business Leaders"),
+        vocabulary=(
+            "merger", "acquisition", "deal", "executive", "board", "chief",
+            "shareholder", "bid", "takeover", "restructuring", "division",
+            "subsidiary", "contract", "partnership", "strategy",
+        ),
+        entity_kinds=(_O, _P),
+        facet_hints=("Corporations", "Business Leaders"),
+        weight=2.0,
+    ),
+    Topic(
+        name="economy",
+        facet_terms=("Economy", "Inflation", "Unemployment", "Trade"),
+        vocabulary=(
+            "growth", "prices", "rates", "consumer", "spending", "jobs",
+            "wages", "recession", "budget", "deficit", "exports", "imports",
+            "manufacturing", "demand", "economists",
+        ),
+        entity_kinds=(_O, _L, _P),
+        facet_hints=("Central Banks", "Political Leaders"),
+        weight=2.0,
+    ),
+    Topic(
+        name="technology",
+        facet_terms=("Technology", "Computers", "Internet", "Technology Companies"),
+        vocabulary=(
+            "software", "device", "computer", "network", "startup", "chip",
+            "platform", "website", "users", "innovation", "product",
+            "launch", "patent", "engineers", "data", "gadget",
+        ),
+        entity_kinds=(_O, _P),
+        facet_hints=("Technology Companies", "Business Leaders"),
+        weight=2.0,
+    ),
+    Topic(
+        name="health",
+        facet_terms=("Health", "Medicine", "Public Health", "Epidemics"),
+        vocabulary=(
+            "patients", "doctors", "virus", "vaccine", "hospital", "disease",
+            "treatment", "outbreak", "symptoms", "clinic", "infection",
+            "drug", "trial", "researchers", "epidemic", "flu",
+        ),
+        entity_kinds=(_O, _P, _L),
+        facet_hints=("Hospitals", "Medical Researchers", "Government Agencies"),
+        weight=2.0,
+    ),
+    Topic(
+        name="baseball",
+        facet_terms=("Sports", "Baseball", "Athletes", "Baseball Players"),
+        vocabulary=(
+            "inning", "pitcher", "hitter", "season", "game", "team",
+            "playoffs", "stadium", "coach", "league", "batting", "roster",
+            "victory", "defeat", "championship", "fans",
+        ),
+        entity_kinds=(_P, _O, _L),
+        facet_hints=("Baseball Players",),
+        weight=2.0,
+    ),
+    Topic(
+        name="football",
+        facet_terms=("Sports", "Football", "Athletes", "Football Players"),
+        vocabulary=(
+            "quarterback", "touchdown", "season", "game", "team", "defense",
+            "offense", "coach", "league", "playoffs", "yards", "kickoff",
+            "injury", "draft", "stadium",
+        ),
+        entity_kinds=(_P, _O),
+        facet_hints=("Football Players",),
+        weight=1.5,
+    ),
+    Topic(
+        name="tennis",
+        facet_terms=("Sports", "Tennis", "Athletes", "Tennis Players"),
+        vocabulary=(
+            "match", "tournament", "set", "serve", "court", "final",
+            "champion", "ranking", "title", "rally", "seed", "umpire",
+        ),
+        entity_kinds=(_P, _E),
+        facet_hints=("Tennis Players",),
+        weight=1.0,
+    ),
+    Topic(
+        name="weather",
+        facet_terms=("Nature", "Weather", "Storms", "Natural Disasters"),
+        vocabulary=(
+            "storm", "rain", "wind", "temperature", "forecast", "flooding",
+            "snow", "hurricane", "damage", "evacuation", "coast", "residents",
+            "emergency", "rainfall", "drought", "heat",
+        ),
+        entity_kinds=(_L, _E),
+        facet_hints=("Natural Disasters",),
+        weight=1.5,
+    ),
+    Topic(
+        name="environment",
+        facet_terms=("Environment", "Climate Change", "Conservation", "Pollution"),
+        vocabulary=(
+            "emissions", "climate", "warming", "energy", "carbon", "species",
+            "habitat", "forest", "river", "wildlife", "pollution",
+            "conservation", "ecosystem", "scientists", "glacier",
+        ),
+        entity_kinds=(_L, _O, _P),
+        facet_hints=("International Organizations", "Scientists"),
+        weight=1.2,
+    ),
+    Topic(
+        name="crime",
+        facet_terms=("Crime", "Violence", "Courts", "Fraud"),
+        vocabulary=(
+            "police", "charges", "trial", "jury", "prosecutor", "arrest",
+            "investigation", "verdict", "sentence", "detective", "robbery",
+            "lawyer", "testimony", "evidence", "prison",
+        ),
+        entity_kinds=(_P, _L, _O),
+        facet_hints=("Courts", "Government Agencies"),
+        weight=2.0,
+    ),
+    Topic(
+        name="education",
+        facet_terms=("Education", "Schools", "Higher Education", "Universities"),
+        vocabulary=(
+            "students", "teachers", "school", "curriculum", "tuition",
+            "classroom", "graduation", "campus", "faculty", "scholarship",
+            "enrollment", "test", "literacy", "principal",
+        ),
+        entity_kinds=(_O, _P, _L),
+        facet_hints=("Universities",),
+        weight=1.2,
+    ),
+    Topic(
+        name="entertainment",
+        facet_terms=("Culture", "Film", "Actors", "Cultural Events"),
+        vocabulary=(
+            "movie", "film", "director", "premiere", "audience", "studio",
+            "screen", "award", "role", "script", "festival", "box",
+            "office", "celebrity", "critics",
+        ),
+        entity_kinds=(_P, _O, _E),
+        facet_hints=("Actors", "Media Companies"),
+        weight=1.5,
+    ),
+    Topic(
+        name="music",
+        facet_terms=("Culture", "Music", "Musicians", "Concerts"),
+        vocabulary=(
+            "album", "song", "concert", "tour", "band", "singer", "record",
+            "stage", "audience", "melody", "chart", "producer", "studio",
+        ),
+        entity_kinds=(_P, _E, _O),
+        facet_hints=("Musicians",),
+        weight=1.2,
+    ),
+    Topic(
+        name="religion",
+        facet_terms=("Religion", "Religious Leaders", "Culture"),
+        vocabulary=(
+            "church", "faith", "prayer", "congregation", "worship", "clergy",
+            "pilgrimage", "ceremony", "tradition", "temple", "mosque",
+            "parish", "sermon",
+        ),
+        entity_kinds=(_P, _L, _O),
+        facet_hints=("Religious Leaders",),
+        weight=0.8,
+    ),
+    Topic(
+        name="immigration",
+        facet_terms=("Immigration", "Politics", "Poverty", "Government"),
+        vocabulary=(
+            "border", "visa", "asylum", "citizenship", "refugees", "migrants",
+            "deportation", "workers", "permits", "legislation", "policy",
+            "community", "families",
+        ),
+        entity_kinds=(_P, _L, _O),
+        facet_hints=("Political Leaders", "Government Agencies"),
+        weight=1.0,
+    ),
+    Topic(
+        name="realestate",
+        facet_terms=("Real Estate", "Economy", "Business"),
+        vocabulary=(
+            "housing", "mortgage", "property", "apartment", "construction",
+            "developer", "rent", "buyers", "listing", "neighborhood",
+            "prices", "building", "tenants", "brokers",
+        ),
+        entity_kinds=(_O, _L, _P),
+        facet_hints=("Corporations",),
+        weight=1.0,
+    ),
+    Topic(
+        name="science",
+        facet_terms=("Scientists", "Technology", "Medicine"),
+        vocabulary=(
+            "research", "study", "laboratory", "discovery", "experiment",
+            "journal", "findings", "theory", "physics", "genome",
+            "telescope", "mission", "satellite", "particle",
+        ),
+        entity_kinds=(_P, _O),
+        facet_hints=("Scientists", "Universities"),
+        weight=1.0,
+    ),
+    Topic(
+        name="history",
+        facet_terms=("History", "Anniversaries", "Historical Figures", "Museums"),
+        vocabulary=(
+            "anniversary", "archive", "memorial", "veterans", "century",
+            "era", "document", "exhibit", "commemoration", "historian",
+            "heritage", "monument", "artifact",
+        ),
+        entity_kinds=(_P, _L, _O, _E),
+        facet_hints=("Museums", "Historical Figures"),
+        weight=0.8,
+    ),
+    Topic(
+        name="energy",
+        facet_terms=("Energy Companies", "Economy", "Environment", "Trade"),
+        vocabulary=(
+            "oil", "drilling", "refinery", "pipeline", "barrels", "crude",
+            "electricity", "grid", "fuel", "gas", "wells", "output",
+            "supply", "renewables", "reserves",
+        ),
+        entity_kinds=(_O, _L, _P),
+        facet_hints=("Energy Companies",),
+        weight=1.2,
+    ),
+    Topic(
+        name="transportation",
+        facet_terms=("Airlines", "Business", "Government Agencies"),
+        vocabulary=(
+            "flights", "airport", "passengers", "transit", "railway",
+            "commuters", "highway", "traffic", "terminal", "routes",
+            "fares", "delays", "fleet", "safety",
+        ),
+        entity_kinds=(_O, _L),
+        facet_hints=("Airlines", "Government Agencies"),
+        weight=1.0,
+    ),
+    Topic(
+        name="courts",
+        facet_terms=("Courts", "Crime", "Legislation", "Government"),
+        vocabulary=(
+            "appeal", "ruling", "justices", "constitutional", "lawsuit",
+            "plaintiff", "hearing", "docket", "opinion", "dissent",
+            "statute", "precedent", "injunction", "argument",
+        ),
+        entity_kinds=(_O, _P),
+        facet_hints=("Courts",),
+        weight=1.0,
+    ),
+    Topic(
+        name="labor",
+        facet_terms=("Unemployment", "Economy", "Social Phenomenon"),
+        vocabulary=(
+            "union", "strike", "wages", "workers", "layoffs", "contract",
+            "pension", "benefits", "overtime", "picket", "negotiators",
+            "walkout", "hiring", "payroll",
+        ),
+        entity_kinds=(_O, _P, _L),
+        facet_hints=("Corporations",),
+        weight=1.0,
+    ),
+    Topic(
+        name="media",
+        facet_terms=("Media Companies", "Culture", "Technology"),
+        vocabulary=(
+            "newspaper", "broadcast", "ratings", "audience", "advertising",
+            "circulation", "editor", "programming", "viewers", "subscribers",
+            "coverage", "column", "syndication",
+        ),
+        entity_kinds=(_O, _P),
+        facet_hints=("Media Companies", "Journalists"),
+        weight=0.9,
+    ),
+    Topic(
+        name="space",
+        facet_terms=("Scientists", "Technology", "Physicists"),
+        vocabulary=(
+            "rocket", "orbit", "spacecraft", "astronauts", "launch",
+            "module", "shuttle", "probe", "payload", "trajectory",
+            "capsule", "booster", "docking",
+        ),
+        entity_kinds=(_O, _P),
+        facet_hints=("Scientists", "Government Agencies"),
+        weight=0.8,
+    ),
+    Topic(
+        name="agriculture",
+        facet_terms=("Economy", "Nature", "Trade"),
+        vocabulary=(
+            "farmers", "harvest", "crops", "livestock", "grain",
+            "subsidies", "irrigation", "acreage", "yields", "orchard",
+            "dairy", "ranchers", "seeds",
+        ),
+        entity_kinds=(_L, _O, _P),
+        facet_hints=("Government Agencies",),
+        weight=0.8,
+    ),
+    Topic(
+        name="fashion",
+        facet_terms=("Fashion", "Culture", "Business"),
+        vocabulary=(
+            "designer", "collection", "couture", "fabric", "trends",
+            "boutique", "models", "catwalk", "season", "label",
+            "stylists", "garments",
+        ),
+        entity_kinds=(_P, _O, _E),
+        facet_hints=("Artists", "Retailers"),
+        weight=0.7,
+    ),
+    Topic(
+        name="disasters",
+        facet_terms=("Natural Disasters", "Earthquakes", "Hurricanes", "Floods"),
+        vocabulary=(
+            "earthquake", "magnitude", "rescue", "survivors", "aftershock",
+            "relief", "aid", "damage", "collapse", "emergency", "shelter",
+            "victims", "rubble", "tremor",
+        ),
+        entity_kinds=(_L, _E, _O),
+        facet_hints=("International Organizations",),
+        weight=1.0,
+    ),
+)
+
+
+def topic_by_name(name: str) -> Topic:
+    """Look up a topic by its short name."""
+    for topic in TOPICS:
+        if topic.name == name:
+            return topic
+    raise KeyError(f"unknown topic: {name!r}")

@@ -1,0 +1,184 @@
+"""The :class:`World` — taxonomy, entities, and topics in one container.
+
+Everything downstream (corpus generation, the simulated Wikipedia,
+WordNet, and Google, and the simulated annotators) reads from a single
+``World`` instance, so all of them are mutually consistent.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from ..config import ReproConfig
+from ..errors import KnowledgeBaseError
+from ..text.tokenizer import normalize_term
+from .entities import build_entities
+from .schema import Entity, EntityKind, Topic
+from .taxonomy import FacetTaxonomy, default_taxonomy
+from .topics import TOPICS
+
+
+class World:
+    """Immutable ground-truth world for one configuration."""
+
+    def __init__(
+        self,
+        taxonomy: FacetTaxonomy,
+        entities: tuple[Entity, ...],
+        topics: tuple[Topic, ...],
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.entities = entities
+        self.topics = topics
+        self._by_name: dict[str, Entity] = {}
+        self._by_surface: dict[str, Entity] = {}
+        self._by_kind: dict[EntityKind, list[Entity]] = defaultdict(list)
+        self._by_facet: dict[str, list[Entity]] = defaultdict(list)
+        for entity in entities:
+            if entity.name in self._by_name:
+                raise KnowledgeBaseError(f"duplicate entity: {entity.name!r}")
+            self._by_name[entity.name] = entity
+            self._by_kind[entity.kind].append(entity)
+            for surface in entity.all_names:
+                key = normalize_term(surface)
+                if key and key not in self._by_surface:
+                    self._by_surface[key] = entity
+            for term in entity.facet_terms:
+                self._by_facet[term].append(entity)
+        self._validate_topics()
+
+    def _validate_topics(self) -> None:
+        for topic in self.topics:
+            for term in topic.facet_terms:
+                if term not in self.taxonomy:
+                    raise KnowledgeBaseError(
+                        f"topic {topic.name!r} references unknown facet "
+                        f"term {term!r}"
+                    )
+            for hint in topic.facet_hints:
+                if hint not in self.taxonomy:
+                    raise KnowledgeBaseError(
+                        f"topic {topic.name!r} facet hint {hint!r} is not "
+                        "in the taxonomy"
+                    )
+
+    # -- entity lookups -----------------------------------------------------------
+
+    def entity(self, name: str) -> Entity:
+        """Entity by canonical name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KnowledgeBaseError(f"unknown entity: {name!r}") from None
+
+    def find_by_surface(self, surface: str) -> Entity | None:
+        """Entity whose canonical name or any variant matches ``surface``."""
+        return self._by_surface.get(normalize_term(surface))
+
+    def entities_of_kind(self, kind: EntityKind) -> tuple[Entity, ...]:
+        """All entities of one kind."""
+        return tuple(self._by_kind.get(kind, ()))
+
+    def entities_under_facet(self, term: str) -> tuple[Entity, ...]:
+        """Entities whose facet paths include ``term``."""
+        canonical = self.taxonomy.canonical(term)
+        if canonical is None:
+            return ()
+        return tuple(self._by_facet.get(canonical, ()))
+
+    def surfaces(self) -> tuple[str, ...]:
+        """Every known surface form (canonical names and variants)."""
+        return tuple(
+            surface
+            for entity in self.entities
+            for surface in entity.all_names
+        )
+
+    # -- sampling -------------------------------------------------------------------
+
+    def sample_entities(
+        self,
+        rng: random.Random,
+        count: int,
+        kinds: tuple[EntityKind, ...] = (),
+        facet_hints: tuple[str, ...] = (),
+        prominence_exponent: float = 1.0,
+    ) -> list[Entity]:
+        """Sample distinct entities weighted by ``prominence ** exponent``.
+
+        When ``facet_hints`` is non-empty, roughly half the sample is drawn
+        from entities under those facets (topic protagonists) and the rest
+        from the requested kinds (supporting cast).  Exponents below 1
+        flatten the prominence skew — multi-source corpora (Newsblaster)
+        reach deeper into the entity tail than a single paper does.
+        """
+        pool: list[Entity] = []
+        if facet_hints:
+            for hint in facet_hints:
+                pool.extend(self.entities_under_facet(hint))
+        kind_pool: list[Entity] = []
+        for kind in kinds:
+            kind_pool.extend(self._by_kind.get(kind, ()))
+        if not pool and not kind_pool:
+            pool = list(self.entities)
+        chosen: list[Entity] = []
+        seen: set[str] = set()
+        want_hinted = count if not kind_pool else max(1, count // 2)
+        for source, want in ((pool, want_hinted), (kind_pool, count)):
+            attempts = 0
+            while source and len(chosen) < want and attempts < count * 20:
+                attempts += 1
+                entity = self._weighted_choice(rng, source, prominence_exponent)
+                if entity.name not in seen:
+                    seen.add(entity.name)
+                    chosen.append(entity)
+        return chosen[:count]
+
+    @staticmethod
+    def weighted_choice(
+        rng: random.Random, pool: list[Entity], exponent: float = 1.0
+    ) -> Entity:
+        """Prominence-weighted choice from a non-empty entity pool."""
+        return World._weighted_choice(rng, pool, exponent)
+
+    @staticmethod
+    def _weighted_choice(
+        rng: random.Random, pool: list[Entity], exponent: float = 1.0
+    ) -> Entity:
+        weights = [entity.prominence**exponent for entity in pool]
+        total = sum(weights)
+        if total <= 0:
+            return rng.choice(pool)
+        point = rng.uniform(0, total)
+        acc = 0.0
+        for entity, weight in zip(pool, weights):
+            acc += weight
+            if acc >= point:
+                return entity
+        return pool[-1]
+
+    def sample_topic(self, rng: random.Random) -> Topic:
+        """Sample a topic according to the configured news mix."""
+        total = sum(topic.weight for topic in self.topics)
+        point = rng.uniform(0, total)
+        acc = 0.0
+        for topic in self.topics:
+            acc += topic.weight
+            if acc >= point:
+                return topic
+        return self.topics[-1]
+
+
+_WORLD_CACHE: dict[int, World] = {}
+
+
+def build_world(config: ReproConfig | None = None) -> World:
+    """Build (and memoize) the world for a configuration seed."""
+    config = config or ReproConfig()
+    cached = _WORLD_CACHE.get(config.seed)
+    if cached is None:
+        taxonomy = default_taxonomy()
+        cached = World(taxonomy, build_entities(config, taxonomy), TOPICS)
+        _WORLD_CACHE[config.seed] = cached
+    return cached

@@ -1,0 +1,60 @@
+"""Resource interface with per-term memoization.
+
+The same important terms recur across thousands of documents, so every
+resource caches query results — this is also what makes the paper's
+"perform term and context extraction offline" deployment mode natural
+(Section V-D).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+from ..text.tokenizer import normalize_term
+
+
+class ResourceName(enum.Enum):
+    """The four resources of Section IV-B (table row headers)."""
+
+    GOOGLE = "Google"
+    WORDNET = "WordNet Hypernyms"
+    WIKI_SYNONYMS = "Wikipedia Synonyms"
+    WIKI_GRAPH = "Wikipedia Graph"
+
+
+class ExternalResource(abc.ABC):
+    """Maps an important term to its context terms ``R_i(t)``."""
+
+    #: Which paper resource this implements.
+    name: ResourceName
+
+    #: True when answering requires a (simulated) network round trip.
+    remote: bool = False
+
+    def __init__(self) -> None:
+        self._cache: dict[str, list[str]] = {}
+
+    def context_terms(self, term: str) -> list[str]:
+        """Context terms for ``term`` (cached on the normalized form)."""
+        key = normalize_term(term)
+        if not key:
+            return []
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._query(term)
+            self._cache[key] = cached
+        return list(cached)
+
+    @abc.abstractmethod
+    def _query(self, term: str) -> list[str]:
+        """Answer one uncached query."""
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized terms."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all memoized results."""
+        self._cache.clear()

@@ -1,0 +1,37 @@
+"""Union of several resources (the "All" rows of the paper's tables)."""
+
+from __future__ import annotations
+
+from ..text.tokenizer import normalize_term
+from .base import ExternalResource, ResourceName
+
+
+class CompositeResource(ExternalResource):
+    """Queries every member resource and unions the results."""
+
+    def __init__(self, resources: list[ExternalResource]) -> None:
+        super().__init__()
+        if not resources:
+            raise ValueError("CompositeResource needs at least one resource")
+        self._resources = list(resources)
+        self.name = resources[0].name  # placeholder; label() is canonical
+        self.remote = any(resource.remote for resource in resources)
+
+    def label(self) -> str:
+        """Human-readable combination label."""
+        return " + ".join(resource.name.value for resource in self._resources)
+
+    @property
+    def members(self) -> tuple[ExternalResource, ...]:
+        return tuple(self._resources)
+
+    def _query(self, term: str) -> list[str]:
+        merged: list[str] = []
+        seen: set[str] = set()
+        for resource in self._resources:
+            for context_term in resource.context_terms(term):
+                key = normalize_term(context_term)
+                if key and key not in seen:
+                    seen.add(key)
+                    merged.append(context_term)
+        return merged

@@ -1,0 +1,47 @@
+"""Google as a context resource: frequent terms from result snippets."""
+
+from __future__ import annotations
+
+from ..websim.engine import SearchEngineSim
+from .base import ExternalResource, ResourceName
+
+#: Context terms mined per query.
+DEFAULT_CONTEXT_TERMS = 30
+
+#: Result pages whose snippets are mined.
+DEFAULT_RESULT_COUNT = 10
+
+
+class GoogleResource(ExternalResource):
+    """Query the (simulated) web, mine titles and snippets.
+
+    Per the paper's implementation note, only titles and snippets are
+    processed — never the full pages — "introducing a relatively large
+    number of noisy terms", which is the mechanism behind Google's lower
+    precision in Tables V-VII.
+    """
+
+    name = ResourceName.GOOGLE
+    remote = True
+
+    def __init__(
+        self,
+        engine: SearchEngineSim,
+        context_term_count: int = DEFAULT_CONTEXT_TERMS,
+        result_count: int = DEFAULT_RESULT_COUNT,
+    ) -> None:
+        super().__init__()
+        if context_term_count <= 0:
+            raise ValueError(
+                f"context_term_count must be positive, got {context_term_count}"
+            )
+        self._engine = engine
+        self._context_term_count = context_term_count
+        self._result_count = result_count
+
+    def _query(self, term: str) -> list[str]:
+        return self._engine.frequent_snippet_terms(
+            term,
+            limit=self._context_term_count,
+            result_count=self._result_count,
+        )

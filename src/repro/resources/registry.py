@@ -1,0 +1,83 @@
+"""Factory helpers wiring resources to their substrates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ReproConfig
+from ..errors import ResourceError
+from ..kb.world import World
+from ..websim.engine import SearchEngineSim
+from ..websim.pages import build_web_corpus
+from ..wikipedia.builder import build_wikipedia
+from ..wikipedia.database import WikipediaDatabase
+from ..wikipedia.graph import WikipediaGraph
+from ..wikipedia.synonyms import SynonymFinder
+from ..wordnet.hypernyms import HypernymLookup
+from ..wordnet.lexicon import build_lexicon
+from .base import ExternalResource, ResourceName
+from .composite import CompositeResource
+from .google import GoogleResource
+from .wiki_graph import WikipediaGraphResource
+from .wiki_synonyms import WikipediaSynonymsResource
+from .wordnet_hypernyms import WordNetHypernymResource
+
+
+@dataclass
+class ResourceSubstrates:
+    """The shared backing stores the resources are built on."""
+
+    wikipedia: WikipediaDatabase
+    engine: SearchEngineSim
+    lookup: HypernymLookup
+
+    @classmethod
+    def build(cls, world: World, config: ReproConfig) -> "ResourceSubstrates":
+        return cls(
+            wikipedia=build_wikipedia(world, config),
+            engine=SearchEngineSim(build_web_corpus(world, config)),
+            lookup=HypernymLookup(build_lexicon(world)),
+        )
+
+
+def build_resource(
+    name: ResourceName | str,
+    substrates: ResourceSubstrates,
+    config: ReproConfig | None = None,
+) -> ExternalResource:
+    """Build one resource by name over shared substrates."""
+    config = config or ReproConfig()
+    if isinstance(name, str):
+        try:
+            name = ResourceName(name)
+        except ValueError as exc:
+            raise ResourceError(f"unknown resource: {name!r}") from exc
+    if name is ResourceName.GOOGLE:
+        return GoogleResource(substrates.engine)
+    if name is ResourceName.WORDNET:
+        return WordNetHypernymResource(substrates.lookup)
+    if name is ResourceName.WIKI_GRAPH:
+        return WikipediaGraphResource(
+            WikipediaGraph(substrates.wikipedia), top_k=config.wiki_graph_top_k
+        )
+    if name is ResourceName.WIKI_SYNONYMS:
+        return WikipediaSynonymsResource(SynonymFinder(substrates.wikipedia))
+    raise ResourceError(f"unhandled resource: {name!r}")
+
+
+def build_resources(
+    names: list[ResourceName | str],
+    substrates: ResourceSubstrates,
+    config: ReproConfig | None = None,
+) -> list[ExternalResource]:
+    """Build several resources over shared substrates."""
+    return [build_resource(name, substrates, config) for name in names]
+
+
+def build_all_resources(
+    substrates: ResourceSubstrates, config: ReproConfig | None = None
+) -> CompositeResource:
+    """The "All" combination: union of the four resources."""
+    return CompositeResource(
+        build_resources(list(ResourceName), substrates, config)
+    )

@@ -1,0 +1,85 @@
+"""Fault tolerance for remote resources.
+
+The paper's deployment leans on two web services (Yahoo Term Extraction
+and Google) that fail, rate-limit, and time out in practice.  This
+module makes the pipeline robust to that:
+
+* :class:`FlakyResource` — a fault-injection wrapper used by the test
+  suite to simulate failures (each query raises with a configurable
+  probability);
+* :class:`ResilientResource` — a production wrapper that retries a
+  failing resource a bounded number of times and degrades to an empty
+  answer (logging nothing into the expansion) instead of aborting the
+  whole extraction run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ResourceError
+from .base import ExternalResource
+
+
+class FlakyResource(ExternalResource):
+    """Fault injection: delegate that fails with probability ``error_rate``."""
+
+    def __init__(
+        self,
+        inner: ExternalResource,
+        error_rate: float,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= error_rate <= 1:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        super().__init__()
+        self.name = inner.name
+        self.remote = inner.remote
+        self._inner = inner
+        self._error_rate = error_rate
+        self._rng = random.Random(seed)
+        self.failures = 0
+
+    def _query(self, term: str) -> list[str]:
+        if self._rng.random() < self._error_rate:
+            self.failures += 1
+            raise ResourceError(f"simulated outage answering {term!r}")
+        return self._inner.context_terms(term)
+
+
+class ResilientResource(ExternalResource):
+    """Retry-then-degrade wrapper around an unreliable resource.
+
+    A query that keeps failing yields an empty context (that document
+    simply gains no terms from this resource) — the pipeline finishes
+    with slightly lower recall instead of crashing, which is the right
+    trade for a batch expansion job.
+    """
+
+    def __init__(
+        self,
+        inner: ExternalResource,
+        max_attempts: int = 3,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        super().__init__()
+        self.name = inner.name
+        self.remote = inner.remote
+        self._inner = inner
+        self._max_attempts = max_attempts
+        self.retries = 0
+        self.gave_up = 0
+
+    def _query(self, term: str) -> list[str]:
+        last_error: Exception | None = None
+        for attempt in range(self._max_attempts):
+            try:
+                return self._inner.context_terms(term)
+            except ResourceError as exc:
+                last_error = exc
+                if attempt + 1 < self._max_attempts:
+                    self.retries += 1
+        self.gave_up += 1
+        assert last_error is not None
+        return []

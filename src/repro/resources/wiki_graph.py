@@ -1,0 +1,30 @@
+"""The Wikipedia link graph as a context resource."""
+
+from __future__ import annotations
+
+from ..config import PAPER_WIKI_GRAPH_TOP_K
+from ..wikipedia.graph import WikipediaGraph
+from .base import ExternalResource, ResourceName
+
+
+class WikipediaGraphResource(ExternalResource):
+    """Top-k linked entries of the page a term resolves to.
+
+    The derived context contains "both more general and more specific
+    terms" (Section IV-B); the comparative frequency analysis downstream
+    is what isolates the general ones.
+    """
+
+    name = ResourceName.WIKI_GRAPH
+
+    def __init__(
+        self, graph: WikipediaGraph, top_k: int = PAPER_WIKI_GRAPH_TOP_K
+    ) -> None:
+        super().__init__()
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        self._graph = graph
+        self._top_k = top_k
+
+    def _query(self, term: str) -> list[str]:
+        return [n.title for n in self._graph.neighbours(term, k=self._top_k)]

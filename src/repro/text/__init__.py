@@ -1,0 +1,38 @@
+"""Text-processing substrate: tokenization, stemming, phrases, statistics.
+
+This subpackage is self-contained (no third-party NLP dependency) and
+provides the primitives the rest of the library builds on:
+
+* :mod:`repro.text.tokenizer` — word and sentence tokenization,
+* :mod:`repro.text.stopwords` — a standard English stopword list,
+* :mod:`repro.text.stemmer` — a full Porter stemmer,
+* :mod:`repro.text.phrases` — n-gram and candidate-phrase extraction,
+* :mod:`repro.text.vocabulary` — corpus term statistics (tf, df, ranks),
+* :mod:`repro.text.zipf` — rank/frequency utilities and Zipf fitting.
+"""
+
+from .tokenizer import Token, normalize_term, sentences, tokenize, word_tokens
+from .stopwords import STOPWORDS, is_stopword
+from .stemmer import PorterStemmer, stem
+from .phrases import candidate_phrases, ngrams
+from .vocabulary import TermStats, Vocabulary
+from .zipf import rank_bin, rank_terms, zipf_fit
+
+__all__ = [
+    "Token",
+    "normalize_term",
+    "sentences",
+    "tokenize",
+    "word_tokens",
+    "STOPWORDS",
+    "is_stopword",
+    "PorterStemmer",
+    "stem",
+    "candidate_phrases",
+    "ngrams",
+    "TermStats",
+    "Vocabulary",
+    "rank_bin",
+    "rank_terms",
+    "zipf_fit",
+]

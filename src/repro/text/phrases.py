@@ -1,0 +1,98 @@
+"""N-gram and candidate-phrase extraction.
+
+Facet terms in the paper are "single words and multi-word phrases"
+(Section IV-A, footnote 2).  This module produces the candidate phrases
+that the term extractors and frequency analysis operate on: contiguous
+word n-grams that neither start nor end with a stopword.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from .stopwords import is_stopword
+from .tokenizer import Token, sentences, tokenize
+
+
+def ngrams(words: list[str], n: int) -> Iterator[tuple[str, ...]]:
+    """Yield contiguous ``n``-grams of ``words``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    for i in range(len(words) - n + 1):
+        yield tuple(words[i : i + n])
+
+
+def _valid_phrase(words: tuple[str, ...]) -> bool:
+    """A candidate phrase may not start/end with a stopword or number."""
+    first, last = words[0], words[-1]
+    if is_stopword(first) or is_stopword(last):
+        return False
+    if first[0].isdigit() and len(words) == 1:
+        return False
+    return True
+
+
+def candidate_phrases(
+    text: str,
+    max_words: int = 3,
+    include_unigrams: bool = True,
+) -> list[str]:
+    """Extract candidate phrases from ``text``.
+
+    Phrases never cross sentence boundaries; each is lower-cased and
+    space-joined.  Duplicates are preserved (callers count frequencies).
+    """
+    if max_words <= 0:
+        raise ValueError(f"max_words must be positive, got {max_words}")
+    phrases: list[str] = []
+    min_n = 1 if include_unigrams else 2
+    for sentence in sentences(text):
+        words = [token.lower for token in tokenize(sentence)]
+        for n in range(min_n, max_words + 1):
+            for gram in ngrams(words, n):
+                if _valid_phrase(gram):
+                    phrases.append(" ".join(gram))
+    return phrases
+
+
+def capitalized_spans(text: str) -> list[list[Token]]:
+    """Group consecutive capitalized tokens within each sentence.
+
+    Used by the rule-based named-entity tagger: runs of capitalized words
+    (optionally joined by particles like "of" and "de") are named-entity
+    candidates.
+    """
+    particles = {"of", "de", "la", "van", "von", "al", "bin", "the"}
+    spans: list[list[Token]] = []
+    for sentence in sentences(text):
+        tokens = tokenize(sentence)
+        current: list[Token] = []
+        for index, token in enumerate(tokens):
+            # Punctuation between tokens (anything wider than one space)
+            # breaks the span: "PARIS — Supporters" is two spans.
+            adjacent = not current or token.start - current[-1].end <= 1
+            if token.is_capitalized and not token.is_numeric and adjacent:
+                current.append(token)
+            elif (
+                current
+                and adjacent
+                and token.lower in particles
+                and index + 1 < len(tokens)
+                and tokens[index + 1].is_capitalized
+                and tokens[index + 1].start - token.end <= 1
+            ):
+                current.append(token)
+            else:
+                if current:
+                    spans.append(current)
+                current = []
+                if token.is_capitalized and not token.is_numeric:
+                    current.append(token)
+        if current:
+            spans.append(current)
+    return spans
+
+
+def join_span(span: Iterable[Token]) -> str:
+    """Join a token span back into a surface phrase."""
+    return " ".join(token.text for token in span)

@@ -1,0 +1,51 @@
+"""A standard English stopword list.
+
+The list mirrors the common SMART/IR stopword inventories used in the
+faceted-search literature; it is used to filter candidate terms before
+frequency analysis and phrase extraction.
+"""
+
+from __future__ import annotations
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all also am an and any are aren't as at
+    be because been before being below between both but by can cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he he'd he'll he's
+    her here here's hers herself him himself his how how's i i'd i'll i'm
+    i've if in into is isn't it it's its itself let's me more most mustn't my
+    myself no nor not of off on once only or other ought our ours ourselves
+    out over own said same say says shan't she she'd she'll she's should
+    shouldn't so some such than that that's the their theirs them themselves
+    then there there's these they they'd they'll they're they've this those
+    through to too under until up very was wasn't we we'd we'll we're we've
+    were weren't what what's when when's where where's which while who who's
+    whom why why's will with won't would wouldn't you you'd you'll you're
+    you've your yours yourself yourselves
+    one two three four five six seven eight nine ten
+    mr mrs ms dr according told via per amid among upon yet however
+    """.split()
+)
+
+
+#: Common nouns that frequently open newswire sentences capitalized
+#: ("People familiar with...", "Officials said...").  NE taggers and
+#: entity linkers treat these as ordinary words, not entity mentions.
+COMMON_SENTENCE_OPENERS: frozenset[str] = frozenset(
+    """
+    people officials supporters critics residents analysts observers
+    questions investors doctors experts lawmakers authorities leaders
+    sources aides prosecutors economists scientists researchers voters
+    """.split()
+)
+
+
+def is_stopword(word: str) -> bool:
+    """Return True when ``word`` (any case) is a stopword."""
+    return word.lower() in STOPWORDS
+
+
+def is_common_opener(word: str) -> bool:
+    """True for common nouns that open sentences capitalized."""
+    return word.lower() in COMMON_SENTENCE_OPENERS

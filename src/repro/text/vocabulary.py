@@ -1,0 +1,107 @@
+"""Corpus-level term statistics.
+
+The comparative frequency analysis of the paper (Section IV-C) works on
+*document frequencies* ``df(t)`` and frequency ranks ``Rank(t)`` in two
+collections (original and contextualized).  :class:`Vocabulary` maintains
+those statistics incrementally and exposes rank lookups.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TermStats:
+    """Statistics for one term inside a :class:`Vocabulary`."""
+
+    term: str
+    term_frequency: int
+    document_frequency: int
+    rank: int
+
+
+class Vocabulary:
+    """Term/document frequency table over a collection of documents.
+
+    Ranks are 1-based and assigned by decreasing document frequency with
+    ties broken alphabetically, so that ranking is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._tf: Counter[str] = Counter()
+        self._df: Counter[str] = Counter()
+        self._documents = 0
+        self._ranks: dict[str, int] | None = None
+
+    # -- construction --------------------------------------------------------
+
+    def add_document(self, terms: Iterable[str]) -> None:
+        """Register one document given its (possibly repeated) terms."""
+        term_list = [term for term in terms if term]
+        self._documents += 1
+        self._tf.update(term_list)
+        self._df.update(set(term_list))
+        self._ranks = None
+
+    # -- size accessors -------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        """Number of documents registered."""
+        return self._documents
+
+    @property
+    def term_count(self) -> int:
+        """Number of distinct terms."""
+        return len(self._df)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._df
+
+    def __len__(self) -> int:
+        return len(self._df)
+
+    def terms(self) -> list[str]:
+        """All distinct terms (unordered)."""
+        return list(self._df)
+
+    # -- frequency accessors ----------------------------------------------------
+
+    def tf(self, term: str) -> int:
+        """Total occurrences of ``term`` across all documents."""
+        return self._tf.get(term, 0)
+
+    def df(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return self._df.get(term, 0)
+
+    def _rank_table(self) -> dict[str, int]:
+        if self._ranks is None:
+            ordered = sorted(self._df.items(), key=lambda item: (-item[1], item[0]))
+            self._ranks = {term: index + 1 for index, (term, _) in enumerate(ordered)}
+        return self._ranks
+
+    def rank(self, term: str) -> int:
+        """1-based rank of ``term`` by document frequency.
+
+        Unknown terms rank below every known term (``term_count + 1``),
+        matching the treatment of absent terms in the shift analysis.
+        """
+        return self._rank_table().get(term, len(self._df) + 1)
+
+    def stats(self, term: str) -> TermStats:
+        """Return the full :class:`TermStats` for ``term``."""
+        return TermStats(
+            term=term,
+            term_frequency=self.tf(term),
+            document_frequency=self.df(term),
+            rank=self.rank(term),
+        )
+
+    def most_common(self, n: int | None = None) -> list[tuple[str, int]]:
+        """Terms with highest document frequency, ``(term, df)`` pairs."""
+        ordered = sorted(self._df.items(), key=lambda item: (-item[1], item[0]))
+        return ordered if n is None else ordered[:n]

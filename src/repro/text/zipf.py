@@ -1,0 +1,52 @@
+"""Rank/frequency utilities and Zipf-law fitting.
+
+Section IV-C of the paper motivates the rank-based shift function and the
+log-likelihood statistic with the Zipfian (power-law) shape of term
+frequencies.  This module provides the binning function
+
+    ``B(t) = ceil(log2(Rank(t)))``
+
+used by rank-based shifting, plus a least-squares Zipf fit used in tests
+to verify the synthetic corpus actually has a power-law term distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+
+def rank_bin(rank: int) -> int:
+    """Bin assignment ``B(t) = ceil(log2(Rank(t)))``; rank 1 maps to bin 0."""
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    return math.ceil(math.log2(rank)) if rank > 1 else 0
+
+
+def rank_terms(frequencies: Mapping[str, int]) -> dict[str, int]:
+    """Assign deterministic 1-based ranks by decreasing frequency."""
+    ordered = sorted(frequencies.items(), key=lambda item: (-item[1], item[0]))
+    return {term: index + 1 for index, (term, _) in enumerate(ordered)}
+
+
+def zipf_fit(frequencies: Iterable[int]) -> tuple[float, float]:
+    """Fit ``log f = log C - s * log rank`` by least squares.
+
+    Returns ``(s, C)`` — the Zipf exponent and the scale constant.  Raises
+    ``ValueError`` when fewer than two positive frequencies are supplied.
+    """
+    values = sorted((f for f in frequencies if f > 0), reverse=True)
+    if len(values) < 2:
+        raise ValueError("need at least two positive frequencies to fit")
+    xs = [math.log(rank) for rank in range(1, len(values) + 1)]
+    ys = [math.log(value) for value in values]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("degenerate rank distribution")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    return -slope, math.exp(intercept)

@@ -1,0 +1,18 @@
+"""Simulated web search (the paper's "Google" context resource).
+
+The paper queries Google with each important term and mines the most
+frequent words and phrases from the returned snippets — broad coverage,
+but noticeably noisy because only titles and snippets (not full pages)
+are processed, which the paper identifies as the cause of Google's lower
+precision (Section V-C).
+
+We reproduce both properties: a synthetic web corpus generated from the
+knowledge base covers every entity and facet term (high recall), and the
+pages are salted with promotional boilerplate that leaks into snippet
+term counts (lower precision).
+"""
+
+from .pages import WebPage, build_web_corpus
+from .engine import SearchEngineSim, Snippet
+
+__all__ = ["WebPage", "build_web_corpus", "SearchEngineSim", "Snippet"]

@@ -1,0 +1,127 @@
+"""The snippet search engine over the synthetic web."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from ..text.stopwords import is_stopword
+from ..text.tokenizer import normalize_term, word_tokens
+from .pages import WebPage
+
+#: Snippet length in words around the first query match.
+SNIPPET_WINDOW = 30
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """A search hit: url, title, and the snippet text."""
+
+    url: str
+    title: str
+    text: str
+
+
+class SearchEngineSim:
+    """tf-scored search with snippet generation (the Google stand-in)."""
+
+    def __init__(self, pages: list[WebPage]) -> None:
+        self._pages = pages
+        self._postings: dict[str, dict[int, int]] = defaultdict(dict)
+        self._page_words: list[list[str]] = []
+        self._title_words: list[set[str]] = []
+        for index, page in enumerate(pages):
+            words = word_tokens(f"{page.title} {page.text}")
+            self._page_words.append(words)
+            self._title_words.append(set(word_tokens(page.title)))
+            for word in words:
+                entry = self._postings[word]
+                entry[index] = entry.get(index, 0) + 1
+
+    def search(self, query: str, limit: int = 10) -> list[Snippet]:
+        """Top pages for ``query``, with snippets around the match."""
+        terms = [w for w in word_tokens(query) if not is_stopword(w)]
+        if not terms:
+            return []
+        scores: Counter[int] = Counter()
+        for term in terms:
+            for page_index, tf in self._postings.get(term, {}).items():
+                scores[page_index] += tf
+        # Title boost: pages whose title contains every query term rank
+        # first, as on a real engine — Google("People") should return
+        # pages *about* people, not pages that merely mention the word.
+        for page_index in list(scores):
+            if all(term in self._title_words[page_index] for term in terms):
+                scores[page_index] += 25
+        phrase = normalize_term(query)
+        results: list[Snippet] = []
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        for page_index, _ in ranked[:limit]:
+            page = self._pages[page_index]
+            results.append(
+                Snippet(
+                    url=page.url,
+                    title=page.title,
+                    text=self._snippet(page_index, terms, phrase),
+                )
+            )
+        return results
+
+    def _snippet(self, page_index: int, terms: list[str], phrase: str) -> str:
+        words = self._page_words[page_index]
+        anchor = 0
+        for position, word in enumerate(words):
+            if word in terms:
+                anchor = position
+                break
+        start = max(0, anchor - SNIPPET_WINDOW // 2)
+        return " ".join(words[start : start + SNIPPET_WINDOW])
+
+    def frequent_snippet_terms(
+        self, query: str, limit: int = 10, result_count: int = 10
+    ) -> list[str]:
+        """Most frequent non-query words/bigrams in the result snippets.
+
+        This is the context-term extraction the paper performs on Google
+        results: only titles and snippets are mined, never full pages.
+        """
+        snippets = self.search(query, limit=result_count)
+        query_words = set(word_tokens(query))
+        counts: Counter[str] = Counter()
+        for snippet in snippets:
+            words = [
+                w
+                for w in word_tokens(f"{snippet.title} {snippet.text}")
+                if not is_stopword(w) and w not in query_words
+            ]
+            counts.update(words)
+            for i in range(len(words) - 1):
+                counts[f"{words[i]} {words[i + 1]}"] += 1
+            for i in range(len(words) - 2):
+                counts[f"{words[i]} {words[i + 1]} {words[i + 2]}"] += 1
+        # Subsumed-fragment suppression (as in C-value phrase mining):
+        # a term that almost always occurs inside a longer counted
+        # phrase ("united" inside "united states") is a fragment, not a
+        # context term of its own.
+        longer_by_word: Counter[str] = Counter()
+        for term, count in counts.items():
+            words_in_term = term.split()
+            if len(words_in_term) > 1:
+                for word in words_in_term:
+                    longer_by_word[word] = max(longer_by_word[word], count)
+                if len(words_in_term) == 2:
+                    longer_by_word[term] = 0  # bigrams checked vs trigrams below
+        for term, count in counts.items():
+            if len(term.split()) == 3:
+                for i in range(2):
+                    bigram = " ".join(term.split()[i : i + 2])
+                    longer_by_word[bigram] = max(longer_by_word[bigram], count)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        results = []
+        for term, count in ranked:
+            if longer_by_word.get(term, 0) >= count * 0.8:
+                continue
+            results.append(term)
+            if len(results) >= limit:
+                break
+        return results

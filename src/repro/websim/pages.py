@@ -1,0 +1,104 @@
+"""Synthetic web pages derived from the knowledge base."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..config import ReproConfig
+from ..kb.world import World
+
+#: Promotional boilerplate that pollutes snippets (drives the Google
+#: precision drop the paper reports).  The pool is deliberately wide so
+#: that no single noise word dominates globally — each page samples a
+#: few, as real sites carry their own chrome.
+BOILERPLATE: tuple[str, ...] = (
+    "official", "site", "news", "reviews", "guide", "online", "free",
+    "best", "top", "deals", "shop", "latest", "exclusive", "updates",
+    "photos", "video", "click", "subscribe", "newsletter", "archive",
+    "homepage", "welcome", "contact", "about", "privacy", "terms",
+    "login", "register", "account", "search", "browse", "categories",
+    "featured", "popular", "trending", "recommended", "related",
+    "sponsored", "advertisement", "promotion", "discount", "coupon",
+    "shipping", "delivery", "checkout", "cart", "wishlist", "compare",
+    "ratings", "comments", "forum", "community", "blog", "podcast",
+    "gallery", "slideshow", "download", "mobile", "app", "widget",
+    "rss", "feed", "sitemap", "copyright", "careers", "press",
+)
+
+#: Pages generated per entity.
+PAGES_PER_ENTITY = 3
+
+#: Pages generated per facet term.
+PAGES_PER_FACET_TERM = 1
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One simulated web page."""
+
+    url: str
+    title: str
+    text: str
+
+
+def _entity_page(
+    world: World, entity_index: int, page_index: int, rng: random.Random
+) -> WebPage:
+    entity = world.entities[entity_index]
+    fragments: list[str] = [entity.name]
+    # The web "knows" the entity's context: facet terms and related terms
+    # appear in page text about it.
+    fragments.extend(entity.facet_terms)
+    fragments.extend(entity.related_terms)
+    fragments.extend(entity.description_words)
+    if entity.variants:
+        fragments.append(rng.choice(entity.variants))
+    # Promotional noise: a couple of chrome words per page.
+    for _ in range(rng.randint(1, 2)):
+        fragments.append(rng.choice(BOILERPLATE))
+    # Cross-contamination: a mention of an unrelated entity.
+    other = rng.choice(world.entities)
+    fragments.append(other.name)
+    rng.shuffle(fragments)
+    text = " . ".join(fragments)
+    return WebPage(
+        url=f"web://entity/{entity_index}/{page_index}",
+        title=f"{entity.name} — {rng.choice(BOILERPLATE)}",
+        text=text,
+    )
+
+
+def _facet_page(world: World, term: str, rng: random.Random) -> WebPage:
+    taxonomy = world.taxonomy
+    fragments: list[str] = [term]
+    parent = taxonomy.parent(term)
+    if parent is not None:
+        fragments.append(parent)
+    fragments.extend(taxonomy.children(term)[:4])
+    for entity in world.entities_under_facet(term)[:4]:
+        fragments.append(entity.name)
+    for _ in range(rng.randint(1, 2)):
+        fragments.append(rng.choice(BOILERPLATE))
+    rng.shuffle(fragments)
+    return WebPage(
+        url=f"web://facet/{term.replace(' ', '_')}",
+        title=f"{term} — {rng.choice(BOILERPLATE)}",
+        text=" . ".join(fragments),
+    )
+
+
+def build_web_corpus(
+    world: World, config: ReproConfig | None = None
+) -> list[WebPage]:
+    """Generate the deterministic synthetic web for ``world``."""
+    config = config or ReproConfig()
+    rng = config.rng("websim")
+    pages: list[WebPage] = []
+    for entity_index in range(len(world.entities)):
+        for page_index in range(PAGES_PER_ENTITY):
+            pages.append(_entity_page(world, entity_index, page_index, rng))
+    for term in world.taxonomy.terms():
+        for _ in range(PAGES_PER_FACET_TERM):
+            pages.append(_facet_page(world, term, rng))
+    return pages

@@ -1,0 +1,36 @@
+"""Simulated Wikipedia: pages, redirects, anchor text, and the link graph.
+
+The paper uses a downloaded Wikipedia snapshot in four ways:
+
+1. **page titles** as an important-term extractor (longest match wins,
+   redirect pages widen coverage) — :mod:`repro.wikipedia.titles`;
+2. the **link graph** as a context resource, scoring an edge
+   ``t1 -> t2`` with ``log(N / in(t2)) / out(t1)`` and returning the
+   top-k neighbours — :mod:`repro.wikipedia.graph`;
+3. **redirect groups** as high-precision synonyms — and
+4. **anchor texts** as noisier synonyms scored ``tf(p, t) / f(p)`` —
+   both in :mod:`repro.wikipedia.synonyms`.
+
+Our snapshot is generated from the knowledge base: one page per entity
+and per facet term, with links from entity pages to the facet terms on
+their paths (category-style links), related-term pages, and noise.
+"""
+
+from .model import WikiPage
+from .database import WikipediaDatabase
+from .builder import build_wikipedia
+from .graph import WikipediaGraph
+from .synonyms import SynonymFinder
+from .titles import TitleMatcher
+from .stats import SnapshotStats, snapshot_stats
+
+__all__ = [
+    "WikiPage",
+    "WikipediaDatabase",
+    "build_wikipedia",
+    "WikipediaGraph",
+    "SynonymFinder",
+    "TitleMatcher",
+    "SnapshotStats",
+    "snapshot_stats",
+]

@@ -1,0 +1,159 @@
+"""Construction of the simulated Wikipedia snapshot from the world.
+
+Layout of the generated snapshot:
+
+* one page per **facet term**, linking to its taxonomy parent, children,
+  and a few siblings (category-style navigation);
+* one page per **entity**, linking to every facet term on its paths, to
+  its related-term pages, and to a few unrelated entity pages (noise);
+* one page per **related term** ("President of France"), linking back to
+  the owning entity and its facet terms;
+* **redirects** from every entity variant to its canonical page;
+* **anchor texts**: variants (high tf), description-word + last-name
+  combinations ("Samurai Tsunenaga" style, low tf), and deliberately
+  ambiguous generic anchors ("the president") pointing at many pages;
+* a layer of "List of ..." noise pages linking broadly.
+
+Some titles play both roles — the entity "France" and the facet term
+"France" share a page — so links and body terms are accumulated per
+title and merged before the pages are materialized.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from ..config import ReproConfig
+from ..kb.schema import EntityKind
+from ..kb.world import World
+from .database import WikipediaDatabase
+from .model import WikiPage
+
+#: Number of unrelated entity pages each entity page links to (noise).
+NOISE_LINKS_PER_ENTITY = 1
+
+#: Number of "List of ..." navigation pages generated.
+NOISE_PAGE_COUNT = 60
+
+
+class _SnapshotAccumulator:
+    """Collects links/body terms per title, merging duplicate roles."""
+
+    def __init__(self) -> None:
+        self.links: dict[str, list[str]] = defaultdict(list)
+        self.body: dict[str, list[str]] = defaultdict(list)
+
+    def add(self, title: str, links: list[str], body: list[str]) -> None:
+        self.links[title].extend(links)
+        self.body[title].extend(body)
+
+    def materialize(self, database: WikipediaDatabase) -> None:
+        for title in self.links:
+            out = tuple(
+                target
+                for target in dict.fromkeys(self.links[title])
+                if target != title
+            )
+            database.add_page(
+                WikiPage(
+                    title=title,
+                    links=out,
+                    body_terms=tuple(dict.fromkeys(self.body[title])),
+                )
+            )
+
+
+def _facet_pages(world: World, acc: _SnapshotAccumulator) -> None:
+    # Category-style navigation: parent and children only.  Sibling
+    # links would make every "France" document co-occur with "Germany"
+    # in the expanded database, and subsumption would then nest sibling
+    # countries under each other.
+    taxonomy = world.taxonomy
+    for term in taxonomy.terms():
+        links: list[str] = []
+        parent = taxonomy.parent(term)
+        if parent is not None:
+            links.append(parent)
+        links.extend(taxonomy.children(term))
+        acc.add(term, links, [term.lower()])
+
+
+def _related_term_pages(world: World, acc: _SnapshotAccumulator) -> None:
+    for entity in world.entities:
+        for related in entity.related_terms:
+            links = [entity.name]
+            links.extend(entity.facet_terms[:3])
+            acc.add(related, links, [related.lower()])
+
+
+def _entity_pages(
+    world: World, acc: _SnapshotAccumulator, rng: random.Random
+) -> None:
+    all_entities = list(world.entities)
+    for entity in world.entities:
+        links: list[str] = list(entity.facet_terms)
+        links.extend(entity.related_terms)
+        for _ in range(NOISE_LINKS_PER_ENTITY):
+            other = rng.choice(all_entities)
+            if other.name != entity.name:
+                links.append(other.name)
+        body = list(entity.description_words)
+        body.extend(term.lower() for term in entity.facet_terms)
+        body.extend(related.lower() for related in entity.related_terms)
+        acc.add(entity.name, links, body)
+
+
+def _redirects_and_anchors(
+    world: World, database: WikipediaDatabase, rng: random.Random
+) -> None:
+    for entity in world.entities:
+        # Redirect pages: high-accuracy synonym groups.
+        for variant in entity.variants:
+            database.add_redirect(variant, entity.name)
+        # Anchor text: canonical and variant forms, used often.
+        database.add_anchor(entity.name, entity.name, count=rng.randint(5, 30))
+        for variant in entity.variants:
+            database.add_anchor(variant, entity.name, count=rng.randint(2, 12))
+        # "Samurai Tsunenaga"-style anchors: description word + last name.
+        if entity.kind == EntityKind.PERSON and entity.description_words:
+            last = entity.name.split()[-1]
+            word = rng.choice(entity.description_words)
+            database.add_anchor(f"{word.title()} {last}", entity.name, count=1)
+
+    # Deliberately ambiguous anchors: generic role phrases pointing at
+    # many pages (spread > 1 drives their score down).
+    generic = {
+        "the president": EntityKind.PERSON,
+        "the company": EntityKind.ORGANIZATION,
+        "the agency": EntityKind.ORGANIZATION,
+        "the city": EntityKind.LOCATION,
+    }
+    for phrase, kind in generic.items():
+        pool = world.entities_of_kind(kind)
+        for entity in rng.sample(list(pool), min(5, len(pool))):
+            database.add_anchor(phrase, entity.name, count=rng.randint(1, 4))
+
+
+def _noise_pages(acc: _SnapshotAccumulator, rng: random.Random) -> None:
+    titles = list(acc.links)
+    for index in range(NOISE_PAGE_COUNT):
+        targets = rng.sample(titles, min(8, len(titles)))
+        acc.add(f"List of notable subjects ({index + 1})", list(targets), ["list"])
+
+
+def build_wikipedia(
+    world: World, config: ReproConfig | None = None
+) -> WikipediaDatabase:
+    """Generate the deterministic Wikipedia snapshot for ``world``."""
+    config = config or ReproConfig()
+    rng = config.rng("wikipedia")
+    acc = _SnapshotAccumulator()
+    _facet_pages(world, acc)
+    _related_term_pages(world, acc)
+    _entity_pages(world, acc, rng)
+    _noise_pages(acc, rng)
+    database = WikipediaDatabase()
+    acc.materialize(database)
+    _redirects_and_anchors(world, database, rng)
+    return database

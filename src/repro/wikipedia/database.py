@@ -1,0 +1,219 @@
+"""The simulated Wikipedia store.
+
+Mirrors the paper's setup ("we downloaded the contents of Wikipedia and
+built a relational database that contains, among other things, the titles
+of all the Wikipedia pages"): pages, redirects, anchors, and links live
+in memory for speed and can be persisted to SQLite.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections import defaultdict
+from collections.abc import Iterable
+
+from ..errors import StorageError
+from ..text.tokenizer import normalize_term
+from .model import AnchorStats, WikiPage
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS pages (
+    title TEXT PRIMARY KEY,
+    body  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS links (
+    source TEXT NOT NULL,
+    target TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS redirects (
+    variant TEXT PRIMARY KEY,
+    target  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS anchors (
+    phrase TEXT NOT NULL,
+    target TEXT NOT NULL,
+    tf     INTEGER NOT NULL
+);
+"""
+
+
+class WikipediaDatabase:
+    """Pages, redirects, anchor statistics, and the link graph."""
+
+    def __init__(self) -> None:
+        self._pages: dict[str, WikiPage] = {}
+        self._redirects: dict[str, str] = {}  # normalized variant -> title
+        self._anchors: dict[str, AnchorStats] = {}  # normalized phrase
+        self._incoming: dict[str, set[str]] = defaultdict(set)
+        self._redirect_groups: dict[str, list[str]] = defaultdict(list)
+        self._title_by_norm: dict[str, str] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_page(self, page: WikiPage) -> None:
+        """Register a page; titles must be unique."""
+        if page.title in self._pages:
+            raise StorageError(f"duplicate Wikipedia title: {page.title!r}")
+        self._pages[page.title] = page
+        self._title_by_norm.setdefault(normalize_term(page.title), page.title)
+        for target in page.links:
+            self._incoming[target].add(page.title)
+
+    def add_redirect(self, variant: str, target: str) -> None:
+        """Register a redirect page ``variant -> target``."""
+        key = normalize_term(variant)
+        if not key:
+            return
+        self._redirects.setdefault(key, target)
+        self._redirect_groups[target].append(variant)
+
+    def add_anchor(self, phrase: str, target: str, count: int = 1) -> None:
+        """Record ``count`` uses of ``phrase`` as anchor text to ``target``."""
+        key = normalize_term(phrase)
+        if not key:
+            return
+        stats = self._anchors.get(key)
+        if stats is None:
+            stats = AnchorStats(phrase=key)
+            self._anchors[key] = stats
+        stats.add(target, count)
+
+    # -- lookups ------------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def titles(self) -> tuple[str, ...]:
+        return tuple(self._pages)
+
+    def page(self, title: str) -> WikiPage | None:
+        """Page by exact title, or via redirect, or None."""
+        direct = self._pages.get(title)
+        if direct is not None:
+            return direct
+        resolved = self.resolve(title)
+        if resolved is not None:
+            return self._pages.get(resolved)
+        return None
+
+    def resolve(self, surface: str) -> str | None:
+        """Resolve a surface form to a page title via title or redirect."""
+        key = normalize_term(surface)
+        if key in self._title_by_norm:
+            return self._title_by_norm[key]
+        return self._redirects.get(key)
+
+    def redirect_group(self, title: str) -> tuple[str, ...]:
+        """All variants redirecting to ``title``."""
+        return tuple(self._redirect_groups.get(title, ()))
+
+    def anchor_stats(self, phrase: str) -> AnchorStats | None:
+        """Anchor statistics for a phrase (normalized), or None."""
+        return self._anchors.get(normalize_term(phrase))
+
+    def anchors_to(self, title: str) -> list[tuple[str, float]]:
+        """All anchor phrases pointing at ``title`` with their scores."""
+        results = []
+        for stats in self._anchors.values():
+            if title in stats.targets:
+                results.append((stats.phrase, stats.score(title)))
+        results.sort(key=lambda item: (-item[1], item[0]))
+        return results
+
+    def out_links(self, title: str) -> tuple[str, ...]:
+        page = self._pages.get(title)
+        return page.links if page else ()
+
+    def in_links(self, title: str) -> tuple[str, ...]:
+        return tuple(self._incoming.get(title, ()))
+
+    def out_degree(self, title: str) -> int:
+        return len(self.out_links(title))
+
+    def in_degree(self, title: str) -> int:
+        return len(self._incoming.get(title, ()))
+
+    def all_known_surfaces(self) -> Iterable[str]:
+        """All title and redirect surfaces (normalized forms)."""
+        yield from self._title_by_norm
+        yield from self._redirects
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the snapshot to SQLite."""
+        connection = sqlite3.connect(path)
+        try:
+            with connection:
+                connection.executescript(_SCHEMA)
+                connection.execute("DELETE FROM pages")
+                connection.execute("DELETE FROM links")
+                connection.execute("DELETE FROM redirects")
+                connection.execute("DELETE FROM anchors")
+                connection.executemany(
+                    "INSERT INTO pages VALUES (?,?)",
+                    [(p.title, "\x1f".join(p.body_terms)) for p in self._pages.values()],
+                )
+                connection.executemany(
+                    "INSERT INTO links VALUES (?,?)",
+                    [
+                        (page.title, target)
+                        for page in self._pages.values()
+                        for target in page.links
+                    ],
+                )
+                connection.executemany(
+                    "INSERT INTO redirects VALUES (?,?)",
+                    [
+                        (variant, target)
+                        for target, variants in self._redirect_groups.items()
+                        for variant in variants
+                    ],
+                )
+                connection.executemany(
+                    "INSERT INTO anchors VALUES (?,?,?)",
+                    [
+                        (stats.phrase, target, tf)
+                        for stats in self._anchors.values()
+                        for target, tf in stats.targets.items()
+                    ],
+                )
+        finally:
+            connection.close()
+
+    @classmethod
+    def load(cls, path: str) -> "WikipediaDatabase":
+        """Load a snapshot written with :meth:`save`."""
+        connection = sqlite3.connect(path)
+        try:
+            page_rows = connection.execute("SELECT title, body FROM pages").fetchall()
+            link_rows = connection.execute("SELECT source, target FROM links").fetchall()
+            redirect_rows = connection.execute(
+                "SELECT variant, target FROM redirects"
+            ).fetchall()
+            anchor_rows = connection.execute(
+                "SELECT phrase, target, tf FROM anchors"
+            ).fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise StorageError(f"cannot read Wikipedia snapshot at {path!r}") from exc
+        finally:
+            connection.close()
+        links_by_source: dict[str, list[str]] = defaultdict(list)
+        for source, target in link_rows:
+            links_by_source[source].append(target)
+        database = cls()
+        for title, body in page_rows:
+            body_terms = tuple(body.split("\x1f")) if body else ()
+            database.add_page(
+                WikiPage(
+                    title=title,
+                    links=tuple(links_by_source.get(title, ())),
+                    body_terms=body_terms,
+                )
+            )
+        for variant, target in redirect_rows:
+            database.add_redirect(variant, target)
+        for phrase, target, tf in anchor_rows:
+            database.add_anchor(phrase, target, tf)
+        return database

@@ -1,0 +1,64 @@
+"""The Wikipedia link graph with tf.idf-style association scoring.
+
+Section IV-B of the paper: for a link ``t1 -> t2`` the level of
+association is ``log(N / in(t2)) / out(t1)`` where ``N`` is the number of
+entries, ``in(t2)`` the in-degree of the target, and ``out(t1)`` the
+out-degree of the source.  The metric is deliberately asymmetric.
+Querying the graph with a term returns the top-k highest-scoring
+neighbours (the paper fixes k = 50).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .database import WikipediaDatabase
+
+
+@dataclass(frozen=True)
+class Neighbour:
+    """A linked entry with its association score."""
+
+    title: str
+    score: float
+
+
+class WikipediaGraph:
+    """Association queries over the simulated link graph."""
+
+    def __init__(self, database: WikipediaDatabase) -> None:
+        self._db = database
+
+    def association(self, source: str, target: str) -> float:
+        """Score of the directed link ``source -> target``.
+
+        Returns 0.0 when the link does not exist.
+        """
+        if target not in self._db.out_links(source):
+            return 0.0
+        return self._score(source, target)
+
+    def _score(self, source: str, target: str) -> float:
+        n = max(self._db.page_count, 1)
+        in_degree = max(self._db.in_degree(target), 1)
+        out_degree = max(self._db.out_degree(source), 1)
+        return math.log(n / in_degree) / out_degree
+
+    def neighbours(self, term: str, k: int = 50) -> list[Neighbour]:
+        """Top-``k`` outgoing neighbours of the page matching ``term``.
+
+        The term is resolved through titles and redirects; an unknown
+        term yields an empty list.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        title = self._db.resolve(term)
+        if title is None:
+            return []
+        scored = [
+            Neighbour(target, self._score(title, target))
+            for target in self._db.out_links(title)
+        ]
+        scored.sort(key=lambda item: (-item.score, item.title))
+        return scored[:k]

@@ -1,0 +1,45 @@
+"""Data model of the simulated Wikipedia snapshot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WikiPage:
+    """One Wikipedia entry.
+
+    ``links`` are outgoing links to other page titles; ``body_terms``
+    approximate the page text (used when resources mine page content).
+    """
+
+    title: str
+    links: tuple[str, ...] = ()
+    body_terms: tuple[str, ...] = ()
+
+
+@dataclass
+class AnchorStats:
+    """Usage counts for one anchor phrase.
+
+    ``targets`` maps a page title to ``tf(p, t)`` — how many times the
+    phrase links to that page.  ``spread`` (the paper's ``f(p)``) is the
+    number of distinct pages the phrase points to.
+    """
+
+    phrase: str
+    targets: dict[str, int] = field(default_factory=dict)
+
+    def add(self, target: str, count: int = 1) -> None:
+        self.targets[target] = self.targets.get(target, 0) + count
+
+    @property
+    def spread(self) -> int:
+        return len(self.targets)
+
+    def score(self, target: str) -> float:
+        """The paper's anchor score ``s(p, t) = tf(p, t) / f(p)``."""
+        tf = self.targets.get(target, 0)
+        if tf == 0 or not self.targets:
+            return 0.0
+        return tf / self.spread

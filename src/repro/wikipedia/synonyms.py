@@ -1,0 +1,69 @@
+"""Wikipedia Synonyms: redirect groups plus scored anchor-text variants.
+
+Section IV-B of the paper: redirect pages give high-accuracy synonym
+groups ("Hillary Clinton", "Hillary R. Clinton", ... -> "Hillary Rodham
+Clinton"); anchor text widens coverage ("Samurai Tsunenaga") but is
+noisier, so anchor phrases are ranked by ``s(p, t) = tf(p, t) / f(p)``
+and only those above a threshold are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..text.tokenizer import normalize_term
+from .database import WikipediaDatabase
+
+#: Minimum anchor score for a phrase to count as a synonym.
+DEFAULT_ANCHOR_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class Synonym:
+    """One synonym with its provenance and score."""
+
+    phrase: str
+    source: str  # "title", "redirect", or "anchor"
+    score: float
+
+
+class SynonymFinder:
+    """Synonym queries against the simulated snapshot."""
+
+    def __init__(
+        self,
+        database: WikipediaDatabase,
+        anchor_threshold: float = DEFAULT_ANCHOR_THRESHOLD,
+    ) -> None:
+        if not 0 <= anchor_threshold <= 1:
+            raise ValueError(
+                f"anchor_threshold must be in [0, 1], got {anchor_threshold}"
+            )
+        self._db = database
+        self._threshold = anchor_threshold
+
+    def synonyms(self, term: str) -> list[Synonym]:
+        """All variants of the entry that ``term`` resolves to.
+
+        The canonical title is always included (source ``"title"``),
+        redirects score 1.0, anchors carry their ``tf/f`` score and are
+        filtered by the threshold.
+        """
+        title = self._db.resolve(term)
+        if title is None:
+            return []
+        results = [Synonym(title, "title", 1.0)]
+        seen = {normalize_term(title)}
+        for variant in self._db.redirect_group(title):
+            key = normalize_term(variant)
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(Synonym(variant, "redirect", 1.0))
+        for phrase, score in self._db.anchors_to(title):
+            key = normalize_term(phrase)
+            if key in seen or score < self._threshold:
+                continue
+            seen.add(key)
+            results.append(Synonym(phrase, "anchor", score))
+        return results

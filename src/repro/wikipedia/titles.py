@@ -1,0 +1,81 @@
+"""Longest-match title lookup: the Wikipedia term extractor's core.
+
+Section IV-A of the paper: "Whenever a term in the document matches a
+title of a Wikipedia entry, we mark the term as important.  If there are
+multiple candidate titles, we pick the longest title" — with redirect
+pages widening the match ("Hillary Clinton" matches even though the page
+is "Hillary Rodham Clinton").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..text.stopwords import is_common_opener
+from ..text.tokenizer import normalize_term, tokenize
+from .database import WikipediaDatabase
+
+#: Longest title length considered, in words.
+MAX_TITLE_WORDS = 6
+
+
+@dataclass(frozen=True)
+class TitleMatch:
+    """A matched span: the surface text and the resolved page title."""
+
+    surface: str
+    title: str
+    start_token: int
+    end_token: int  # exclusive
+
+
+class TitleMatcher:
+    """Greedy longest-match scanning of document text against titles."""
+
+    def __init__(
+        self, database: WikipediaDatabase, use_redirects: bool = True
+    ) -> None:
+        self._db = database
+        self._use_redirects = use_redirects
+        self._surfaces: set[str] = set()
+        for surface in database.all_known_surfaces():
+            self._surfaces.add(surface)
+        if not use_redirects:
+            # Titles only: rebuild from page titles, ignoring redirects.
+            self._surfaces = {normalize_term(t) for t in database.titles()}
+
+    def matches(self, text: str) -> list[TitleMatch]:
+        """All non-overlapping longest title matches in ``text``."""
+        tokens = tokenize(text)
+        words = [token.text for token in tokens]
+        matches: list[TitleMatch] = []
+        i = 0
+        while i < len(words):
+            found = None
+            # Longest candidate first: "pick the longest title".
+            for n in range(min(MAX_TITLE_WORDS, len(words) - i), 0, -1):
+                surface = " ".join(words[i : i + n])
+                key = normalize_term(surface)
+                if key in self._surfaces:
+                    # A single generic lower-case word ("people", "war")
+                    # matching an entry title is almost never a mention of
+                    # that entry; require a proper-noun surface for
+                    # single-word matches.
+                    if n == 1 and (
+                        not words[i][0].isupper() or is_common_opener(words[i])
+                    ):
+                        continue
+                    title = self._db.resolve(surface)
+                    if title is not None:
+                        found = TitleMatch(surface, title, i, i + n)
+                        break
+            if found is not None:
+                matches.append(found)
+                i = found.end_token
+            else:
+                i += 1
+        return matches
+
+    def match_titles(self, text: str) -> list[str]:
+        """Distinct resolved titles found in ``text`` (document order)."""
+        return list(dict.fromkeys(match.title for match in self.matches(text)))

@@ -1,0 +1,18 @@
+"""Mini WordNet: synsets with hypernym chains for common nouns.
+
+Stands in for the real WordNet (Fellbaum, 1998) used by the paper's
+"WordNet Hypernyms" context resource.  Faithful to the original's
+behaviour profile as the paper characterizes it:
+
+* hypernyms are high-precision generalizations that "naturally form a
+  hierarchy" (the highest-precision resource in Tables V-VII);
+* coverage is limited to **single common nouns** — named entities and
+  noun phrases are absent, which is why the paper reports very low
+  recall when WordNet is paired with a named-entity extractor.
+"""
+
+from .synset import Synset
+from .lexicon import Lexicon, build_lexicon
+from .hypernyms import HypernymLookup
+
+__all__ = ["Synset", "Lexicon", "build_lexicon", "HypernymLookup"]

@@ -1,0 +1,35 @@
+"""Hypernym lookup over the mini WordNet lexicon."""
+
+from __future__ import annotations
+
+from .lexicon import Lexicon
+
+
+class HypernymLookup:
+    """Query interface used by the WordNet context resource."""
+
+    def __init__(self, lexicon: Lexicon) -> None:
+        self._lexicon = lexicon
+
+    def hypernyms(self, term: str, max_depth: int | None = None) -> list[str]:
+        """Hypernyms of ``term`` across all senses, most specific first.
+
+        Returns an empty list for unknown words, named entities, and
+        phrases (the coverage gap the paper attributes to WordNet).
+        ``max_depth`` limits how far up each chain to climb.
+        """
+        results: list[str] = []
+        seen: set[str] = set()
+        for synset in self._lexicon.synsets(term):
+            chain = self._lexicon.chain(synset)
+            if max_depth is not None:
+                chain = chain[:max_depth]
+            for hypernym in chain:
+                if hypernym not in seen:
+                    seen.add(hypernym)
+                    results.append(hypernym)
+        return results
+
+    def covers(self, term: str) -> bool:
+        """True when the lexicon has at least one sense for ``term``."""
+        return bool(self._lexicon.synsets(term))

@@ -1,0 +1,178 @@
+"""The mini WordNet lexicon and its builder.
+
+Two layers of hypernym chains:
+
+* a **hand-written core** for role nouns and newswire filler
+  ("president -> leaders -> people", "year -> time period ->
+  abstraction"), and
+* **topic-derived chains**: every topic vocabulary word gains a sense
+  whose hypernym chain climbs from the topic's primary facet term up its
+  taxonomy path ("inning -> sports -> event").
+
+Only single lower-case common nouns are covered — named entities and
+multi-word phrases are deliberately absent, mirroring the coverage gap
+of the real WordNet that the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..kb.world import World
+from .synset import Synset
+
+#: Hand-written hypernym chains (word -> chain bottom-up).
+_CORE_CHAINS: dict[str, tuple[str, ...]] = {
+    # Roles and people.
+    "president": ("leaders", "people"),
+    "minister": ("leaders", "people"),
+    "senator": ("political leaders", "leaders", "people"),
+    "governor": ("political leaders", "leaders", "people"),
+    "executive": ("business leaders", "leaders", "people"),
+    "chief": ("business leaders", "leaders", "people"),
+    "commander": ("military leaders", "leaders", "people"),
+    "player": ("athletes", "people"),
+    "singer": ("musicians", "artists", "people"),
+    "author": ("writers", "artists", "people"),
+    "doctors": ("people",),
+    "voter": ("people",),
+    "candidate": ("people",),
+    "journalist": ("journalists", "people"),
+    "clergy": ("religious leaders", "leaders", "people"),
+    # Institutions and things.
+    "company": ("corporations", "markets"),
+    "team": ("sports", "event"),
+    "church": ("religion", "social phenomenon"),
+    "school": ("schools", "education", "social phenomenon"),
+    "hospital": ("hospitals", "institutes"),
+    "university": ("universities", "institutes"),
+    "court": ("courts", "institutes"),
+    "museum": ("museums", "institutes"),
+    # Phenomena.
+    "storm": ("storms", "weather", "nature"),
+    "hurricane": ("hurricanes", "natural disasters", "event"),
+    "earthquake": ("earthquakes", "natural disasters", "event"),
+    "flood": ("floods", "natural disasters", "event"),
+    "drought": ("drought", "weather", "nature"),
+    "virus": ("epidemics", "health", "social phenomenon"),
+    "disease": ("health", "social phenomenon"),
+    "vaccine": ("medicine", "health", "social phenomenon"),
+    "election": ("elections", "political events", "event"),
+    "summit": ("summits", "political events", "event"),
+    "treaty": ("diplomacy", "politics", "social phenomenon"),
+    "war": ("war", "conflicts", "event"),
+    "attack": ("violence", "crime", "social phenomenon"),
+    "robbery": ("crime", "social phenomenon"),
+    "merger": ("mergers", "business", "markets"),
+    "shares": ("stock market", "financial markets", "markets"),
+    "mortgage": ("real estate", "economy", "markets"),
+    "software": ("computers", "technology", "social phenomenon"),
+    "website": ("internet", "technology", "social phenomenon"),
+    "album": ("music", "culture", "social phenomenon"),
+    "film": ("film", "culture", "social phenomenon"),
+    "movie": ("film", "culture", "social phenomenon"),
+    "novel": ("literature", "culture", "social phenomenon"),
+    "emissions": ("pollution", "environment", "nature"),
+    "climate": ("climate change", "environment", "nature"),
+    "habitat": ("environment", "nature"),
+    "anniversary": ("anniversaries", "history"),
+    "memorial": ("history",),
+    # Generic newswire filler: neutral, non-facet hypernyms.
+    "year": ("time period", "abstraction"),
+    "month": ("time period", "abstraction"),
+    "week": ("time period", "abstraction"),
+    "time": ("abstraction",),
+    "people": ("group",),
+    "state": ("region", "location"),
+    "work": ("activity",),
+    "home": ("building", "artifact"),
+    "report": ("document", "artifact"),
+    "game": ("activity",),
+    "million": ("number", "abstraction"),
+    "percent": ("proportion", "abstraction"),
+    "help": ("activity",),
+    "plan": ("idea", "abstraction"),
+    "house": ("building", "artifact"),
+    "world": ("location",),
+    "call": ("communication", "abstraction"),
+    "thing": ("entity",),
+}
+
+
+class Lexicon:
+    """Word -> synsets table with chain traversal."""
+
+    def __init__(self) -> None:
+        self._senses: dict[str, list[Synset]] = defaultdict(list)
+        self._chains: dict[str, tuple[str, ...]] = {}
+
+    def add_chain(self, word: str, chain: tuple[str, ...]) -> None:
+        """Register one sense of ``word`` with its bottom-up chain."""
+        word = word.lower()
+        for existing in self._senses[word]:
+            if self._chains[existing.key] == chain:
+                return
+        sense = len(self._senses[word]) + 1
+        synset = Synset(
+            lemma=word,
+            hypernym=chain[0] if chain else None,
+            sense=sense,
+        )
+        self._senses[word].append(synset)
+        self._chains[synset.key] = chain
+
+    def synsets(self, word: str) -> list[Synset]:
+        """All senses of ``word`` (empty for unknown words and phrases)."""
+        if " " in word:
+            return []  # no phrase coverage, as in the paper's account
+        return list(self._senses.get(word.lower(), ()))
+
+    def chain(self, synset: Synset) -> tuple[str, ...]:
+        """Bottom-up hypernym chain of a synset."""
+        return self._chains.get(synset.key, ())
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._senses
+
+    def __len__(self) -> int:
+        return len(self._senses)
+
+    def words(self) -> tuple[str, ...]:
+        return tuple(self._senses)
+
+
+def build_lexicon(world: World) -> Lexicon:
+    """Build the lexicon: hand-written core plus derived chains.
+
+    Three derived layers, mirroring the real WordNet's breadth:
+
+    * every topic vocabulary word gets one sense per topic facet term
+      (cycled, so the topic's whole facet neighbourhood is reachable);
+    * every *single-word* taxonomy term gets a sense whose chain climbs
+      its own taxonomy path ("baseball -> sports -> event");
+    * geographic taxonomy terms get instance chains ("france ->
+      europe -> location") — the real WordNet does contain countries,
+      even though it lacks people and organizations.
+    """
+    lexicon = Lexicon()
+    for word, chain in _CORE_CHAINS.items():
+        lexicon.add_chain(word, chain)
+    taxonomy = world.taxonomy
+    for topic in world.topics:
+        anchors = topic.facet_terms
+        for index, word in enumerate(topic.vocabulary):
+            if " " in word:
+                continue
+            anchor = anchors[index % len(anchors)]
+            path = taxonomy.path(anchor)  # root ... anchor
+            chain = tuple(term.lower() for term in reversed(path))
+            lexicon.add_chain(word, chain)
+    for term in taxonomy.terms():
+        if " " in term:
+            continue
+        path = taxonomy.path(term)
+        if len(path) < 2:
+            continue
+        chain = tuple(t.lower() for t in reversed(path[:-1]))
+        lexicon.add_chain(term.lower(), chain)
+    return lexicon

@@ -1,0 +1,24 @@
+"""Synsets for the mini WordNet."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Synset:
+    """A sense of a word with a pointer to its hypernym synset.
+
+    ``lemma`` is the head word of the synset; ``hypernym`` names the
+    lemma of the parent synset (None at the top of a chain).  A word may
+    have several synsets (senses); lookups traverse all of them.
+    """
+
+    lemma: str
+    hypernym: str | None = None
+    sense: int = 1
+
+    @property
+    def key(self) -> str:
+        """Unique synset identifier, e.g. ``"bank.n.2"``."""
+        return f"{self.lemma}.n.{self.sense}"

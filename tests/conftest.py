@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (world, Wikipedia snapshot, small corpus, pipeline run)
+are session-scoped so the suite stays fast; they use a reduced scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.builder import FacetPipelineBuilder
+from repro.config import ReproConfig
+from repro.corpus import build_snyt
+from repro.corpus.document import Corpus
+from repro.kb.world import World, build_world
+from repro.resources.registry import ResourceSubstrates
+from repro.wikipedia.database import WikipediaDatabase
+
+
+@pytest.fixture(scope="session")
+def config() -> ReproConfig:
+    """Small-scale configuration for fast tests."""
+    return ReproConfig(scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def world(config: ReproConfig) -> World:
+    return build_world(config)
+
+
+@pytest.fixture(scope="session")
+def builder(config: ReproConfig) -> FacetPipelineBuilder:
+    return FacetPipelineBuilder(config)
+
+
+@pytest.fixture(scope="session")
+def substrates(builder: FacetPipelineBuilder) -> ResourceSubstrates:
+    return builder.substrates
+
+
+@pytest.fixture(scope="session")
+def wikipedia(substrates: ResourceSubstrates) -> WikipediaDatabase:
+    return substrates.wikipedia
+
+
+@pytest.fixture(scope="session")
+def snyt(config: ReproConfig) -> Corpus:
+    """A 100-story SNYT corpus (scale 0.1)."""
+    return build_snyt(config)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(builder: FacetPipelineBuilder, snyt: Corpus):
+    """One full pipeline run shared by the integration-level tests."""
+    return builder.build().run(snyt.documents)

@@ -1,0 +1,78 @@
+"""Tests for the pipeline builder and hierarchy edge evidence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.builder import FacetPipelineBuilder
+from repro.core.evidence import LinkEvidence
+from repro.extractors.base import ExtractorName
+from repro.resources.base import ResourceName
+
+
+class TestLinkEvidence:
+    @pytest.fixture(scope="class")
+    def evidence(self, builder):
+        return builder.edge_evidence
+
+    def test_taxonomy_edge_supported(self, evidence):
+        assert evidence("France", "Europe")
+        assert evidence("Political Leaders", "Leaders")
+
+    def test_entity_to_facet_supported(self, evidence):
+        assert evidence("Jacques Chirac", "Political Leaders")
+        assert evidence("Jacques Chirac", "France")
+
+    def test_unrelated_pair_rejected(self, evidence):
+        assert not evidence("France", "Baseball")
+        assert not evidence("Jacques Chirac", "Hurricanes")
+
+    def test_hypernym_edge_supported(self, evidence):
+        assert evidence("president", "leaders")
+
+    def test_unknown_terms_rejected(self, evidence):
+        assert not evidence("gibberish abc", "more gibberish")
+
+    def test_no_substrates_rejects_everything(self):
+        empty = LinkEvidence()
+        assert not empty("France", "Europe")
+
+    def test_reverse_link_supported(self, evidence):
+        # Facet pages link to their children, so either direction of a
+        # parent/child pair carries evidence.
+        assert evidence("Europe", "France") or evidence("France", "Europe")
+
+
+class TestBuilder:
+    def test_default_builds_all(self, builder):
+        pipeline = builder.build()
+        assert len(pipeline._extractors) == len(ExtractorName)
+
+    def test_fluent_chaining_returns_self(self, config):
+        builder = FacetPipelineBuilder(config)
+        assert builder.with_top_k(10) is builder
+        assert builder.with_statistic("chi-square") is builder
+        assert builder.with_shift_requirement(False) is builder
+
+    def test_single_resource_not_wrapped(self, config):
+        builder = FacetPipelineBuilder(config).with_resources(
+            [ResourceName.WIKI_GRAPH]
+        )
+        pipeline = builder.build()
+        from repro.resources.wiki_graph import WikipediaGraphResource
+
+        assert isinstance(pipeline._resources[0], WikipediaGraphResource)
+
+    def test_multiple_resources_wrapped_in_composite(self, config):
+        builder = FacetPipelineBuilder(config)
+        pipeline = builder.build()
+        from repro.resources.composite import CompositeResource
+
+        assert isinstance(pipeline._resources[0], CompositeResource)
+
+    def test_substrates_shared_across_builds(self, config):
+        builder = FacetPipelineBuilder(config)
+        assert builder.substrates is builder.substrates
+        p1 = builder.build()
+        p2 = builder.build()
+        assert p1 is not p2

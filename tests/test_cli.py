@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T1" in out
+        assert "EXP-US" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "EXP-NOPE"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_figure(self, capsys):
+        assert main(["--scale", "0.05", "run", "EXP-F5"]) == 0
+        assert capsys.readouterr().out
+
+    def test_extract(self, capsys):
+        assert main(["--scale", "0.05", "extract", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "score" in out
+
+    def test_browse(self, capsys):
+        assert main(["--scale", "0.05", "browse"]) == 0
+        assert "top-level facets" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_seed_flag(self, capsys):
+        assert main(["--scale", "0.05", "--seed", "42", "run", "EXP-F5"]) == 0

@@ -1,0 +1,87 @@
+"""Tests for repro.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    PAPER_MNYT_SIZE,
+    PAPER_SNB_SIZE,
+    PAPER_SNYT_SIZE,
+    ReproConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        config = ReproConfig()
+        assert config.scale > 0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            ReproConfig(scale=-1.0)
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            ReproConfig(scale=0.0)
+
+    def test_bad_top_k_rejected(self):
+        with pytest.raises(ConfigError):
+            ReproConfig(wiki_graph_top_k=0)
+
+    def test_bad_annotator_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ReproConfig(annotators_per_story=0)
+
+
+class TestScaling:
+    def test_full_scale_matches_paper_sizes(self):
+        config = ReproConfig(scale=1.0)
+        assert config.snyt_size == PAPER_SNYT_SIZE
+        assert config.snb_size == PAPER_SNB_SIZE
+        assert config.mnyt_size == PAPER_MNYT_SIZE
+
+    def test_half_scale(self):
+        config = ReproConfig(scale=0.5)
+        assert config.snyt_size == PAPER_SNYT_SIZE // 2
+
+    def test_scaled_respects_minimum(self):
+        config = ReproConfig(scale=0.0001)
+        assert config.scaled(1000, minimum=10) == 10
+
+    def test_annotated_sample_has_floor(self):
+        config = ReproConfig(scale=0.001)
+        assert config.annotated_sample_size >= 50
+
+
+class TestEnvScale:
+    def test_env_scale_read(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert ReproConfig().scale == 0.25
+
+    def test_env_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ConfigError):
+            ReproConfig()
+
+    def test_env_scale_negative(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-2")
+        with pytest.raises(ConfigError):
+            ReproConfig()
+
+
+class TestRng:
+    def test_same_namespace_same_stream(self):
+        config = ReproConfig(seed=7)
+        assert config.rng("x").random() == config.rng("x").random()
+
+    def test_different_namespace_different_stream(self):
+        config = ReproConfig(seed=7)
+        assert config.rng("x").random() != config.rng("y").random()
+
+    def test_different_seed_different_stream(self):
+        assert (
+            ReproConfig(seed=1).rng("x").random()
+            != ReproConfig(seed=2).rng("x").random()
+        )

@@ -1,0 +1,199 @@
+"""Tests for facet-hierarchy materialization and the browsing interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotate import annotate_database
+from repro.core.contextualize import contextualize
+from repro.core.hierarchy import build_facet_hierarchies
+from repro.core.interface import FacetedInterface
+from repro.core.selection import select_facet_terms
+from repro.corpus.document import Document
+from repro.db.store import DocumentStore
+from repro.errors import HierarchyError
+from repro.resources.base import ExternalResource, ResourceName
+
+
+class StubExtractor:
+    def use_background(self, vocabulary):
+        pass
+
+    def extract(self, document):
+        return [w for w in document.body.split() if w[:1].isupper()]
+
+
+class StubResource(ExternalResource):
+    name = ResourceName.WIKI_GRAPH
+
+    def __init__(self, table):
+        super().__init__()
+        self.table = table
+
+    def _query(self, term):
+        return list(self.table.get(term.lower(), []))
+
+
+@pytest.fixture()
+def small_world():
+    """12 docs: 5 Paris (-> France, Europe), 3 Berlin (-> Germany,
+    Europe), 4 Tokyo (-> Japan, Asia); unique filler words keep the
+    vocabulary large enough for meaningful rank bins."""
+    documents = [
+        Document(
+            doc_id=f"p{i}",
+            title="Note",
+            body=f"Paris spoke first today about matter{i} and case{i}",
+        )
+        for i in range(5)
+    ] + [
+        Document(
+            doc_id=f"b{i}",
+            title="Note",
+            body=f"Berlin replied early with point{i} and memo{i}",
+        )
+        for i in range(3)
+    ] + [
+        Document(
+            doc_id=f"t{i}",
+            title="Note",
+            body=f"Tokyo answered last night citing item{i} and file{i}",
+        )
+        for i in range(4)
+    ]
+    table = {
+        "paris": ["France", "Europe"],
+        "berlin": ["Germany", "Europe"],
+        "tokyo": ["Japan", "Asia"],
+    }
+    annotated = annotate_database(documents, [StubExtractor()])
+    contextualized = contextualize(annotated, [StubResource(table)])
+    candidates = select_facet_terms(contextualized, top_k=None)
+    return documents, contextualized, candidates
+
+
+class TestBuildHierarchies:
+    def test_country_under_continent(self, small_world):
+        _, contextualized, candidates = small_world
+        facets = build_facet_hierarchies(candidates, contextualized)
+        by_name = {f.name: f for f in facets}
+        assert "europe" in by_name
+        europe_kids = [c.term for c in by_name["europe"].root.children]
+        assert "france" in europe_kids
+
+    def test_counts_include_descendants(self, small_world):
+        _, contextualized, candidates = small_world
+        facets = build_facet_hierarchies(candidates, contextualized)
+        europe = next(f for f in facets if f.name == "europe")
+        assert europe.root.count == 8
+
+    def test_min_docs_filter(self, small_world):
+        _, contextualized, candidates = small_world
+        facets = build_facet_hierarchies(candidates, contextualized, min_docs=5)
+        names = {f.name for f in facets}
+        assert "asia" not in names  # only 4 docs
+        assert "japan" not in names
+
+    def test_edge_validator_breaks_edges(self, small_world):
+        _, contextualized, candidates = small_world
+        facets = build_facet_hierarchies(
+            candidates, contextualized, edge_validator=lambda c, p: False
+        )
+        assert all(not f.root.children for f in facets)
+
+    def test_invalid_min_docs(self, small_world):
+        _, contextualized, candidates = small_world
+        with pytest.raises(HierarchyError):
+            build_facet_hierarchies(candidates, contextualized, min_docs=0)
+
+    def test_invalid_coverage(self, small_world):
+        _, contextualized, candidates = small_world
+        with pytest.raises(HierarchyError):
+            build_facet_hierarchies(candidates, contextualized, max_coverage=0)
+
+    def test_node_walk_and_find(self, small_world):
+        _, contextualized, candidates = small_world
+        facets = build_facet_hierarchies(candidates, contextualized)
+        europe = next(f for f in facets if f.name == "europe")
+        assert europe.root.find("FRANCE") is not None
+        assert europe.root.find("atlantis") is None
+        assert europe.name in europe.terms()
+
+
+class TestInterface:
+    @pytest.fixture()
+    def interface(self, small_world):
+        documents, contextualized, candidates = small_world
+        facets = build_facet_hierarchies(candidates, contextualized)
+        return FacetedInterface(DocumentStore(documents), facets)
+
+    def test_top_level_counts(self, interface):
+        counts = {c.term: c.count for c in interface.top_level_counts()}
+        assert counts["europe"] == 8
+
+    def test_slice(self, interface):
+        docs = interface.slice("france")
+        assert len(docs) == 5
+        assert all(doc.doc_id.startswith("p") for doc in docs)
+
+    def test_dice_intersection(self, interface):
+        assert len(interface.dice(["europe", "france"])) == 5
+        assert interface.dice(["europe", "japan"]) == []
+
+    def test_dice_empty_constraints_returns_all(self, interface):
+        assert len(interface.dice([])) == 12
+
+    def test_unknown_node(self, interface):
+        with pytest.raises(HierarchyError):
+            interface.node("mars")
+        assert not interface.has_node("mars")
+
+    def test_search(self, interface):
+        docs = interface.search("tokyo")
+        assert docs
+        assert all("Tokyo" in doc.body for doc in docs)
+
+    def test_search_with_facets(self, interface):
+        docs = interface.search_with_facets("spoke", ["europe"])
+        assert docs
+        assert all(doc.doc_id.startswith("p") for doc in docs)
+        assert interface.search_with_facets("spoke", ["japan"]) == []
+
+    def test_facet_counts_for(self, interface):
+        subset = {f"p{i}" for i in range(3)}
+        counts = interface.facet_counts_for(subset)
+        assert counts[0].count == 3
+
+    def test_children_listing(self, interface):
+        kids = interface.children("europe")
+        assert any(c.term == "france" for c in kids)
+
+
+class TestInterfaceExtensions:
+    @pytest.fixture()
+    def interface(self, small_world):
+        documents, contextualized, candidates = small_world
+        facets = build_facet_hierarchies(candidates, contextualized)
+        return FacetedInterface(DocumentStore(documents), facets)
+
+    def test_union_or_semantics(self, interface):
+        docs = interface.union(["france", "japan"])
+        ids = {d.doc_id for d in docs}
+        assert ids == {f"p{i}" for i in range(5)} | {f"t{i}" for i in range(4)}
+
+    def test_union_empty(self, interface):
+        assert interface.union([]) == []
+
+    def test_union_unknown_node(self, interface):
+        with pytest.raises(HierarchyError):
+            interface.union(["mars"])
+
+    def test_breadcrumb_root(self, interface):
+        assert interface.breadcrumb("europe") == ["europe"]
+
+    def test_breadcrumb_child(self, interface):
+        assert interface.breadcrumb("france") == ["europe", "france"]
+
+    def test_breadcrumb_unknown(self, interface):
+        with pytest.raises(HierarchyError):
+            interface.breadcrumb("mars")

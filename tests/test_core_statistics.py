@@ -1,0 +1,131 @@
+"""Tests for shifts and the log-likelihood statistic (Section IV-C)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.likelihood import (
+    binomial_log_likelihood,
+    chi_square_statistic,
+    log_likelihood_ratio,
+)
+from repro.core.shifts import frequency_shift, is_shift_candidate, rank_shift
+from repro.text.vocabulary import Vocabulary
+
+
+def vocab_from(df_table: dict[str, int], n_docs: int) -> Vocabulary:
+    """Build a vocabulary with given document frequencies."""
+    vocabulary = Vocabulary()
+    for index in range(n_docs):
+        terms = [t for t, df in df_table.items() if index < df]
+        vocabulary.add_document(terms or ["__filler__"])
+    return vocabulary
+
+
+class TestShifts:
+    def test_frequency_shift_definition(self):
+        original = vocab_from({"x": 3}, 10)
+        contextualized = vocab_from({"x": 8}, 10)
+        assert frequency_shift("x", original, contextualized) == 5
+
+    def test_frequency_shift_negative(self):
+        original = vocab_from({"x": 8}, 10)
+        contextualized = vocab_from({"x": 3}, 10)
+        assert frequency_shift("x", original, contextualized) == -5
+
+    def test_rank_shift_positive_when_term_rises(self):
+        # x is rare among many terms originally, frequent afterwards.
+        original = vocab_from({f"t{i}": 5 for i in range(20)} | {"x": 1}, 10)
+        contextualized = vocab_from({f"t{i}": 5 for i in range(20)} | {"x": 10}, 10)
+        assert rank_shift("x", original, contextualized) > 0
+
+    def test_rank_shift_zero_for_stable_term(self):
+        table = {f"t{i}": 5 for i in range(10)} | {"x": 7}
+        original = vocab_from(table, 10)
+        contextualized = vocab_from(table, 10)
+        assert rank_shift("x", original, contextualized) == 0
+
+    def test_absent_term_gets_large_rank_shift(self):
+        original = vocab_from({f"t{i}": 3 for i in range(50)}, 10)
+        contextualized = vocab_from(
+            {f"t{i}": 3 for i in range(50)} | {"new": 9}, 10
+        )
+        assert rank_shift("new", original, contextualized) > 3
+
+    def test_candidate_requires_both_shifts(self):
+        # df rises but rank bin unchanged -> not a candidate.
+        original = vocab_from({"x": 6, "y": 50}, 60)
+        contextualized = vocab_from({"x": 7, "y": 50}, 60)
+        assert frequency_shift("x", original, contextualized) > 0
+        assert not is_shift_candidate("x", original, contextualized)
+
+
+class TestBinomialLogLikelihood:
+    def test_matches_formula(self):
+        value = binomial_log_likelihood(0.3, 3, 10)
+        expected = 3 * math.log(0.3) + 7 * math.log(0.7)
+        assert value == pytest.approx(expected)
+
+    def test_zero_counts_use_xlogy_convention(self):
+        assert binomial_log_likelihood(0.0, 0, 10) == 0.0
+        assert binomial_log_likelihood(1.0, 10, 10) == 0.0
+
+
+class TestLogLikelihoodRatio:
+    def test_zero_when_frequencies_equal(self):
+        assert log_likelihood_ratio(5, 5, 100) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_when_frequencies_differ(self):
+        assert log_likelihood_ratio(5, 50, 100) > 0
+
+    def test_monotone_in_difference(self):
+        small = log_likelihood_ratio(10, 20, 100)
+        large = log_likelihood_ratio(10, 60, 100)
+        assert large > small
+
+    def test_symmetric_in_direction(self):
+        up = log_likelihood_ratio(10, 30, 100)
+        down = log_likelihood_ratio(30, 10, 100)
+        assert up == pytest.approx(down)
+
+    def test_extremes(self):
+        assert log_likelihood_ratio(0, 100, 100) > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            log_likelihood_ratio(1, 1, 0)
+        with pytest.raises(ValueError):
+            log_likelihood_ratio(-1, 5, 10)
+        with pytest.raises(ValueError):
+            log_likelihood_ratio(5, 11, 10)
+
+    @given(
+        st.integers(0, 200),
+        st.integers(0, 200),
+        st.integers(200, 500),
+    )
+    def test_always_nonnegative(self, df1, df2, n):
+        assert log_likelihood_ratio(df1, df2, n) >= -1e-9
+
+    @given(st.integers(0, 100), st.integers(100, 300))
+    def test_identical_counts_score_zero(self, df, n):
+        if df <= n:
+            assert log_likelihood_ratio(df, df, n) == pytest.approx(0, abs=1e-9)
+
+
+class TestChiSquare:
+    def test_zero_when_equal(self):
+        assert chi_square_statistic(10, 10, 100) == pytest.approx(0.0)
+
+    def test_positive_when_different(self):
+        assert chi_square_statistic(5, 50, 100) > 0
+
+    def test_degenerate_table(self):
+        assert chi_square_statistic(0, 0, 10) == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic(1, 1, 0)

@@ -1,0 +1,144 @@
+"""Tests for Sanderson-Croft subsumption and facet hierarchy building."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.subsumption import (
+    SubsumptionHierarchy,
+    build_subsumption_hierarchy,
+)
+from repro.errors import HierarchyError
+
+
+def docs(*ids):
+    return set(ids)
+
+
+class TestSubsumption:
+    def test_classic_subsumption(self):
+        # "animal" appears in every doc that mentions "dog"; the reverse
+        # does not hold -> animal subsumes dog.
+        doc_sets = {
+            "animal": docs(1, 2, 3, 4),
+            "dog": docs(1, 2),
+        }
+        hierarchy = build_subsumption_hierarchy(["animal", "dog"], doc_sets)
+        assert hierarchy.parent("dog") == "animal"
+        assert hierarchy.parent("animal") is None
+
+    def test_threshold_respected(self):
+        doc_sets = {
+            "animal": docs(1, 2, 3, 4),
+            "dog": docs(1, 2, 5),  # P(animal|dog) = 2/3 < 0.8
+        }
+        hierarchy = build_subsumption_hierarchy(["animal", "dog"], doc_sets)
+        assert hierarchy.parent("dog") is None
+
+    def test_identical_sets_do_not_subsume(self):
+        doc_sets = {"a": docs(1, 2), "b": docs(1, 2)}
+        hierarchy = build_subsumption_hierarchy(["a", "b"], doc_sets)
+        # P(y|x) < 1 fails in both directions.
+        assert hierarchy.parent("a") is None
+        assert hierarchy.parent("b") is None
+
+    def test_most_specific_parent_chosen(self):
+        doc_sets = {
+            "animal": docs(1, 2, 3, 4, 5, 6),
+            "canine": docs(1, 2, 3),
+            "dog": docs(1, 2),
+        }
+        hierarchy = build_subsumption_hierarchy(
+            ["animal", "canine", "dog"], doc_sets
+        )
+        assert hierarchy.parent("dog") == "canine"
+        assert hierarchy.parent("canine") == "animal"
+
+    def test_no_cycles(self):
+        doc_sets = {
+            "a": docs(1, 2, 3),
+            "b": docs(1, 2, 3, 4),
+            "c": docs(1, 2, 3, 4, 5),
+        }
+        hierarchy = build_subsumption_hierarchy(["a", "b", "c"], doc_sets)
+        for term in hierarchy.terms():
+            seen = set()
+            current = term
+            while current is not None:
+                assert current not in seen
+                seen.add(current)
+                current = hierarchy.parents.get(current)
+
+    def test_empty_doc_sets_dropped(self):
+        hierarchy = build_subsumption_hierarchy(
+            ["a", "b"], {"a": docs(1), "b": set()}
+        )
+        assert hierarchy.terms() == ["a"]
+
+    def test_max_df_ratio_blocks_huge_parents(self):
+        doc_sets = {
+            "universal": set(range(100)),
+            "rare": docs(1, 2),
+        }
+        free = build_subsumption_hierarchy(["universal", "rare"], doc_sets)
+        assert free.parent("rare") == "universal"
+        capped = build_subsumption_hierarchy(
+            ["universal", "rare"], doc_sets, max_df_ratio=10
+        )
+        assert capped.parent("rare") is None
+
+    def test_max_parent_df(self):
+        doc_sets = {
+            "universal": set(range(100)),
+            "mid": set(range(40)),
+        }
+        hierarchy = build_subsumption_hierarchy(
+            ["universal", "mid"], doc_sets, max_parent_df=50
+        )
+        assert hierarchy.parent("mid") is None
+
+    def test_edge_validator(self):
+        doc_sets = {"animal": docs(1, 2, 3, 4), "dog": docs(1, 2)}
+        hierarchy = build_subsumption_hierarchy(
+            ["animal", "dog"], doc_sets, edge_validator=lambda child, parent: False
+        )
+        assert hierarchy.parent("dog") is None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(HierarchyError):
+            build_subsumption_hierarchy([], {}, threshold=0)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(HierarchyError):
+            build_subsumption_hierarchy([], {}, max_df_ratio=0.5)
+
+
+class TestHierarchyNavigation:
+    @pytest.fixture()
+    def hierarchy(self):
+        doc_sets = {
+            "animal": set(range(20)),
+            "canine": set(range(8)),
+            "dog": set(range(4)),
+            "plant": set(range(20, 30)),
+        }
+        return build_subsumption_hierarchy(
+            ["animal", "canine", "dog", "plant"], doc_sets
+        )
+
+    def test_roots(self, hierarchy):
+        assert set(hierarchy.roots) == {"animal", "plant"}
+
+    def test_depth(self, hierarchy):
+        assert hierarchy.depth("animal") == 0
+        assert hierarchy.depth("dog") == 2
+
+    def test_subtree(self, hierarchy):
+        assert hierarchy.subtree("animal") == ["animal", "canine", "dog"]
+
+    def test_children(self, hierarchy):
+        assert hierarchy.children_of("canine") == ["dog"]
+
+    def test_unknown_term(self, hierarchy):
+        with pytest.raises(HierarchyError):
+            hierarchy.parent("fungus")

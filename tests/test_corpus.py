@@ -1,0 +1,122 @@
+"""Tests for the corpus generator and dataset builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.corpus import (
+    ArticleGenerator,
+    build_corpus,
+    build_mnyt,
+    build_snb,
+    build_snyt,
+)
+from repro.corpus.datasets import DatasetName
+from repro.corpus.sources import NEWSBLASTER_SOURCES, NYT_SOURCE
+from repro.errors import CorpusError
+from repro.text.tokenizer import normalize_term
+
+
+class TestGenerator:
+    def test_deterministic(self, world, config):
+        generator = ArticleGenerator(world, config)
+        doc_a = generator.generate("d1", config.rng("gen-test"))
+        doc_b = generator.generate("d1", config.rng("gen-test"))
+        assert doc_a.title == doc_b.title
+        assert doc_a.body == doc_b.body
+
+    def test_gold_annotation_attached(self, world, config):
+        generator = ArticleGenerator(world, config)
+        doc = generator.generate("d1", config.rng("gen-gold"))
+        assert doc.gold is not None
+        assert doc.gold.entity_names
+        assert doc.gold.facet_terms
+
+    def test_entities_actually_mentioned(self, world, config):
+        generator = ArticleGenerator(world, config)
+        rng = config.rng("gen-mention")
+        for index in range(20):
+            doc = generator.generate(f"d{index}", rng)
+            text_norm = normalize_term(doc.text)
+            for name in doc.gold.entity_names:
+                entity = world.entity(name)
+                surfaces = [normalize_term(s) for s in entity.all_names]
+                assert any(s in text_norm for s in surfaces), (
+                    f"{name} not mentioned in {doc.doc_id}"
+                )
+
+    def test_gold_terms_exist_in_taxonomy(self, world, config):
+        generator = ArticleGenerator(world, config)
+        doc = generator.generate("d1", config.rng("gen-tax"))
+        for term in doc.gold.facet_terms:
+            assert term in world.taxonomy
+
+    def test_facet_terms_rarely_leak(self, world, config):
+        """The pilot-study phenomenon: most gold facet terms are absent
+        from the story text (65% in the paper)."""
+        generator = ArticleGenerator(world, config)
+        rng = config.rng("gen-leak")
+        present = absent = 0
+        for index in range(150):
+            doc = generator.generate(f"d{index}", rng)
+            text_norm = normalize_term(doc.text)
+            for term in doc.gold.facet_terms:
+                if normalize_term(term) in text_norm:
+                    present += 1
+                else:
+                    absent += 1
+        absence_rate = absent / (present + absent)
+        assert 0.5 < absence_rate < 0.9
+
+    def test_leaked_terms_recorded(self, world, config):
+        generator = ArticleGenerator(world, config)
+        rng = config.rng("gen-leak2")
+        for index in range(50):
+            doc = generator.generate(f"d{index}", rng)
+            text_norm = normalize_term(doc.text)
+            for term in doc.gold.leaked_terms:
+                assert normalize_term(term) in text_norm
+
+
+class TestDatasets:
+    def test_snyt_size(self, config, snyt):
+        assert len(snyt) == config.snyt_size
+
+    def test_snb_uses_24_sources(self, config):
+        corpus = build_snb(config)
+        sources = {doc.source for doc in corpus}
+        assert sources <= set(NEWSBLASTER_SOURCES)
+        assert len(sources) > 10
+
+    def test_snyt_single_source(self, snyt):
+        assert {doc.source for doc in snyt} == {NYT_SOURCE}
+
+    def test_mnyt_spans_a_month(self, config):
+        corpus = build_mnyt(config)
+        days = {doc.published.day for doc in corpus}
+        assert len(days) >= 28
+
+    def test_corpora_cached(self, config):
+        assert build_snyt(config) is build_snyt(config)
+
+    def test_unique_doc_ids(self, snyt):
+        ids = [doc.doc_id for doc in snyt]
+        assert len(ids) == len(set(ids))
+
+    def test_string_name_accepted(self, config):
+        assert build_corpus("snyt", config).name == "SNYT"
+
+    def test_unknown_name_rejected(self, config):
+        with pytest.raises(CorpusError):
+            build_corpus("bogus", config)
+
+    def test_sample(self, snyt, config):
+        sample = snyt.sample(config.rng("sample"), 10)
+        assert len(sample) == 10
+        assert all(doc.doc_id in {d.doc_id for d in snyt} for doc in sample)
+
+    def test_document_text_joins_title_and_body(self, snyt):
+        doc = snyt[0]
+        assert doc.text.startswith(doc.title)
+        assert doc.body in doc.text

@@ -1,0 +1,99 @@
+"""Tests for the distributional-analysis module."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.distributional import (
+    collection_distribution,
+    divergence_scores,
+    kl_divergence,
+    skew_divergence,
+)
+from repro.text.vocabulary import Vocabulary
+
+
+def vocab(*docs):
+    vocabulary = Vocabulary()
+    for doc in docs:
+        vocabulary.add_document(list(doc))
+    return vocabulary
+
+
+class TestDistribution:
+    def test_sums_to_one(self):
+        dist = collection_distribution(vocab(["a", "b"], ["a"]))
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["a"] == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert collection_distribution(Vocabulary()) == {}
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_positive_for_different(self):
+        assert kl_divergence({"a": 1.0}, {"a": 0.5, "b": 0.5}) > 0
+
+    def test_asymmetric(self):
+        p = {"a": 0.9, "b": 0.1}
+        q = {"a": 0.1, "b": 0.9}
+        assert kl_divergence(p, q) != kl_divergence(q, p) or True
+        # KL here happens to be symmetric for swapped distributions;
+        # check a genuinely asymmetric pair:
+        p2 = {"a": 1.0}
+        q2 = {"a": 0.5, "b": 0.5}
+        assert kl_divergence(p2, q2) != kl_divergence(q2, p2)
+
+    def test_handles_missing_mass(self):
+        assert math.isfinite(kl_divergence({"a": 1.0}, {"b": 1.0}))
+
+
+class TestSkewDivergence:
+    def test_zero_for_identical(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert skew_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_asymmetry_fruit_apple(self):
+        # "fruit" (general) spreads over more contexts than "apple".
+        apple = {"pie": 0.6, "tree": 0.4}
+        fruit = {"pie": 0.3, "tree": 0.3, "salad": 0.2, "juice": 0.2}
+        # fruit approximates apple better than apple approximates fruit.
+        assert skew_divergence(apple, fruit) < skew_divergence(fruit, apple)
+
+    def test_always_finite(self):
+        assert math.isfinite(skew_divergence({"a": 1.0}, {"b": 1.0}))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            skew_divergence({"a": 1.0}, {"a": 1.0}, alpha=0)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcde"), st.floats(0.01, 1.0), min_size=1, max_size=5
+        )
+    )
+    def test_nonnegative(self, raw):
+        total = sum(raw.values())
+        p = {k: v / total for k, v in raw.items()}
+        assert skew_divergence(p, p) >= -1e-9
+
+
+class TestDivergenceScores:
+    def test_expanded_terms_score_positive(self):
+        original = vocab(["a", "b"], ["a"])
+        contextualized = vocab(["a", "b", "new"], ["a", "new"])
+        scores = divergence_scores(original, contextualized)
+        assert scores.get("new", 0) > 0
+
+    def test_shrinking_terms_excluded(self):
+        original = vocab(["a", "a2"], ["a", "a3"], ["a", "a4"])
+        contextualized = vocab(["a", "a2", "x"], ["a3", "x"], ["a4", "x"])
+        scores = divergence_scores(original, contextualized)
+        assert "a" not in scores  # its relative mass fell

@@ -1,0 +1,122 @@
+"""Tests for domain-specific vocabularies (Section VII extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.resources.domain import (
+    DomainGlossary,
+    DomainTermExtractor,
+    DomainVocabularyResource,
+    GlossaryEntry,
+    financial_glossary,
+)
+
+
+@pytest.fixture()
+def glossary():
+    return financial_glossary()
+
+
+class TestGlossary:
+    def test_lookup(self, glossary):
+        entry = glossary.lookup("mortgage")
+        assert entry is not None
+        assert "real estate finance" in entry.broader
+
+    def test_lookup_case_insensitive(self, glossary):
+        assert glossary.lookup("Mortgage") is not None
+
+    def test_multiword_terms(self, glossary):
+        assert "due diligence" in glossary
+        assert "initial public offering" in glossary
+
+    def test_unknown_term(self, glossary):
+        assert glossary.lookup("platypus") is None
+        assert "platypus" not in glossary
+
+    def test_synonyms_resolve(self):
+        glossary = DomainGlossary(
+            "test",
+            [GlossaryEntry("initial public offering", ("equity",), ("IPO",))],
+        )
+        assert glossary.lookup("IPO").term == "initial public offering"
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            DomainGlossary("", [])
+
+    def test_from_entries(self):
+        glossary = DomainGlossary.from_entries("g", {"bond": ["debt"]})
+        assert glossary.lookup("bond").broader == ("debt",)
+
+
+class TestDomainExtractor:
+    def test_finds_glossary_terms(self, glossary):
+        extractor = DomainTermExtractor(glossary)
+        doc = Document(
+            doc_id="d",
+            title="Markets",
+            body="The merger required months of due diligence before the "
+            "initial public offering.",
+        )
+        terms = [t.lower() for t in extractor.extract(doc)]
+        assert "merger" in terms
+        assert "due diligence" in terms
+        assert "initial public offering" in terms
+
+    def test_longest_match_preferred(self, glossary):
+        extractor = DomainTermExtractor(glossary)
+        doc = Document(doc_id="d", title="t", body="the stock market rallied")
+        terms = [t.lower() for t in extractor.extract(doc)]
+        assert "stock market" in terms
+
+    def test_deduplication(self, glossary):
+        extractor = DomainTermExtractor(glossary)
+        doc = Document(doc_id="d", title="t", body="bond bond bond")
+        assert len(extractor.extract(doc)) == 1
+
+    def test_no_matches(self, glossary):
+        extractor = DomainTermExtractor(glossary)
+        doc = Document(doc_id="d", title="t", body="gardening and birds")
+        assert extractor.extract(doc) == []
+
+
+class TestDomainResource:
+    def test_expansion(self, glossary):
+        resource = DomainVocabularyResource(glossary)
+        assert "monetary policy" in resource.context_terms("inflation")
+
+    def test_unknown_term_empty(self, glossary):
+        resource = DomainVocabularyResource(glossary)
+        assert resource.context_terms("zebra") == []
+
+    def test_caching(self, glossary):
+        resource = DomainVocabularyResource(glossary)
+        resource.context_terms("bond")
+        assert resource.cache_size == 1
+
+    def test_in_pipeline(self, glossary):
+        """A domain glossary slots into the standard pipeline."""
+        from repro.core.annotate import annotate_database
+        from repro.core.contextualize import contextualize
+        from repro.core.selection import select_facet_terms
+
+        documents = [
+            Document(
+                doc_id=f"d{i}",
+                title="Deal news",
+                body=f"The merger and the acquisition cleared review step{i}.",
+            )
+            for i in range(6)
+        ] + [
+            Document(doc_id=f"x{i}", title="Other", body=f"quiet day item{i}")
+            for i in range(4)
+        ]
+        annotated = annotate_database(documents, [DomainTermExtractor(glossary)])
+        contextualized = contextualize(
+            annotated, [DomainVocabularyResource(glossary)]
+        )
+        terms = [c.term for c in select_facet_terms(contextualized, top_k=None)]
+        assert "corporate transactions" in terms

@@ -1,0 +1,74 @@
+"""Tests for dynamic faceting over query results."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.dynamic import DynamicFaceter
+
+
+@pytest.fixture(scope="module")
+def faceter(pipeline_result, builder):
+    return DynamicFaceter(
+        pipeline_result.contextualized,
+        edge_validator=builder.edge_evidence,
+    )
+
+
+class TestDynamicFaceter:
+    def test_invalid_top_k(self, pipeline_result):
+        with pytest.raises(ValueError):
+            DynamicFaceter(pipeline_result.contextualized, top_k=0)
+
+    def test_empty_result_set(self, faceter):
+        assert faceter.facet_terms([]) == []
+        assert faceter.facets_for([]) == []
+
+    def test_unknown_ids_ignored(self, faceter):
+        assert faceter.facet_terms(["no-such-doc"]) == []
+
+    def test_subset_facets_reflect_subset(self, faceter, snyt, world):
+        """Facets over a topical subset should feature that topic's
+        facet terms more prominently than unrelated ones."""
+        sports_ids = [
+            doc.doc_id
+            for doc in snyt
+            if doc.gold and doc.gold.topic in ("baseball", "football", "tennis")
+        ]
+        if len(sports_ids) < 5:
+            pytest.skip("not enough sports stories at this scale")
+        terms = [c.term.lower() for c in faceter.facet_terms(sports_ids)]
+        assert any(
+            t in terms for t in ("sports", "athletes", "baseball", "football")
+        )
+
+    def test_subset_selection_differs_from_full(self, faceter, snyt):
+        half = [doc.doc_id for doc in list(snyt)[: len(snyt) // 2]]
+        full = [doc.doc_id for doc in snyt]
+        assert faceter.facet_terms(half) != faceter.facet_terms(full)
+
+    def test_no_resource_queries_at_query_time(self, pipeline_result, builder):
+        """Dynamic faceting must reuse offline expansions only."""
+        faceter = DynamicFaceter(pipeline_result.contextualized)
+        ids = [doc.doc_id for doc in pipeline_result.documents[:30]]
+        start = time.perf_counter()
+        faceter.facet_terms(ids)
+        elapsed = time.perf_counter() - start
+        # Pure statistics over cached sets: well under a second for 30
+        # documents ("almost independent of the collection size").
+        assert elapsed < 1.0
+
+    def test_facets_for_query(self, faceter, pipeline_result):
+        interface = pipeline_result.interface()
+        facets = faceter.facets_for_query(interface, "summit treaty", limit=40)
+        assert isinstance(facets, list)
+
+    def test_hierarchies_populated(self, faceter, snyt):
+        ids = [doc.doc_id for doc in list(snyt)[:40]]
+        facets = faceter.facets_for(ids)
+        if facets:
+            all_ids = set(ids)
+            for facet in facets:
+                assert facet.root.doc_ids <= all_ids

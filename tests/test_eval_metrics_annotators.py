@@ -1,0 +1,118 @@
+"""Tests for evaluation metrics, annotators, and gold sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.annotators import AnnotatorPool, SimulatedAnnotator, candidate_terms
+from repro.eval.goldset import build_gold_set
+from repro.eval.metrics import match_key, term_set_precision, term_set_recall
+
+
+class TestMatchKey:
+    def test_case_insensitive(self):
+        assert match_key("Political Leaders") == match_key("political leaders")
+
+    def test_plural_singular_conflate(self):
+        assert match_key("Elections") == match_key("election")
+        assert match_key("markets") == match_key("Market")
+
+    def test_different_terms_differ(self):
+        assert match_key("France") != match_key("Germany")
+
+    def test_punctuation_ignored(self):
+        assert match_key("U.S.") == match_key("u s")
+
+    def test_empty(self):
+        assert match_key("") == ""
+        assert match_key("!!!") == ""
+
+
+class TestSetMetrics:
+    def test_recall(self):
+        assert term_set_recall(["a", "b"], ["a", "c"]) == 0.5
+        assert term_set_recall(["a"], ["a"]) == 1.0
+        assert term_set_recall([], ["a"]) == 0.0
+
+    def test_recall_uses_keys(self):
+        assert term_set_recall(["Elections"], ["election"]) == 1.0
+
+    def test_precision(self):
+        assert term_set_precision(["a", "b"], ["a"]) == 0.5
+        assert term_set_precision([], ["a"]) == 0.0
+
+
+class TestAnnotators:
+    def test_candidate_pool_from_gold(self, world, snyt):
+        doc = snyt[0]
+        pool = candidate_terms(world, doc)
+        terms = [t for t, _ in pool]
+        for term in doc.gold.facet_terms:
+            assert term in terms
+
+    def test_candidate_pool_empty_without_gold(self, world):
+        from repro.corpus.document import Document
+
+        doc = Document(doc_id="x", title="t", body="b")
+        assert candidate_terms(world, doc) == []
+
+    def test_annotator_respects_cap(self, world, snyt, config):
+        annotator = SimulatedAnnotator(annotator_id=0, world=world)
+        for doc in list(snyt)[:20]:
+            terms = annotator.annotate(doc, config.rng(f"ann:{doc.doc_id}"))
+            assert len(terms) <= 10
+
+    def test_annotators_disagree(self, world, snyt, config):
+        a0 = SimulatedAnnotator(annotator_id=0, world=world)
+        a1 = SimulatedAnnotator(annotator_id=1, world=world)
+        doc = snyt[0]
+        t0 = a0.annotate(doc, config.rng("a:0"))
+        t1 = a1.annotate(doc, config.rng("a:1"))
+        assert t0 != t1 or len(t0) == 0
+
+    def test_pool_agreement_filters_noise(self, world, snyt, config):
+        pool = AnnotatorPool(world, config, agreement=2)
+        agreed = pool.annotate_document(snyt[0])
+        strict_pool = AnnotatorPool(world, config, agreement=5)
+        strict = strict_pool.annotate_document(snyt[0])
+        assert len(strict) <= len(agreed)
+
+    def test_agreement_validation(self, world, config):
+        with pytest.raises(ValueError):
+            AnnotatorPool(world, config, agreement=0)
+
+    def test_annotation_deterministic(self, world, snyt, config):
+        pool_a = AnnotatorPool(world, config)
+        pool_b = AnnotatorPool(world, config)
+        assert pool_a.annotate_document(snyt[0]) == pool_b.annotate_document(snyt[0])
+
+
+class TestGoldSet:
+    def test_gold_set_nonempty(self, snyt, config, world):
+        gold = build_gold_set(snyt, config, world)
+        assert len(gold) > 30
+
+    def test_gold_cached(self, snyt, config, world):
+        assert build_gold_set(snyt, config, world) is build_gold_set(
+            snyt, config, world
+        )
+
+    def test_per_document_terms_subset_of_candidates(self, snyt, config, world):
+        gold = build_gold_set(snyt, config, world)
+        doc = gold.documents[0]
+        pool_keys = {match_key(t) for t, _ in candidate_terms(world, doc)}
+        # Agreed terms are either candidates or (rarely) shared noise.
+        doc_terms = gold.per_document[doc.doc_id]
+        hits = sum(1 for t in doc_terms if match_key(t) in pool_keys)
+        assert hits >= len(doc_terms) * 0.8
+
+    def test_discovery_curve_monotone(self, snyt, config, world):
+        gold = build_gold_set(snyt, config, world)
+        curve = gold.discovery_curve([10, 50, len(gold.documents)])
+        values = [curve[k] for k in sorted(curve)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_sample_size_respected(self, snyt, config, world):
+        gold = build_gold_set(snyt, config, world, sample_size=20)
+        assert len(gold.documents) == 20

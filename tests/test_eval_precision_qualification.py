@@ -1,0 +1,137 @@
+"""Tests for the precision oracle and the qualification test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.eval.precision import GroundTruthOracle
+from repro.eval.qualification import (
+    Judge,
+    QualificationTest,
+    recruit_judges,
+)
+
+
+@pytest.fixture(scope="module")
+def oracle(world, wikipedia):
+    return GroundTruthOracle(world, wikipedia=wikipedia)
+
+
+class TestUsefulness:
+    def test_taxonomy_terms_useful(self, oracle):
+        assert oracle.useful("Political Leaders")
+        assert oracle.useful("political leaders")
+
+    def test_prominent_entities_useful(self, oracle):
+        assert oracle.useful("Jacques Chirac")
+        assert oracle.useful("United Nations")
+
+    def test_variants_resolve_to_entities(self, oracle):
+        assert oracle.useful("Hillary Clinton")
+
+    def test_related_concepts_useful(self, oracle):
+        assert oracle.useful("President of France")
+
+    def test_common_concept_nouns_useful(self, oracle):
+        assert oracle.useful("campaign")
+        assert oracle.useful("president")
+
+    def test_boilerplate_not_useful(self, oracle):
+        assert not oracle.useful("coupon")
+        assert not oracle.useful("checkout")
+
+    def test_name_fragments_not_useful(self, oracle):
+        assert not oracle.useful("jacques")
+        assert not oracle.useful("rodham")
+
+    def test_minor_entities_not_useful(self, world, oracle):
+        minor = next(e for e in world.entities if e.prominence < 0.3)
+        assert not oracle.useful(minor.name)
+
+
+class TestPlacement:
+    def test_root_always_placed(self, oracle):
+        assert oracle.placed("anything at all", None)
+
+    def test_taxonomy_ancestor(self, oracle):
+        assert oracle.placed("Political Leaders", "People")
+        assert oracle.placed("Political Leaders", "Leaders")
+
+    def test_taxonomy_wrong_parent(self, oracle):
+        assert not oracle.placed("Political Leaders", "Markets")
+
+    def test_entity_under_its_facet(self, oracle):
+        assert oracle.placed("Jacques Chirac", "Political Leaders")
+        assert oracle.placed("Jacques Chirac", "France")
+
+    def test_entity_under_wrong_facet(self, oracle):
+        assert not oracle.placed("Jacques Chirac", "Sports")
+
+    def test_entity_under_entity(self, oracle):
+        assert oracle.placed("Paris", "France")
+        assert not oracle.placed("Paris", "Japan")
+
+    def test_related_term_under_owner(self, world, oracle):
+        owner = world.entity("Jacques Chirac")
+        assert oracle.placed("President of France", owner.name)
+        assert oracle.placed("President of France", "Political Leaders")
+
+    def test_related_term_under_stranger(self, oracle):
+        assert not oracle.placed("President of France", "Steve Jobs")
+
+    def test_lexicon_word_under_hypernym(self, oracle):
+        assert oracle.placed("president", "Leaders")
+        assert not oracle.placed("president", "Sports")
+
+    def test_precise_requires_both(self, oracle):
+        assert oracle.precise("Political Leaders", None)
+        assert not oracle.precise("coupon", None)
+        assert not oracle.precise("Political Leaders", "Markets")
+
+
+class TestQualification:
+    def test_items_generated(self, world, config):
+        test = QualificationTest(world, config)
+        assert len(test.items) == 20
+
+    def test_half_items_correct(self, world, config):
+        test = QualificationTest(world, config)
+        labels = [item.is_correct for item in test.items]
+        assert labels.count(True) == 10
+
+    def test_correct_items_agree_with_taxonomy(self, world, config):
+        test = QualificationTest(world, config)
+        for item in test.items:
+            if item.is_correct:
+                assert test.item_truth(item)
+
+    def test_perturbed_items_differ_from_taxonomy(self, world, config):
+        test = QualificationTest(world, config)
+        wrong = [item for item in test.items if not item.is_correct]
+        assert sum(not test.item_truth(item) for item in wrong) >= len(wrong) - 1
+
+    def test_careful_judge_passes(self, world, config):
+        test = QualificationTest(world, config)
+        assert test.administer(Judge(judge_id=999, accuracy=0.999))
+
+    def test_sloppy_judge_fails(self, world, config):
+        test = QualificationTest(world, config)
+        assert not test.administer(Judge(judge_id=998, accuracy=0.5))
+
+    def test_recruitment_selects_accurate_judges(self, world, config):
+        test = QualificationTest(world, config)
+        judges = recruit_judges(test, config, needed=5)
+        assert len(judges) == 5
+        # The test filters toward careful workers (an occasional lucky
+        # pass is realistic): the qualified mean beats the applicant
+        # pool mean of ~0.845 (uniform on [0.7, 0.99]).
+        mean_accuracy = sum(j.accuracy for j in judges) / len(judges)
+        assert mean_accuracy > 0.845
+        assert all(j.accuracy >= 0.7 for j in judges)
+
+    def test_recruitment_exhaustion(self, world):
+        config = ReproConfig(seed=1234)
+        test = QualificationTest(world, config)
+        with pytest.raises(RuntimeError):
+            recruit_judges(test, config, needed=5, max_applicants=1)

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run to completion."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def run_example(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "facet terms" in out
+        assert "Top facets" in out
+
+    def test_news_browsing(self, capsys):
+        out = run_example("news_browsing", capsys)
+        assert "Facet sidebar" in out
+        assert "Dice" in out
+
+    def test_financial_facets(self, capsys):
+        out = run_example("financial_facets", capsys)
+        assert "Domain facet terms" in out
+        assert "corporate transactions" in out
+
+    def test_offline_snapshot(self, capsys):
+        out = run_example("offline_snapshot", capsys)
+        assert "reloaded" in out
+        assert "important terms" in out
+        assert "dynamic facets" in out
+
+    def test_incremental_archive(self, capsys):
+        out = run_example("incremental_archive", capsys)
+        assert "day 3" in out
+        assert "top facets" in out
+
+    def test_reproduce_paper_listing(self, capsys):
+        module = importlib.import_module("reproduce_paper")
+        assert module.main(["prog"]) == 0
+        assert "EXP-T1" in capsys.readouterr().out
+
+    def test_reproduce_paper_unknown(self, capsys):
+        module = importlib.import_module("reproduce_paper")
+        assert module.main(["prog", "EXP-NOPE"]) == 1

@@ -1,0 +1,82 @@
+"""Tests for facet-forest export/import."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.export import (
+    from_dict,
+    to_dict,
+    to_flat_rows,
+    to_json,
+    to_text_tree,
+)
+from repro.core.hierarchy import FacetHierarchy, FacetNode
+
+
+def forest():
+    france = FacetNode(term="france", doc_ids={"a", "b"})
+    europe = FacetNode(term="europe", doc_ids={"a", "b", "c"}, children=[france])
+    asia = FacetNode(term="asia", doc_ids={"d"})
+    return [FacetHierarchy(root=europe), FacetHierarchy(root=asia)]
+
+
+class TestToDict:
+    def test_structure(self):
+        data = to_dict(forest())
+        assert data[0]["term"] == "europe"
+        assert data[0]["count"] == 3
+        assert data[0]["children"][0]["term"] == "france"
+        assert "children" not in data[1]
+
+    def test_doc_ids_optional(self):
+        assert "doc_ids" not in to_dict(forest())[0]
+        with_docs = to_dict(forest(), include_docs=True)
+        assert with_docs[0]["doc_ids"] == ["a", "b", "c"]
+
+
+class TestJson:
+    def test_round_trips_through_json(self):
+        text = to_json(forest(), include_docs=True)
+        data = json.loads(text)
+        rebuilt = from_dict(data)
+        assert rebuilt[0].root.term == "europe"
+        assert rebuilt[0].root.doc_ids == {"a", "b", "c"}
+        assert rebuilt[0].root.children[0].term == "france"
+
+    def test_rebuild_without_docs_sums_children(self):
+        data = json.loads(to_json(forest()))
+        rebuilt = from_dict(data)
+        # Counts rebuilt from children where doc ids were omitted.
+        assert rebuilt[0].root.doc_ids == rebuilt[0].root.children[0].doc_ids
+
+
+class TestTextTree:
+    def test_rendering(self):
+        text = to_text_tree(forest())
+        assert "europe (3)" in text
+        assert "  - france (2)" in text
+
+    def test_max_facets(self):
+        text = to_text_tree(forest(), max_facets=1)
+        assert "asia" not in text
+
+
+class TestFlatRows:
+    def test_rows(self):
+        rows = to_flat_rows(forest())
+        assert ("europe", "europe", "europe", 3) in rows
+        assert ("europe", "europe/france", "france", 2) in rows
+        assert ("asia", "asia", "asia", 1) in rows
+
+    def test_row_count_equals_nodes(self):
+        assert len(to_flat_rows(forest())) == 3
+
+    def test_on_pipeline_output(self, pipeline_result):
+        rows = to_flat_rows(pipeline_result.hierarchies)
+        total_nodes = sum(f.size for f in pipeline_result.hierarchies)
+        assert len(rows) == total_nodes
+        for facet, path, term, count in rows[:50]:
+            assert path.endswith(term)
+            assert path.startswith(facet)
+            assert count >= 0

@@ -1,0 +1,66 @@
+"""Tests for the experiment harness (small scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.figures import figure4_terms, figure5_baseline_terms
+from repro.harness.tables import run_pilot_study
+from repro.eval.recall import StudyMatrix
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "EXP-T1", "EXP-T2", "EXP-T3", "EXP-T4", "EXP-T5", "EXP-T6",
+            "EXP-T7", "EXP-F4", "EXP-F5", "EXP-GOLD", "EXP-SENS",
+            "EXP-EFF", "EXP-US",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self, config):
+        with pytest.raises(KeyError):
+            run_experiment("EXP-T99", config)
+
+
+class TestPilotStudy:
+    def test_table1_facets(self, config):
+        result = run_pilot_study(config, sample_size=60)
+        facets = set(result.top_facets(8))
+        # Table I inventory.
+        assert "Location" in facets
+        assert "People" in facets
+
+    def test_format_renders(self, config):
+        result = run_pilot_study(config, sample_size=40)
+        text = result.format_table()
+        assert "Facets" in text
+
+
+class TestFigures:
+    def test_figure4_general_terms(self, config):
+        terms = figure4_terms(config, top_n=25)
+        assert len(terms) == 25
+        assert all(t == t.lower() for t in terms)
+
+    def test_figure5_generic_terms(self, config, world):
+        terms = figure5_baseline_terms(config, top_n=15)
+        assert terms
+        # Mostly non-facet filler.
+        facet_like = sum(1 for t in terms if t in world.taxonomy)
+        assert facet_like <= len(terms) * 0.4
+
+
+class TestStudyMatrix:
+    def test_format_table(self):
+        matrix = StudyMatrix(dataset="X", metric="Recall")
+        matrix.set("Google", "NE", 0.5)
+        text = matrix.format_table()
+        assert "Recall (X)" in text
+        assert "0.500" in text
+
+    def test_value_roundtrip(self):
+        matrix = StudyMatrix(dataset="X", metric="Recall")
+        matrix.set("All", "All", 0.9)
+        assert matrix.value("All", "All") == 0.9

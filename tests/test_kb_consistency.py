@@ -1,0 +1,80 @@
+"""Cross-cutting consistency checks: the world, topics, and substrates
+must agree with each other (the honesty conditions of the simulation)."""
+
+from __future__ import annotations
+
+from repro.eval.metrics import match_key
+from repro.kb.schema import EntityKind
+from repro.kb.topics import TOPICS, topic_by_name
+from repro.text.stopwords import STOPWORDS
+
+
+class TestTopics:
+    def test_lookup(self):
+        assert topic_by_name("elections").name == "elections"
+
+    def test_unknown_topic(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            topic_by_name("astrology")
+
+    def test_topics_have_positive_weights(self):
+        assert all(topic.weight > 0 for topic in TOPICS)
+
+    def test_vocabulary_not_stopwords(self):
+        for topic in TOPICS:
+            for word in topic.vocabulary:
+                assert word not in STOPWORDS, f"{topic.name}: {word}"
+
+    def test_facet_hints_select_entities(self, world):
+        for topic in world.topics:
+            if not topic.facet_hints:
+                continue
+            pool = [
+                e
+                for hint in topic.facet_hints
+                for e in world.entities_under_facet(hint)
+            ]
+            assert pool, f"topic {topic.name} has no hinted entities"
+
+
+class TestWorldSubstrateAgreement:
+    def test_gold_terms_reachable_through_wikipedia(self, world, wikipedia):
+        """Every facet term on an entity's paths is linked from the
+        entity's page (the recall mechanism)."""
+        for entity in world.entities[:60]:
+            links = set(wikipedia.out_links(entity.name))
+            for term in entity.facet_terms:
+                if term == entity.name:
+                    continue  # pages do not link to themselves
+                assert term in links, f"{entity.name} !-> {term}"
+
+    def test_related_terms_have_pages(self, world, wikipedia):
+        for entity in world.entities[:60]:
+            for related in entity.related_terms:
+                assert wikipedia.resolve(related) is not None
+
+    def test_annotator_candidates_are_world_grounded(self, world, snyt):
+        """Simulated annotators never invent terms outside the world."""
+        from repro.eval.annotators import candidate_terms
+
+        known_keys = {match_key(t) for t in world.taxonomy.terms()}
+        for entity in world.entities:
+            known_keys.add(match_key(entity.name))
+            for related in entity.related_terms:
+                known_keys.add(match_key(related))
+        for doc in list(snyt)[:30]:
+            for term, _ in candidate_terms(world, doc):
+                assert match_key(term) in known_keys
+
+    def test_entity_kinds_partition(self, world):
+        kinds = {e.kind for e in world.entities}
+        assert EntityKind.PERSON in kinds
+        assert EntityKind.ORGANIZATION in kinds
+        assert EntityKind.LOCATION in kinds
+        assert EntityKind.EVENT in kinds
+
+    def test_location_entities_match_taxonomy_terms(self, world):
+        for entity in world.entities_of_kind(EntityKind.LOCATION):
+            assert entity.name in world.taxonomy

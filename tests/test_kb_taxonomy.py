@@ -1,0 +1,120 @@
+"""Tests for the ground-truth facet taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.taxonomy import FacetTaxonomy, default_taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return default_taxonomy()
+
+
+class TestStructure:
+    def test_pilot_facets_are_roots(self, taxonomy):
+        # Table I of the paper.
+        for facet in (
+            "Location", "Institutes", "History", "People",
+            "Social Phenomenon", "Markets", "Nature", "Event",
+        ):
+            assert facet in taxonomy.roots
+
+    def test_leaders_under_people(self, taxonomy):
+        assert taxonomy.parent("Leaders") == "People"
+
+    def test_corporations_under_markets(self, taxonomy):
+        assert taxonomy.parent("Corporations") == "Markets"
+
+    def test_roots_have_no_parent(self, taxonomy):
+        for root in taxonomy.roots:
+            assert taxonomy.parent(root) is None
+
+    def test_every_term_reaches_a_root(self, taxonomy):
+        for term in taxonomy.terms():
+            assert taxonomy.path(term)[0] in taxonomy.roots
+
+    def test_substantial_size(self, taxonomy):
+        assert len(taxonomy) > 100
+
+    def test_children_parent_symmetry(self, taxonomy):
+        for term in taxonomy.terms():
+            for child in taxonomy.children(term):
+                assert taxonomy.parent(child) == term
+
+
+class TestLookups:
+    def test_contains_is_case_insensitive(self, taxonomy):
+        assert "political leaders" in taxonomy
+        assert "POLITICAL LEADERS" in taxonomy
+
+    def test_canonical(self, taxonomy):
+        assert taxonomy.canonical("political leaders") == "Political Leaders"
+        assert taxonomy.canonical("not a facet") is None
+
+    def test_path(self, taxonomy):
+        assert taxonomy.path("Political Leaders") == (
+            "People", "Leaders", "Political Leaders",
+        )
+
+    def test_root_of(self, taxonomy):
+        assert taxonomy.root_of("France") == "Location"
+
+    def test_depth(self, taxonomy):
+        assert taxonomy.depth("People") == 0
+        assert taxonomy.depth("Leaders") == 1
+        assert taxonomy.depth("Political Leaders") == 2
+
+    def test_unknown_term_raises(self, taxonomy):
+        with pytest.raises(KnowledgeBaseError):
+            taxonomy.parent("definitely unknown")
+
+    def test_descendants(self, taxonomy):
+        descendants = taxonomy.descendants("People")
+        assert "Political Leaders" in descendants
+        assert "People" not in descendants
+
+    def test_leaves_have_no_children(self, taxonomy):
+        for leaf in taxonomy.leaves():
+            assert taxonomy.children(leaf) == ()
+
+
+class TestAncestry:
+    def test_is_ancestor(self, taxonomy):
+        assert taxonomy.is_ancestor("People", "Political Leaders")
+        assert taxonomy.is_ancestor("Leaders", "Political Leaders")
+        assert not taxonomy.is_ancestor("Political Leaders", "People")
+        assert not taxonomy.is_ancestor("Markets", "Political Leaders")
+
+    def test_term_is_not_its_own_ancestor(self, taxonomy):
+        assert not taxonomy.is_ancestor("People", "People")
+
+    def test_correctly_placed_direct(self, taxonomy):
+        assert taxonomy.correctly_placed("Political Leaders", "Leaders")
+
+    def test_correctly_placed_transitive(self, taxonomy):
+        assert taxonomy.correctly_placed("Political Leaders", "People")
+
+    def test_incorrect_placement(self, taxonomy):
+        assert not taxonomy.correctly_placed("France", "Asia")
+
+    def test_placement_with_unknown_terms(self, taxonomy):
+        assert not taxonomy.correctly_placed("mystery", "People")
+        assert not taxonomy.correctly_placed("France", "mystery")
+
+
+class TestConstruction:
+    def test_duplicate_term_rejected(self):
+        with pytest.raises(KnowledgeBaseError):
+            FacetTaxonomy({"A": {"B": {}}, "B": {}})
+
+    def test_normalization_collision_rejected(self):
+        with pytest.raises(KnowledgeBaseError):
+            FacetTaxonomy({"New York": {}, "new york": {}})
+
+    def test_tiny_taxonomy(self):
+        taxonomy = FacetTaxonomy({"Top": {"Mid": {"Leaf": {}}}})
+        assert taxonomy.roots == ("Top",)
+        assert taxonomy.path("Leaf") == ("Top", "Mid", "Leaf")

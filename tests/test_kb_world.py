@@ -1,0 +1,137 @@
+"""Tests for the entity catalog and World container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.schema import Entity, EntityKind, Topic
+from repro.kb.world import build_world
+
+
+class TestSchema:
+    def test_entity_requires_name(self):
+        with pytest.raises(KnowledgeBaseError):
+            Entity(name="", kind=EntityKind.PERSON)
+
+    def test_entity_rejects_negative_prominence(self):
+        with pytest.raises(KnowledgeBaseError):
+            Entity(name="X", kind=EntityKind.PERSON, prominence=-1)
+
+    def test_all_names(self):
+        entity = Entity(name="A", kind=EntityKind.PERSON, variants=("B", "C"))
+        assert entity.all_names == ("A", "B", "C")
+
+    def test_facet_terms_deduplicated_in_order(self):
+        entity = Entity(
+            name="X",
+            kind=EntityKind.PERSON,
+            facet_paths=(("People", "Leaders"), ("People", "Athletes")),
+        )
+        assert entity.facet_terms == ("People", "Leaders", "Athletes")
+
+    def test_topic_requires_vocabulary(self):
+        with pytest.raises(KnowledgeBaseError):
+            Topic(name="t", facet_terms=(), vocabulary=(), entity_kinds=())
+
+
+class TestCatalog:
+    def test_paper_examples_exist(self, world):
+        for name in (
+            "Jacques Chirac",
+            "2005 G8 Summit",
+            "Hillary Rodham Clinton",
+            "Hasekura Tsunenaga",
+            "Steve Jobs",
+        ):
+            assert world.entity(name).name == name
+
+    def test_chirac_facets_match_paper(self, world):
+        # "People -> Political Leaders" and "Regional/Europe/France".
+        terms = world.entity("Jacques Chirac").facet_terms
+        assert "Political Leaders" in terms
+        assert "France" in terms
+        assert "Europe" in terms
+
+    def test_substantial_catalog(self, world):
+        assert len(world.entities) > 300
+
+    def test_unique_canonical_names(self, world):
+        names = [e.name for e in world.entities]
+        assert len(names) == len(set(names))
+
+    def test_every_facet_path_in_taxonomy(self, world):
+        for entity in world.entities:
+            for path in entity.facet_paths:
+                assert path[-1] in world.taxonomy
+                assert world.taxonomy.path(path[-1]) == path
+
+    def test_minor_entity_tail_exists(self, world):
+        minor = [e for e in world.entities if e.prominence < 0.35]
+        assert len(minor) > 100
+
+
+class TestLookups:
+    def test_find_by_variant(self, world):
+        assert world.find_by_surface("Hillary Clinton").name == (
+            "Hillary Rodham Clinton"
+        )
+
+    def test_find_case_insensitive(self, world):
+        assert world.find_by_surface("chirac").name == "Jacques Chirac"
+
+    def test_find_unknown(self, world):
+        assert world.find_by_surface("nobody at all") is None
+
+    def test_unknown_entity_raises(self, world):
+        with pytest.raises(KnowledgeBaseError):
+            world.entity("Nonexistent Person")
+
+    def test_entities_of_kind(self, world):
+        people = world.entities_of_kind(EntityKind.PERSON)
+        assert all(e.kind == EntityKind.PERSON for e in people)
+        assert people
+
+    def test_entities_under_facet(self, world):
+        leaders = world.entities_under_facet("Political Leaders")
+        assert any(e.name == "Jacques Chirac" for e in leaders)
+
+    def test_entities_under_unknown_facet(self, world):
+        assert world.entities_under_facet("not a facet") == ()
+
+
+class TestSampling:
+    def test_sample_count(self, world, config):
+        rng = config.rng("test-sample")
+        sample = world.sample_entities(rng, 4)
+        assert 1 <= len(sample) <= 4
+        assert len({e.name for e in sample}) == len(sample)
+
+    def test_sample_respects_hints(self, world, config):
+        rng = config.rng("test-hints")
+        sample = world.sample_entities(
+            rng, 4, facet_hints=("Political Leaders",)
+        )
+        assert any("Political Leaders" in e.facet_terms for e in sample)
+
+    def test_prominence_exponent_flattens(self, world, config):
+        from collections import Counter
+
+        counts_skewed: Counter[str] = Counter()
+        counts_flat: Counter[str] = Counter()
+        rng1 = config.rng("skew")
+        rng2 = config.rng("flat")
+        pool = list(world.entities)
+        for _ in range(3000):
+            counts_skewed[world.weighted_choice(rng1, pool, 1.0).name] += 1
+            counts_flat[world.weighted_choice(rng2, pool, 0.0).name] += 1
+        # Exponent 0 samples uniformly: more distinct entities drawn.
+        assert len(counts_flat) > len(counts_skewed)
+
+    def test_sample_topic_deterministic(self, world, config):
+        t1 = world.sample_topic(config.rng("topic-a"))
+        t2 = world.sample_topic(config.rng("topic-a"))
+        assert t1.name == t2.name
+
+    def test_world_memoized(self, config):
+        assert build_world(config) is build_world(config)

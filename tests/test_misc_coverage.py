@@ -1,0 +1,71 @@
+"""Coverage for small modules: errors, sources, documents, harness tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.corpus.document import Corpus, Document, GoldAnnotation
+from repro.corpus.sources import NEWSBLASTER_SOURCES, NYT_SOURCE
+from repro.harness.tables import gold_set_summary
+
+
+class TestErrors:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ConfigError", "CorpusError", "KnowledgeBaseError",
+            "ResourceError", "ExtractionError", "StorageError",
+            "HierarchyError", "EvaluationError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_catchable_at_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.StorageError("x")
+
+
+class TestSources:
+    def test_24_newsblaster_sources(self):
+        assert len(NEWSBLASTER_SOURCES) == 24
+
+    def test_sources_unique(self):
+        assert len(set(NEWSBLASTER_SOURCES)) == 24
+
+    def test_nyt_among_feeds(self):
+        assert NYT_SOURCE in NEWSBLASTER_SOURCES
+
+
+class TestDocumentContainers:
+    def test_document_len(self):
+        doc = Document(doc_id="d", title="Hi", body="there")
+        assert len(doc) == len("Hi. there")
+
+    def test_gold_annotation_equality(self):
+        a = GoldAnnotation("t", ("E",), ("F",))
+        b = GoldAnnotation("t", ("E",), ("F",))
+        assert a == b
+
+    def test_corpus_indexing(self):
+        corpus = Corpus(
+            name="X",
+            documents=[Document(doc_id=f"d{i}", title="t", body="b") for i in range(3)],
+        )
+        assert corpus[1].doc_id == "d1"
+        assert len(corpus) == 3
+        assert [d.doc_id for d in corpus] == ["d0", "d1", "d2"]
+
+    def test_corpus_sample_capped(self, config):
+        corpus = Corpus(
+            name="X",
+            documents=[Document(doc_id="only", title="t", body="b")],
+        )
+        sample = corpus.sample(config.rng("cap"), 10)
+        assert len(sample) == 1
+
+
+class TestHarnessTables:
+    def test_gold_set_summary(self, config):
+        counts = gold_set_summary(config)
+        assert set(counts) == {"SNYT", "SNB", "MNYT"}
+        assert all(count > 20 for count in counts.values())

@@ -1,0 +1,114 @@
+"""The paper's worked examples, verified literally against the build.
+
+Every concrete example in the paper's prose has a corresponding
+behaviour here: the Jacques Chirac expansion (Section I and IV-B), the
+2005 G8 Summit context terms, the Hillary Rodham Clinton redirect group
+(Section IV-A), the Steve Jobs association list (Section IV), and the
+Hasekura Tsunenaga anchor discussion (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wikipedia.graph import WikipediaGraph
+from repro.wikipedia.synonyms import SynonymFinder
+from repro.wikipedia.titles import TitleMatcher
+
+
+@pytest.fixture(scope="module")
+def graph(wikipedia):
+    return WikipediaGraph(wikipedia)
+
+
+@pytest.fixture(scope="module")
+def synonyms(wikipedia):
+    return SynonymFinder(wikipedia)
+
+
+class TestChiracExample:
+    """Section I: 'Jacques Chirac' implies People -> Political Leaders
+    and Regional -> Europe -> France; Section IV-B: querying Wikipedia
+    returns 'President of France'."""
+
+    def test_facet_paths(self, world):
+        entity = world.entity("Jacques Chirac")
+        paths = {tuple(p) for p in entity.facet_paths}
+        assert ("People", "Leaders", "Political Leaders") in paths
+        assert ("Location", "Europe", "France") in paths
+
+    def test_graph_expansion(self, graph):
+        titles = {n.title for n in graph.neighbours("Jacques Chirac", k=50)}
+        assert "President of France" in titles
+        assert "France" in titles
+        assert "Political Leaders" in titles
+
+
+class TestG8SummitExample:
+    """Section IV-B: context terms for '2005 G8 summit' include 'Africa
+    debt cancellation' and 'global warming'."""
+
+    def test_graph_expansion(self, graph):
+        titles = {n.title for n in graph.neighbours("2005 G8 Summit", k=50)}
+        assert "Africa debt cancellation" in titles
+        assert "global warming" in titles
+
+    def test_summit_facets(self, world):
+        entity = world.entity("2005 G8 Summit")
+        assert "Summits" in entity.facet_terms
+
+
+class TestHillaryExample:
+    """Section IV-A: 'Hillary Clinton', 'Hillary R. Clinton', 'Clinton,
+    Hillary Rodham', 'Hillary Diane Rodham Clinton' all redirect to
+    'Hillary Rodham Clinton'."""
+
+    VARIANTS = (
+        "Hillary Clinton",
+        "Hillary R. Clinton",
+        "Clinton, Hillary Rodham",
+        "Hillary Diane Rodham Clinton",
+    )
+
+    def test_redirects(self, wikipedia):
+        for variant in self.VARIANTS:
+            assert wikipedia.resolve(variant) == "Hillary Rodham Clinton"
+
+    def test_title_matcher_captures_variants(self, wikipedia):
+        matcher = TitleMatcher(wikipedia)
+        for variant in self.VARIANTS[:2]:
+            titles = [
+                m.title for m in matcher.matches(f"Yesterday {variant} spoke.")
+            ]
+            assert "Hillary Rodham Clinton" in titles
+
+    def test_synonym_group(self, synonyms):
+        phrases = {s.phrase for s in synonyms.synonyms("Hillary Rodham Clinton")}
+        assert "Hillary Clinton" in phrases
+        assert "Hillary R. Clinton" in phrases
+
+
+class TestSteveJobsExample:
+    """Section IV: 'Steve Jobs' associates with 'personal computer',
+    'entertainment industry', 'technology leaders'."""
+
+    def test_graph_expansion(self, graph):
+        titles = {n.title for n in graph.neighbours("Steve Jobs", k=50)}
+        assert "personal computer" in titles
+        assert "entertainment industry" in titles
+        assert "technology leaders" in titles
+
+
+class TestHasekuraExample:
+    """Section IV-B: the 'Hasekura Tsunenaga' page, with the anchor text
+    'Samurai Tsunenaga' usable as a synonym."""
+
+    def test_page_exists(self, wikipedia):
+        assert wikipedia.resolve("Hasekura Tsunenaga") is not None
+
+    def test_anchor_synonym(self, wikipedia, synonyms):
+        assert wikipedia.resolve("Samurai Tsunenaga") == "Hasekura Tsunenaga"
+        phrases = {
+            s.phrase.lower() for s in synonyms.synonyms("Hasekura Tsunenaga")
+        }
+        assert "samurai tsunenaga" in phrases

@@ -1,0 +1,73 @@
+"""Tests for offline-expansion persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic import DynamicFaceter
+from repro.core.persistence import load_expansions, save_expansions
+from repro.core.selection import select_facet_terms
+from repro.errors import StorageError
+from repro.eval.metrics import to_key_set
+
+
+class TestExpansionPersistence:
+    def test_round_trip_preserves_artifacts(self, pipeline_result, tmp_path):
+        path = str(tmp_path / "expansions.sqlite")
+        save_expansions(pipeline_result.contextualized, path)
+        restored = load_expansions(pipeline_result.documents, path)
+
+        original = pipeline_result.contextualized
+        for doc in pipeline_result.documents[:20]:
+            doc_id = doc.doc_id
+            assert restored.annotated.important(doc_id) == (
+                original.annotated.important(doc_id)
+            )
+            assert restored.annotated.term_sets[doc_id] == (
+                original.annotated.term_sets[doc_id]
+            )
+            assert restored.context(doc_id) == original.context(doc_id)
+            assert restored.expanded_sets[doc_id] == original.expanded_sets[doc_id]
+
+    def test_selection_identical_after_reload(self, pipeline_result, tmp_path):
+        path = str(tmp_path / "expansions.sqlite")
+        save_expansions(pipeline_result.contextualized, path)
+        restored = load_expansions(pipeline_result.documents, path)
+        before = {c.term for c in select_facet_terms(
+            pipeline_result.contextualized, top_k=None
+        )}
+        after = {c.term for c in select_facet_terms(restored, top_k=None)}
+        assert to_key_set(before) == to_key_set(after)
+
+    def test_dynamic_faceting_from_reload(self, pipeline_result, tmp_path):
+        path = str(tmp_path / "expansions.sqlite")
+        save_expansions(pipeline_result.contextualized, path)
+        restored = load_expansions(pipeline_result.documents, path)
+        faceter = DynamicFaceter(restored)
+        ids = [doc.doc_id for doc in pipeline_result.documents[:30]]
+        assert faceter.facet_terms(ids)
+
+    def test_unknown_doc_ids_ignored(self, pipeline_result, tmp_path):
+        path = str(tmp_path / "expansions.sqlite")
+        save_expansions(pipeline_result.contextualized, path)
+        subset = pipeline_result.documents[:5]
+        restored = load_expansions(subset, path)
+        assert restored.annotated.vocabulary.document_count == 5
+
+    def test_documents_without_artifacts_get_empty_sets(
+        self, pipeline_result, tmp_path
+    ):
+        from repro.corpus.document import Document
+
+        path = str(tmp_path / "expansions.sqlite")
+        save_expansions(pipeline_result.contextualized, path)
+        stranger = Document(doc_id="stranger", title="t", body="b")
+        restored = load_expansions([stranger], path)
+        assert restored.annotated.important("stranger") == []
+        assert restored.expanded_sets["stranger"] == set()
+
+    def test_bad_file_raises(self, pipeline_result, tmp_path):
+        path = tmp_path / "junk.sqlite"
+        path.write_text("not a database")
+        with pytest.raises(StorageError):
+            load_expansions(pipeline_result.documents[:2], str(path))

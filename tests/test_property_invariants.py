@@ -1,0 +1,105 @@
+"""Cross-subsystem property-based invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.document import Document
+from repro.db.inverted_index import InvertedIndex
+from repro.db.search import BM25Searcher
+from repro.text.tokenizer import normalize_term
+from repro.text.vocabulary import Vocabulary
+
+_WORDS = st.sampled_from(
+    "storm market rally coast flood trade summit treaty vote game".split()
+)
+_BODIES = st.lists(_WORDS, min_size=1, max_size=12).map(" ".join)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_BODIES, min_size=1, max_size=8))
+def test_index_df_bounded_by_doc_count(bodies):
+    index = InvertedIndex()
+    for i, body in enumerate(bodies):
+        index.add_document(Document(doc_id=f"d{i}", title="t", body=body))
+    for term in ("storm", "market", "storm market"):
+        assert 0 <= index.document_frequency(term) <= len(bodies)
+        assert len(index.documents_with(term)) == index.document_frequency(term)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_BODIES, min_size=2, max_size=8), _WORDS)
+def test_bm25_results_sorted_and_relevant(bodies, query):
+    index = InvertedIndex()
+    for i, body in enumerate(bodies):
+        index.add_document(Document(doc_id=f"d{i}", title="t", body=body))
+    results = BM25Searcher(index).search(query)
+    scores = [r.score for r in results]
+    assert scores == sorted(scores, reverse=True)
+    matching = index.documents_with(query)
+    assert {r.doc_id for r in results} <= matching | set()
+    # Every matching document is returned (limit permitting).
+    if len(matching) <= 10:
+        assert {r.doc_id for r in results} == matching
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.lists(_WORDS, min_size=1, max_size=6), min_size=1, max_size=6)
+)
+def test_vocabulary_totals_consistent(docs):
+    vocabulary = Vocabulary()
+    for doc in docs:
+        vocabulary.add_document(doc)
+    total_tf = sum(vocabulary.tf(t) for t in vocabulary.terms())
+    assert total_tf == sum(len(doc) for doc in docs)
+    ranks = sorted(vocabulary.rank(t) for t in vocabulary.terms())
+    assert ranks == list(range(1, vocabulary.term_count + 1))
+
+
+class TestInterfaceInvariants:
+    def test_dice_subset_of_each_slice(self, pipeline_result):
+        interface = pipeline_result.interface()
+        names = [f.name for f in interface.facets if f.root.count > 3][:3]
+        if len(names) < 2:
+            return
+        diced = {d.doc_id for d in interface.dice(names[:2])}
+        for name in names[:2]:
+            sliced = {d.doc_id for d in interface.slice(name)}
+            assert diced <= sliced
+
+    def test_root_count_equals_doc_ids(self, pipeline_result):
+        for facet in pipeline_result.hierarchies:
+            assert facet.root.count == len(facet.root.doc_ids)
+
+    def test_child_docs_subset_of_parent(self, pipeline_result):
+        for facet in pipeline_result.hierarchies:
+            for node in facet.root.walk():
+                for child in node.children:
+                    assert child.doc_ids <= node.doc_ids
+
+    def test_facet_counts_never_exceed_subset(self, pipeline_result):
+        interface = pipeline_result.interface()
+        subset = {doc.doc_id for doc in pipeline_result.documents[:20]}
+        for entry in interface.facet_counts_for(subset):
+            assert entry.count <= len(subset)
+
+
+class TestExpansionInvariants:
+    def test_expanded_superset_of_original(self, pipeline_result):
+        contextualized = pipeline_result.contextualized
+        for doc_id, originals in contextualized.annotated.term_sets.items():
+            assert originals <= contextualized.expanded_sets[doc_id]
+
+    def test_df_contextualized_at_least_original(self, pipeline_result):
+        contextualized = pipeline_result.contextualized
+        original = contextualized.annotated.vocabulary
+        for term in list(original.terms())[:500]:
+            assert contextualized.vocabulary.df(term) >= original.df(term)
+
+    def test_context_terms_normalized_into_sets(self, pipeline_result):
+        contextualized = pipeline_result.contextualized
+        for doc in pipeline_result.documents[:20]:
+            expanded = contextualized.expanded_sets[doc.doc_id]
+            for term in contextualized.context(doc.doc_id):
+                assert normalize_term(term) in expanded

@@ -1,0 +1,109 @@
+"""Tests for fault injection and the resilient resource wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.resources.base import ExternalResource, ResourceName
+from repro.resources.resilience import FlakyResource, ResilientResource
+
+
+class EchoResource(ExternalResource):
+    name = ResourceName.GOOGLE
+    remote = True
+
+    def __init__(self):
+        super().__init__()
+        self.queries = 0
+
+    def _query(self, term):
+        self.queries += 1
+        return [f"about {term.lower()}"]
+
+
+class AlwaysFailing(ExternalResource):
+    name = ResourceName.GOOGLE
+
+    def _query(self, term):
+        raise ResourceError("down")
+
+
+class TestFlakyResource:
+    def test_passes_through_when_healthy(self):
+        flaky = FlakyResource(EchoResource(), error_rate=0.0)
+        assert flaky.context_terms("Paris") == ["about paris"]
+        assert flaky.failures == 0
+
+    def test_always_fails_at_rate_one(self):
+        flaky = FlakyResource(EchoResource(), error_rate=1.0)
+        with pytest.raises(ResourceError):
+            flaky.context_terms("Paris")
+        assert flaky.failures == 1
+
+    def test_intermittent_failures(self):
+        flaky = FlakyResource(EchoResource(), error_rate=0.5, seed=7)
+        outcomes = []
+        for i in range(40):
+            try:
+                flaky.context_terms(f"term{i}")
+                outcomes.append(True)
+            except ResourceError:
+                outcomes.append(False)
+        assert any(outcomes) and not all(outcomes)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FlakyResource(EchoResource(), error_rate=2.0)
+
+    def test_inherits_identity(self):
+        inner = EchoResource()
+        flaky = FlakyResource(inner, error_rate=0.1)
+        assert flaky.name == inner.name
+        assert flaky.remote == inner.remote
+
+
+class TestResilientResource:
+    def test_retries_until_success(self):
+        inner = EchoResource()
+        flaky = FlakyResource(inner, error_rate=0.6, seed=3)
+        resilient = ResilientResource(flaky, max_attempts=10)
+        for i in range(20):
+            assert resilient.context_terms(f"t{i}") == [f"about t{i}"]
+        assert resilient.retries > 0
+        assert resilient.gave_up == 0
+
+    def test_degrades_to_empty_when_exhausted(self):
+        resilient = ResilientResource(AlwaysFailing(), max_attempts=2)
+        assert resilient.context_terms("anything") == []
+        assert resilient.gave_up == 1
+
+    def test_invalid_attempts(self):
+        with pytest.raises(ValueError):
+            ResilientResource(EchoResource(), max_attempts=0)
+
+    def test_pipeline_survives_outages(self, builder, snyt):
+        """End-to-end: an unreliable Google never crashes extraction."""
+        from repro.core.annotate import annotate_database
+        from repro.core.contextualize import contextualize
+        from repro.core.selection import select_facet_terms
+        from repro.extractors.base import ExtractorName
+        from repro.extractors.registry import build_extractors
+        from repro.resources.base import ResourceName
+        from repro.resources.registry import build_resources
+
+        google = build_resources(
+            [ResourceName.GOOGLE], builder.substrates, builder.config
+        )[0]
+        unreliable = ResilientResource(
+            FlakyResource(google, error_rate=0.4, seed=11), max_attempts=2
+        )
+        docs = list(snyt)[:30]
+        extractors = build_extractors(
+            [ExtractorName.NAMED_ENTITIES], wikipedia=builder.substrates.wikipedia
+        )
+        annotated = annotate_database(docs, extractors)
+        contextualized = contextualize(annotated, [unreliable])
+        candidates = select_facet_terms(contextualized, top_k=None)
+        # The run completes; degradation may cost recall, never a crash.
+        assert isinstance(candidates, list)

@@ -1,0 +1,138 @@
+"""Tests for the external-resource layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.resources.base import ExternalResource, ResourceName
+from repro.resources.composite import CompositeResource
+from repro.resources.registry import (
+    build_all_resources,
+    build_resource,
+    build_resources,
+)
+
+
+class FakeResource(ExternalResource):
+    name = ResourceName.GOOGLE
+
+    def __init__(self, answers):
+        super().__init__()
+        self.answers = answers
+        self.calls = 0
+
+    def _query(self, term):
+        self.calls += 1
+        return list(self.answers.get(term.lower(), []))
+
+
+class TestCaching:
+    def test_results_memoized(self):
+        resource = FakeResource({"paris": ["france"]})
+        assert resource.context_terms("paris") == ["france"]
+        assert resource.context_terms("paris") == ["france"]
+        assert resource.calls == 1
+
+    def test_cache_keyed_on_normalized_form(self):
+        resource = FakeResource({"u s": ["united states"]})
+        resource.context_terms("U.S.")
+        resource.context_terms("u s")
+        assert resource.calls == 1
+
+    def test_empty_term_short_circuits(self):
+        resource = FakeResource({})
+        assert resource.context_terms("...") == []
+        assert resource.calls == 0
+
+    def test_clear_cache(self):
+        resource = FakeResource({"a": ["b"]})
+        resource.context_terms("a")
+        assert resource.cache_size == 1
+        resource.clear_cache()
+        assert resource.cache_size == 0
+
+    def test_returned_list_is_a_copy(self):
+        resource = FakeResource({"a": ["b"]})
+        first = resource.context_terms("a")
+        first.append("junk")
+        assert resource.context_terms("a") == ["b"]
+
+
+class TestComposite:
+    def test_union_deduplicates(self):
+        r1 = FakeResource({"x": ["a", "b"]})
+        r2 = FakeResource({"x": ["B", "c"]})
+        composite = CompositeResource([r1, r2])
+        assert composite.context_terms("x") == ["a", "b", "c"]
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            CompositeResource([])
+
+    def test_label(self):
+        r1 = FakeResource({})
+        composite = CompositeResource([r1])
+        assert "Google" in composite.label()
+
+
+class TestRegistry:
+    def test_build_each(self, substrates, config):
+        for name in ResourceName:
+            resource = build_resource(name, substrates, config)
+            assert resource.name == name
+
+    def test_build_by_string(self, substrates, config):
+        resource = build_resource("Wikipedia Graph", substrates, config)
+        assert resource.name == ResourceName.WIKI_GRAPH
+
+    def test_unknown_name(self, substrates, config):
+        with pytest.raises(ResourceError):
+            build_resource("Bing", substrates, config)
+
+    def test_build_all(self, substrates, config):
+        composite = build_all_resources(substrates, config)
+        assert len(composite.members) == len(ResourceName)
+
+
+class TestBehaviourProfiles:
+    """Each resource's qualitative profile from the paper."""
+
+    def test_wordnet_fails_on_named_entities(self, substrates, config):
+        resource = build_resource(ResourceName.WORDNET, substrates, config)
+        assert resource.context_terms("Jacques Chirac") == []
+
+    def test_wordnet_generalizes_common_nouns(self, substrates, config):
+        resource = build_resource(ResourceName.WORDNET, substrates, config)
+        terms = [t.lower() for t in resource.context_terms("president")]
+        assert "leaders" in terms
+
+    def test_graph_returns_context_for_entities(self, substrates, config):
+        resource = build_resource(ResourceName.WIKI_GRAPH, substrates, config)
+        terms = resource.context_terms("Jacques Chirac")
+        assert "France" in terms
+        assert len(terms) <= config.wiki_graph_top_k
+
+    def test_synonyms_return_variants_not_generalizations(
+        self, substrates, config
+    ):
+        resource = build_resource(ResourceName.WIKI_SYNONYMS, substrates, config)
+        terms = [t.lower() for t in resource.context_terms("Hillary Clinton")]
+        assert "hillary rodham clinton" in terms
+        assert "political leaders" not in terms
+
+    def test_synonyms_exclude_query_itself(self, substrates, config):
+        resource = build_resource(ResourceName.WIKI_SYNONYMS, substrates, config)
+        terms = [t.lower() for t in resource.context_terms("Hillary Clinton")]
+        assert "hillary clinton" not in terms
+
+    def test_google_is_broad_but_noisy(self, substrates, config):
+        resource = build_resource(ResourceName.GOOGLE, substrates, config)
+        terms = resource.context_terms("Jacques Chirac")
+        assert len(terms) >= 10
+
+    def test_google_marked_remote(self, substrates, config):
+        assert build_resource(ResourceName.GOOGLE, substrates, config).remote
+        assert not build_resource(
+            ResourceName.WIKI_GRAPH, substrates, config
+        ).remote

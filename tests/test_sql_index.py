@@ -1,0 +1,104 @@
+"""Tests for the SQLite-backed inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.db.inverted_index import InvertedIndex
+from repro.db.sql_index import SqlInvertedIndex
+from repro.errors import StorageError
+
+
+def make_doc(doc_id: str, body: str) -> Document:
+    return Document(doc_id=doc_id, title="Note", body=body)
+
+
+@pytest.fixture()
+def docs():
+    return [
+        make_doc("d1", "The storm hit the coast and the storm grew."),
+        make_doc("d2", "The stock market rallied on strong earnings."),
+        make_doc("d3", "Storm damage closed the coast road."),
+    ]
+
+
+class TestSqlIndex:
+    def test_document_frequency(self, docs):
+        with SqlInvertedIndex() as index:
+            index.add_documents(docs)
+            assert index.document_frequency("storm") == 2
+            assert index.document_frequency("zebra") == 0
+
+    def test_term_frequency(self, docs):
+        with SqlInvertedIndex() as index:
+            index.add_documents(docs)
+            assert index.term_frequency("storm", "d1") == 2
+            assert index.term_frequency("storm", "d2") == 0
+
+    def test_documents_with(self, docs):
+        with SqlInvertedIndex() as index:
+            index.add_documents(docs)
+            assert index.documents_with("coast") == {"d1", "d3"}
+
+    def test_conjunctive_lookup(self, docs):
+        with SqlInvertedIndex() as index:
+            index.add_documents(docs)
+            assert index.documents_with_all(["storm", "coast"]) == {"d1", "d3"}
+            assert index.documents_with_all(["storm", "market"]) == set()
+            assert index.documents_with_all([]) == set()
+
+    def test_phrases_indexed(self, docs):
+        with SqlInvertedIndex() as index:
+            index.add_documents(docs)
+            assert index.document_frequency("stock market") == 1
+
+    def test_duplicate_rejected(self, docs):
+        with SqlInvertedIndex() as index:
+            index.add_document(docs[0])
+            with pytest.raises(StorageError):
+                index.add_document(docs[0])
+
+    def test_top_terms(self, docs):
+        with SqlInvertedIndex() as index:
+            index.add_documents(docs)
+            top = dict(index.top_terms(5))
+            assert top.get("storm") == 2
+
+    def test_document_count(self, docs):
+        with SqlInvertedIndex() as index:
+            index.add_documents(docs)
+            assert index.document_count == 3
+
+    def test_file_persistence(self, docs, tmp_path):
+        path = str(tmp_path / "index.sqlite")
+        index = SqlInvertedIndex(path)
+        index.add_documents(docs)
+        index.close()
+        reopened = SqlInvertedIndex(path)
+        assert reopened.document_count == 3
+        assert reopened.document_frequency("storm") == 2
+        reopened.close()
+
+    def test_agrees_with_memory_index(self, docs):
+        memory = InvertedIndex()
+        memory.add_documents(docs)
+        with SqlInvertedIndex() as sql:
+            sql.add_documents(docs)
+            for term in ("storm", "coast", "market", "stock market", "none"):
+                assert sql.document_frequency(term) == memory.document_frequency(
+                    term
+                )
+                assert sql.documents_with(term) == memory.documents_with(term)
+
+    def test_agrees_on_generated_corpus(self, snyt):
+        sample = list(snyt)[:25]
+        memory = InvertedIndex()
+        memory.add_documents(sample)
+        with SqlInvertedIndex() as sql:
+            sql.add_documents(sample)
+            assert sql.document_count == memory.document_count
+            for term, _df in memory.vocabulary.most_common(50):
+                assert sql.document_frequency(term) == memory.document_frequency(
+                    term
+                )

@@ -1,0 +1,83 @@
+"""Tests for snapshot stats, inter-annotator agreement, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.agreement import measure_agreement
+from repro.harness.report import build_report, write_report
+from repro.wikipedia.stats import snapshot_stats
+
+
+class TestSnapshotStats:
+    @pytest.fixture(scope="class")
+    def stats(self, wikipedia):
+        return snapshot_stats(wikipedia)
+
+    def test_counts_positive(self, stats):
+        assert stats.pages > 500
+        assert stats.links > stats.pages  # informative graph
+        assert stats.redirects > 50
+
+    def test_mean_out_degree(self, stats):
+        assert stats.mean_out_degree == pytest.approx(
+            stats.links / stats.pages
+        )
+        assert 1 < stats.mean_out_degree < 60
+
+    def test_hub_pages_exist(self, stats):
+        # Facet roots accumulate many in-links.
+        assert stats.max_in_degree > 20
+
+    def test_ambiguous_anchors_present(self, stats):
+        # "the president"-style anchors point at several pages.
+        assert stats.ambiguous_anchors >= 1
+
+    def test_summary_renders(self, stats):
+        text = stats.format_summary()
+        assert "pages:" in text
+        assert "links:" in text
+
+
+class TestAgreement:
+    def test_agreement_above_chance_below_perfect(self, world, snyt, config):
+        report = measure_agreement(world, list(snyt)[:40], config)
+        assert report.decisions > 100
+        # Annotators share ground truth but sample it independently:
+        # solid agreement, far from unanimity.
+        assert 0.0 < report.fleiss_kappa < 0.95
+        assert 0.4 < report.observed_agreement < 1.0
+
+    def test_empty_sample(self, world, config):
+        report = measure_agreement(world, [], config)
+        assert report.decisions == 0
+        assert report.fleiss_kappa == 0.0
+
+    def test_summary_renders(self, world, snyt, config):
+        report = measure_agreement(world, list(snyt)[:10], config)
+        assert "kappa" in report.format_summary()
+
+
+class TestReport:
+    def test_build_from_results(self, tmp_path):
+        (tmp_path / "table2_recall_snyt.txt").write_text("Recall (SNYT)\n0.9")
+        (tmp_path / "user_study.txt").write_text("searches: 3")
+        report = build_report(tmp_path)
+        assert "Table II" in report
+        assert "Section V-E" in report
+        assert "0.9" in report
+
+    def test_empty_results_dir(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "No results found" in report
+
+    def test_write_report(self, tmp_path):
+        (tmp_path / "efficiency.txt").write_text("fast")
+        out = write_report(tmp_path, tmp_path / "REPORT.md")
+        assert out.exists()
+        assert "fast" in out.read_text()
+
+    def test_unknown_files_ignored(self, tmp_path):
+        (tmp_path / "random_notes.txt").write_text("hello")
+        report = build_report(tmp_path)
+        assert "hello" not in report

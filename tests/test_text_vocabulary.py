@@ -1,0 +1,143 @@
+"""Tests for repro.text.vocabulary and repro.text.zipf."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.vocabulary import Vocabulary
+from repro.text.zipf import rank_bin, rank_terms, zipf_fit
+
+
+def build_vocab(docs):
+    vocabulary = Vocabulary()
+    for doc in docs:
+        vocabulary.add_document(doc)
+    return vocabulary
+
+
+class TestVocabulary:
+    def test_counts(self):
+        vocab = build_vocab([["a", "a", "b"], ["b", "c"]])
+        assert vocab.tf("a") == 2
+        assert vocab.df("a") == 1
+        assert vocab.df("b") == 2
+        assert vocab.document_count == 2
+        assert vocab.term_count == 3
+
+    def test_unknown_term(self):
+        vocab = build_vocab([["a"]])
+        assert vocab.tf("zzz") == 0
+        assert vocab.df("zzz") == 0
+
+    def test_rank_order(self):
+        vocab = build_vocab([["a", "b"], ["a"], ["a", "c"]])
+        assert vocab.rank("a") == 1
+        assert vocab.rank("b") in (2, 3)
+
+    def test_rank_ties_alphabetical(self):
+        vocab = build_vocab([["b", "a"]])
+        assert vocab.rank("a") == 1
+        assert vocab.rank("b") == 2
+
+    def test_unknown_term_ranks_last(self):
+        vocab = build_vocab([["a", "b"]])
+        assert vocab.rank("zzz") == vocab.term_count + 1
+
+    def test_rank_invalidated_on_update(self):
+        vocab = build_vocab([["a"]])
+        assert vocab.rank("a") == 1
+        vocab.add_document(["b"])
+        vocab.add_document(["b"])
+        assert vocab.rank("b") == 1
+
+    def test_contains(self):
+        vocab = build_vocab([["a"]])
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_empty_terms_skipped(self):
+        vocab = build_vocab([["", "a"]])
+        assert vocab.term_count == 1
+
+    def test_most_common(self):
+        vocab = build_vocab([["a", "b"], ["a"]])
+        assert vocab.most_common(1) == [("a", 2)]
+
+    def test_stats(self):
+        vocab = build_vocab([["a", "a"]])
+        stats = vocab.stats("a")
+        assert stats.term_frequency == 2
+        assert stats.document_frequency == 1
+        assert stats.rank == 1
+
+    @given(st.lists(st.lists(st.sampled_from("abcde"), max_size=8), max_size=10))
+    def test_df_never_exceeds_documents(self, docs):
+        vocab = build_vocab(docs)
+        for term in vocab.terms():
+            assert 1 <= vocab.df(term) <= vocab.document_count
+            assert vocab.df(term) <= vocab.tf(term)
+
+
+class TestRankBin:
+    def test_rank_one_is_bin_zero(self):
+        assert rank_bin(1) == 0
+
+    def test_rank_two(self):
+        assert rank_bin(2) == 1
+
+    def test_powers_of_two(self):
+        assert rank_bin(4) == 2
+        assert rank_bin(8) == 3
+        assert rank_bin(1024) == 10
+
+    def test_between_powers(self):
+        assert rank_bin(5) == 3
+        assert rank_bin(9) == 4
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            rank_bin(0)
+
+    @given(st.integers(1, 10**6))
+    def test_monotone(self, rank):
+        assert rank_bin(rank) <= rank_bin(rank + 1)
+
+
+class TestRankTerms:
+    def test_deterministic(self):
+        ranks = rank_terms({"b": 3, "a": 3, "c": 1})
+        assert ranks == {"a": 1, "b": 2, "c": 3}
+
+
+class TestZipfFit:
+    def test_perfect_zipf(self):
+        constant = 1000.0
+        freqs = [constant / rank for rank in range(1, 50)]
+        s, c = zipf_fit(freqs)
+        assert math.isclose(s, 1.0, rel_tol=1e-6)
+        assert math.isclose(c, constant, rel_tol=1e-6)
+
+    def test_steeper_exponent(self):
+        freqs = [1000.0 / rank**2 for rank in range(1, 50)]
+        s, _ = zipf_fit(freqs)
+        assert math.isclose(s, 2.0, rel_tol=1e-6)
+
+    def test_requires_two_values(self):
+        with pytest.raises(ValueError):
+            zipf_fit([5])
+
+    def test_ignores_zeros(self):
+        s, _ = zipf_fit([100, 50, 0, 0, 33, 25])
+        assert s > 0
+
+    def test_corpus_is_zipfian(self, snyt):
+        # The synthetic corpus should show a power-law-ish vocabulary.
+        from repro.core.annotate import annotate_database
+
+        annotated = annotate_database(list(snyt.documents)[:50], extractors=[])
+        freqs = [tf for _, tf in annotated.vocabulary.most_common(300)]
+        s, _ = zipf_fit(freqs)
+        assert 0.3 < s < 3.0

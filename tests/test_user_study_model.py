@@ -1,0 +1,97 @@
+"""Tests for the user-study behavioural model internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.user_study import (
+    FACET_AFFINITY_BASE,
+    FACET_AFFINITY_CAP,
+    SessionLog,
+    UserStudy,
+    UserStudyResult,
+)
+
+
+class TestAffinity:
+    def test_grows_with_repetition(self, builder, snyt, config):
+        result = builder.build().run(snyt.documents)
+        study = UserStudy(result.interface(), builder.world, config)
+        values = [study._facet_affinity(r) for r in range(5)]
+        assert values == sorted(values)
+        assert values[0] == FACET_AFFINITY_BASE
+        assert values[-1] <= FACET_AFFINITY_CAP
+
+
+class TestMetrics:
+    def test_per_user_search_reduction(self):
+        result = UserStudyResult(
+            sessions=[
+                SessionLog(user=0, repetition=0, searches=4),
+                SessionLog(user=0, repetition=1, searches=2),
+                SessionLog(user=1, repetition=0, searches=3),
+                SessionLog(user=1, repetition=1, searches=3),
+            ]
+        )
+        reductions = result.per_user_search_reduction()
+        assert reductions[0] == pytest.approx(0.5)
+        assert reductions[1] == 0.0
+        assert result.max_search_reduction == pytest.approx(0.5)
+
+    def test_zero_search_user_handled(self):
+        result = UserStudyResult(
+            sessions=[
+                SessionLog(user=0, repetition=0, searches=0),
+                SessionLog(user=0, repetition=1, searches=0),
+            ]
+        )
+        assert result.max_search_reduction == 0.0
+
+    def test_empty_result(self):
+        result = UserStudyResult()
+        assert result.max_search_reduction == 0.0
+        assert result.search_reduction == 0.0
+        assert result.time_reduction == 0.0
+        assert result.mean_satisfaction == 0.0
+
+
+class TestTasks:
+    @pytest.fixture(scope="class")
+    def study(self, builder, snyt, config):
+        result = builder.build().run(snyt.documents)
+        return UserStudy(result.interface(), builder.world, config)
+
+    def test_task_stable_across_repetitions(self, study):
+        q1, on1, f1, v1 = study._pick_task(0)
+        q2, on2, f2, v2 = study._pick_task(0)
+        assert q1 == q2
+        assert on1 == on2
+        assert f1 == f2
+
+    def test_tasks_vary_across_users(self, study):
+        tasks = {study._pick_task(u)[0] for u in range(5)}
+        assert len(tasks) >= 2
+
+    def test_facet_terms_sorted_specific_first(self, study):
+        for user in range(5):
+            _, _, facet_terms, _ = study._pick_task(user)
+            counts = [study._interface.node(t).count for t in facet_terms]
+            assert counts == sorted(counts)
+
+    def test_query_is_entity_anchored(self, study):
+        query, on_topic, _, _ = study._pick_task(0)
+        # Queries carry more than a bare topic word when prominent
+        # entities exist in the user's area.
+        assert len(query.split()) >= 2 or not on_topic
+
+
+class TestMemory:
+    def test_memory_learned_after_completion(self, builder, snyt, config):
+        result = builder.build().run(snyt.documents)
+        study = UserStudy(
+            result.interface(), builder.world, config, users=1, repetitions=2
+        )
+        out = study.run()
+        completed = [s for s in out.sessions if s.completed]
+        if completed and completed[0].facet_clicks:
+            assert study._memory  # the user remembered their path

@@ -1,0 +1,98 @@
+"""Tests for the simulated web and search engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.websim.engine import SearchEngineSim
+from repro.websim.pages import BOILERPLATE, WebPage, build_web_corpus
+
+
+@pytest.fixture(scope="module")
+def web(world, config):
+    return build_web_corpus(world, config)
+
+
+@pytest.fixture(scope="module")
+def engine(web):
+    return SearchEngineSim(web)
+
+
+class TestWebCorpus:
+    def test_pages_per_entity(self, world, web):
+        entity_pages = [p for p in web if p.url.startswith("web://entity/")]
+        assert len(entity_pages) == 3 * len(world.entities)
+
+    def test_facet_pages_exist(self, world, web):
+        facet_pages = [p for p in web if p.url.startswith("web://facet/")]
+        assert len(facet_pages) == len(world.taxonomy)
+
+    def test_entity_pages_mention_facet_terms(self, world, web):
+        chirac_pages = [p for p in web if "Jacques Chirac" in p.text]
+        assert chirac_pages
+        assert any("Political Leaders" in p.text for p in chirac_pages)
+
+    def test_deterministic(self, world, config):
+        again = build_web_corpus(world, config)
+        assert [p.url for p in again][:20] == [
+            p.url for p in build_web_corpus(world, config)
+        ][:20]
+
+
+class TestSearch:
+    def test_entity_query_finds_entity_pages(self, engine):
+        snippets = engine.search("Jacques Chirac", limit=5)
+        assert snippets
+        assert any("Chirac" in s.title or "Chirac" in s.text for s in snippets)
+
+    def test_title_match_boost(self, engine):
+        snippets = engine.search("People", limit=3)
+        assert snippets
+        assert "people" in snippets[0].title.lower()
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+        assert engine.search("the of and") == []
+
+    def test_unknown_query(self, engine):
+        assert engine.search("xyzzyqwertyzzz") == []
+
+    def test_limit_respected(self, engine):
+        assert len(engine.search("Chirac", limit=2)) <= 2
+
+
+class TestContextMining:
+    def test_facet_terms_in_context(self, engine):
+        terms = engine.frequent_snippet_terms("Jacques Chirac", limit=30)
+        joined = " ".join(terms)
+        assert "political" in joined or "france" in joined or "leaders" in joined
+
+    def test_query_words_excluded(self, engine):
+        terms = engine.frequent_snippet_terms("Jacques Chirac", limit=30)
+        assert "jacques" not in terms
+        assert "chirac" not in terms
+
+    def test_limit(self, engine):
+        assert len(engine.frequent_snippet_terms("France", limit=5)) <= 5
+
+    def test_fragment_suppression(self):
+        # "united" occurs only inside "united states" -> suppressed.
+        pages = [
+            WebPage(f"u{i}", "United States", "United States . United States")
+            for i in range(3)
+        ]
+        engine = SearchEngineSim(pages)
+        terms = engine.frequent_snippet_terms("america usa united", limit=20)
+        # Query words excluded; remaining mined phrases should prefer
+        # the full phrase over the fragment "states".
+        if "states" in terms and "united states" in terms:
+            assert terms.index("united states") < terms.index("states")
+
+    def test_some_noise_present(self, engine):
+        """Google context should contain SOME boilerplate (the paper's
+        precision-drop mechanism) across a range of queries."""
+        noise = 0
+        for query in ("Jacques Chirac", "France", "Federal Reserve"):
+            terms = engine.frequent_snippet_terms(query, limit=30)
+            noise += sum(1 for t in terms if t in BOILERPLATE)
+        assert noise >= 1

@@ -1,0 +1,103 @@
+"""Tests for the mini WordNet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wordnet.hypernyms import HypernymLookup
+from repro.wordnet.lexicon import Lexicon, build_lexicon
+
+
+@pytest.fixture(scope="module")
+def lexicon(world):
+    return build_lexicon(world)
+
+
+@pytest.fixture(scope="module")
+def lookup(lexicon):
+    return HypernymLookup(lexicon)
+
+
+class TestLexicon:
+    def test_add_and_query_chain(self):
+        lexicon = Lexicon()
+        lexicon.add_chain("dog", ("canine", "animal"))
+        synsets = lexicon.synsets("dog")
+        assert len(synsets) == 1
+        assert lexicon.chain(synsets[0]) == ("canine", "animal")
+
+    def test_multiple_senses(self):
+        lexicon = Lexicon()
+        lexicon.add_chain("bank", ("financial institution",))
+        lexicon.add_chain("bank", ("river slope",))
+        assert len(lexicon.synsets("bank")) == 2
+
+    def test_duplicate_chain_not_added_twice(self):
+        lexicon = Lexicon()
+        lexicon.add_chain("dog", ("animal",))
+        lexicon.add_chain("dog", ("animal",))
+        assert len(lexicon.synsets("dog")) == 1
+
+    def test_case_insensitive(self):
+        lexicon = Lexicon()
+        lexicon.add_chain("Dog", ("animal",))
+        assert lexicon.synsets("DOG")
+
+    def test_phrases_never_covered(self, lexicon):
+        assert lexicon.synsets("stock market") == []
+        assert lexicon.synsets("jacques chirac") == []
+
+    def test_core_role_nouns(self, lexicon):
+        assert "president" in lexicon
+        assert "storm" in lexicon
+
+    def test_topic_vocabulary_covered(self, world, lexicon):
+        covered = sum(
+            1
+            for topic in world.topics
+            for word in topic.vocabulary
+            if " " not in word and word in lexicon
+        )
+        total = sum(
+            1
+            for topic in world.topics
+            for word in topic.vocabulary
+            if " " not in word
+        )
+        assert covered / total > 0.95
+
+
+class TestHypernyms:
+    def test_president_chain(self, lookup):
+        hypernyms = lookup.hypernyms("president")
+        assert "leaders" in hypernyms
+        assert "people" in hypernyms
+
+    def test_specific_before_general(self, lookup):
+        hypernyms = lookup.hypernyms("hurricane")
+        assert hypernyms.index("hurricanes") < hypernyms.index("event")
+
+    def test_named_entities_not_covered(self, lookup):
+        # The paper's stated WordNet weakness.
+        assert lookup.hypernyms("Jacques Chirac") == []
+        assert not lookup.covers("Hillary Rodham Clinton")
+
+    def test_max_depth(self, lookup):
+        shallow = lookup.hypernyms("president", max_depth=1)
+        assert shallow == ["leaders"]
+
+    def test_unknown_word(self, lookup):
+        assert lookup.hypernyms("zzzz") == []
+
+    def test_location_instances_covered(self, lookup):
+        # Real WordNet contains countries; so does the mini lexicon.
+        hypernyms = lookup.hypernyms("france")
+        assert "europe" in hypernyms
+
+    def test_city_chain_climbs_to_country(self, lookup):
+        hypernyms = lookup.hypernyms("baghdad")
+        assert "iraq" in hypernyms
+
+    def test_hypernyms_deduplicated(self, lookup):
+        hypernyms = lookup.hypernyms("campaign")
+        assert len(hypernyms) == len(set(hypernyms))
