@@ -19,15 +19,16 @@ paper-versus-measured record of every table and figure.
 
 from __future__ import annotations
 
-from .config import DEFAULT_CONFIG, ReproConfig
+from .config import DEFAULT_CONFIG, ParallelConfig, ReproConfig
 from .core.pipeline import FacetExtractionResult, FacetExtractor
 from .core.interface import FacetedInterface
 from .builder import FacetPipelineBuilder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproConfig",
+    "ParallelConfig",
     "DEFAULT_CONFIG",
     "FacetExtractor",
     "FacetExtractionResult",

@@ -8,10 +8,14 @@ Commands
     Run one or more experiments (tables/figures) and print the results.
 ``extract``
     Run the pipeline on a generated corpus and print the facets.
+    ``--workers N`` shards Steps 1-2 across a worker pool and
+    ``--cache PATH`` shares a persistent SQLite expansion cache across
+    workers and runs; the output is bit-for-bit identical either way.
 ``browse``
     Demonstrate the faceted interface (search, drill-down, dice).
 
-Scale with ``--scale`` (or the REPRO_SCALE environment variable).
+Scale with ``--scale`` (or the REPRO_SCALE environment variable);
+parallelize with ``--workers`` (or REPRO_WORKERS).
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .config import ReproConfig
+from .config import ParallelConfig, ReproConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,6 +51,32 @@ def _build_parser() -> argparse.ArgumentParser:
     extract = sub.add_parser("extract", help="extract facets from a corpus")
     extract.add_argument("--dataset", default="SNYT", choices=["SNYT", "SNB", "MNYT"])
     extract.add_argument("--top", type=int, default=20, help="facet terms to print")
+    extract.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size for annotation/contextualization "
+        "(default: REPRO_WORKERS or 1 = serial)",
+    )
+    extract.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="documents per work chunk (default: derived)",
+    )
+    extract.add_argument(
+        "--backend",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker pool backend",
+    )
+    extract.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persistent SQLite resource-cache file shared across "
+        "workers and runs",
+    )
 
     sub.add_parser("browse", help="demonstrate the faceted interface")
 
@@ -68,7 +98,32 @@ def _config(args: argparse.Namespace) -> ReproConfig:
         kwargs["scale"] = args.scale
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    parallel = _parallel_config(args)
+    if parallel is not None:
+        kwargs["parallel"] = parallel
     return ReproConfig(**kwargs)
+
+
+def _parallel_config(args: argparse.Namespace) -> ParallelConfig | None:
+    """A ParallelConfig from CLI flags, or None when none were given."""
+    workers = getattr(args, "workers", None)
+    chunk_size = getattr(args, "chunk_size", None)
+    backend = getattr(args, "backend", None)
+    cache = getattr(args, "cache", None)
+    if workers is None and chunk_size is None and cache is None and (
+        backend in (None, "thread")
+    ):
+        return None
+    kwargs = {}
+    if workers is not None:
+        kwargs["workers"] = workers
+    if chunk_size is not None:
+        kwargs["chunk_size"] = chunk_size
+    if backend is not None:
+        kwargs["backend"] = backend
+    if cache is not None:
+        kwargs["cache_path"] = cache
+    return ParallelConfig(**kwargs)
 
 
 def _cmd_list() -> int:
@@ -107,7 +162,9 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
     config = _config(args)
     corpus = build_corpus(args.dataset, config)
-    print(f"extracting facets from {corpus.name} ({len(corpus)} stories)...")
+    workers = config.parallel.workers
+    mode = f"{workers} workers" if workers > 1 else "serial"
+    print(f"extracting facets from {corpus.name} ({len(corpus)} stories, {mode})...")
     result = FacetPipelineBuilder(config).build().run(corpus.documents)
     for candidate in result.facet_terms[: args.top]:
         print(

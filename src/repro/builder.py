@@ -10,9 +10,10 @@ selected with :meth:`FacetPipelineBuilder.with_extractors` /
 
 from __future__ import annotations
 
-from .config import ReproConfig
+from .config import ParallelConfig, ReproConfig
 from .core.evidence import LinkEvidence
 from .core.pipeline import FacetExtractor
+from .db.resource_cache import PersistentResourceCache
 from .extractors.base import ExtractorName
 from .extractors.registry import build_extractors
 from .kb.world import World, build_world
@@ -50,6 +51,8 @@ class FacetPipelineBuilder:
         self._statistic = "log-likelihood"
         self._require_both_shifts = True
         self._build_hierarchies = True
+        self._parallel = self.config.parallel
+        self._resource_cache: PersistentResourceCache | None = None
 
     # -- fluent configuration ----------------------------------------------------
 
@@ -86,7 +89,21 @@ class FacetPipelineBuilder:
         self._build_hierarchies = False
         return self
 
+    def with_parallel(self, parallel: ParallelConfig) -> "FacetPipelineBuilder":
+        """Batch-execution settings (workers, chunking, cache path)."""
+        self._parallel = parallel
+        self._resource_cache = None
+        return self
+
     # -- construction -------------------------------------------------------------
+
+    def _shared_resource_cache(self) -> PersistentResourceCache | None:
+        """Open the persistent cache once; every built pipeline shares it."""
+        if self._parallel.cache_path is None:
+            return None
+        if self._resource_cache is None:
+            self._resource_cache = PersistentResourceCache(self._parallel.cache_path)
+        return self._resource_cache
 
     def build(self) -> FacetExtractor:
         """Materialize the configured pipeline."""
@@ -110,4 +127,7 @@ class FacetPipelineBuilder:
             require_both_shifts=self._require_both_shifts,
             build_hierarchies=self._build_hierarchies,
             edge_validator=self.edge_evidence,
+            parallel=self._parallel,
+            resource_cache=self._shared_resource_cache(),
+            cache_fingerprint=self.config.cache_fingerprint(),
         )

@@ -52,6 +52,84 @@ def _env_scale(default: float = 1.0) -> float:
     return value
 
 
+def _env_workers(default: int = 1) -> int:
+    """Read the ``REPRO_WORKERS`` environment variable, if set."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigError(f"REPRO_WORKERS must be an integer, got {raw!r}") from exc
+    if value < 1:
+        raise ConfigError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
+
+
+#: Chunks handed out per worker when ``chunk_size`` is automatic; more
+#: than one keeps the pool busy when chunks are unevenly expensive.
+_AUTO_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Batch-execution settings for the parallel pipeline.
+
+    Parameters
+    ----------
+    workers:
+        Worker pool size for Step 1 annotation and Step 2
+        contextualization.  ``1`` (default, or ``REPRO_WORKERS``) runs
+        the stages serially; results are bit-for-bit identical at every
+        worker count.
+    chunk_size:
+        Documents per work chunk; None derives a size from the corpus
+        and worker count.  Chunking never changes results, only
+        scheduling granularity.
+    backend:
+        ``"thread"`` (default; right for the latency-bound remote
+        resources) or ``"process"`` (sidesteps the GIL for CPU-bound
+        extraction; requires picklable extractors/resources).
+    cache_path:
+        SQLite file for the shared persistent resource cache; None
+        keeps resource caching purely in-process.
+    memory_cache_size:
+        Bound of each resource's in-process LRU tier.
+    """
+
+    workers: int = field(default_factory=_env_workers)
+    chunk_size: int | None = None
+    backend: str = "thread"
+    cache_path: str | None = None
+    memory_cache_size: int = 65_536
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.backend not in ("thread", "process"):
+            raise ConfigError(
+                f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
+        if self.memory_cache_size < 1:
+            raise ConfigError(
+                f"memory_cache_size must be >= 1, got {self.memory_cache_size}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the worker pool is actually used."""
+        return self.workers > 1
+
+    def resolve_chunk_size(self, item_count: int) -> int:
+        """Chunk size for ``item_count`` items (explicit or derived)."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        divisor = max(1, self.workers * _AUTO_CHUNKS_PER_WORKER)
+        return max(1, -(-item_count // divisor))
+
+
 @dataclass(frozen=True)
 class ReproConfig:
     """Top-level configuration for experiments.
@@ -69,12 +147,16 @@ class ReproConfig:
         ``k`` for the Wikipedia Graph resource (the paper uses 50).
     annotators_per_story:
         Mechanical Turk annotators assigned to each story.
+    parallel:
+        Batch-execution settings (worker count, chunk size, shared
+        cache path); the default is serial with no persistent cache.
     """
 
     seed: int = 20080407
     scale: float = field(default_factory=_env_scale)
     wiki_graph_top_k: int = PAPER_WIKI_GRAPH_TOP_K
     annotators_per_story: int = PAPER_ANNOTATORS_PER_STORY
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -92,6 +174,15 @@ class ReproConfig:
     def rng(self, namespace: str) -> random.Random:
         """Return a deterministic RNG for a named component."""
         return random.Random(f"{self.seed}:{namespace}")
+
+    def cache_fingerprint(self) -> str:
+        """Namespace suffix isolating persistent-cache entries per world.
+
+        Two runs with different seeds/scales simulate different worlds
+        whose resources answer differently; sharing one cache file is
+        only safe when entries carry this fingerprint.
+        """
+        return f"seed={self.seed}|scale={self.scale}|k={self.wiki_graph_top_k}"
 
     def scaled(self, size: int, minimum: int = 10) -> int:
         """Scale a paper corpus size, bounded below by ``minimum``."""

@@ -9,9 +9,12 @@ compares against the contextualized database.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
+from ..config import ParallelConfig
 from ..corpus.document import Document
 from ..extractors.base import TermExtractor
+from ..parallel import chunked, map_chunks
 from ..text.phrases import candidate_phrases
 from ..text.stopwords import is_stopword
 from ..text.tokenizer import normalize_term, word_tokens
@@ -45,28 +48,21 @@ class AnnotatedDatabase:
         return self.important_terms.get(doc_id, [])
 
 
-def annotate_database(
-    documents: list[Document],
-    extractors: list[TermExtractor],
-) -> AnnotatedDatabase:
-    """Run Step 1 over a document collection.
-
-    Every document is scanned once per extractor; the union of extractor
-    outputs (deduplicated on normalized form) becomes ``I(d)``.
-    """
-    important: dict[str, list[str]] = {}
-    vocabulary = Vocabulary()
-    term_sets: dict[str, set[str]] = {}
-    # First pass: corpus statistics, so that background-scored extractors
-    # (the Yahoo stand-in) have idf available during extraction.
+def _stats_chunk(documents: list[Document]) -> list[tuple[str, list[str]]]:
+    """Per-chunk worker for the statistics pass: normalized terms per doc."""
+    out: list[tuple[str, list[str]]] = []
     for document in documents:
         terms = document_terms(document)
         normalized = [t for t in (normalize_term(t) for t in terms) if t]
-        vocabulary.add_document(normalized)
-        term_sets[document.doc_id] = set(normalized)
-    for extractor in extractors:
-        extractor.use_background(vocabulary)
-    # Second pass: important-term extraction.
+        out.append((document.doc_id, normalized))
+    return out
+
+
+def _extract_chunk(
+    extractors: list[TermExtractor], documents: list[Document]
+) -> list[tuple[str, list[str]]]:
+    """Per-chunk worker for the extraction pass: ``I(d)`` per doc."""
+    out: list[tuple[str, list[str]]] = []
     for document in documents:
         merged: list[str] = []
         seen: set[str] = set()
@@ -76,7 +72,45 @@ def annotate_database(
                 if key and key not in seen:
                     seen.add(key)
                     merged.append(term)
-        important[document.doc_id] = merged
+        out.append((document.doc_id, merged))
+    return out
+
+
+def annotate_database(
+    documents: list[Document],
+    extractors: list[TermExtractor],
+    parallel: ParallelConfig | None = None,
+) -> AnnotatedDatabase:
+    """Run Step 1 over a document collection.
+
+    Every document is scanned once per extractor; the union of extractor
+    outputs (deduplicated on normalized form) becomes ``I(d)``.
+
+    With ``parallel.workers > 1`` both passes are sharded over a worker
+    pool; each document is processed by the same per-chunk code the
+    serial path uses and the results are folded in document order, so
+    the output is bit-for-bit identical at every worker count.
+    """
+    chunk_size = (parallel or ParallelConfig(workers=1)).resolve_chunk_size(
+        len(documents)
+    )
+    chunks = chunked(documents, max(1, chunk_size))
+    # First pass: corpus statistics, so that background-scored extractors
+    # (the Yahoo stand-in) have idf available during extraction.
+    vocabulary = Vocabulary()
+    term_sets: dict[str, set[str]] = {}
+    for chunk_result in map_chunks(_stats_chunk, chunks, parallel):
+        for doc_id, normalized in chunk_result:
+            vocabulary.add_document(normalized)
+            term_sets[doc_id] = set(normalized)
+    for extractor in extractors:
+        extractor.use_background(vocabulary)
+    # Second pass: important-term extraction.
+    important: dict[str, list[str]] = {}
+    extract = partial(_extract_chunk, extractors)
+    for chunk_result in map_chunks(extract, chunks, parallel):
+        for doc_id, merged in chunk_result:
+            important[doc_id] = merged
     return AnnotatedDatabase(
         documents=list(documents),
         important_terms=important,

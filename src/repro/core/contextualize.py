@@ -9,7 +9,10 @@ context terms — the input to the comparative analysis of Step 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
+from ..config import ParallelConfig
+from ..parallel import chunked, map_chunks
 from ..resources.base import ExternalResource
 from ..text.tokenizer import normalize_term
 from ..text.vocabulary import Vocabulary
@@ -32,35 +35,63 @@ class ContextualizedDatabase:
         return self.context_terms.get(doc_id, [])
 
 
+def _expand_chunk(
+    resources: list[ExternalResource],
+    items: list[tuple[str, list[str]]],
+) -> list[tuple[str, list[str], list[str]]]:
+    """Per-chunk worker: expand ``(doc_id, I(d))`` into
+    ``(doc_id, C(d) surface forms, normalized keys in first-seen order)``."""
+    out: list[tuple[str, list[str], list[str]]] = []
+    for doc_id, important in items:
+        merged: list[str] = []
+        seen_keys: list[str] = []
+        seen: set[str] = set()
+        for term in important:
+            for resource in resources:
+                for context_term in resource.context_terms(term):
+                    key = normalize_term(context_term)
+                    if key and key not in seen:
+                        seen.add(key)
+                        seen_keys.append(key)
+                        merged.append(context_term)
+        out.append((doc_id, merged, seen_keys))
+    return out
+
+
 def contextualize(
     annotated: AnnotatedDatabase,
     resources: list[ExternalResource],
+    parallel: ParallelConfig | None = None,
 ) -> ContextualizedDatabase:
     """Run Step 2: query every resource with every important term.
 
     Resources memoize per-term answers, so cost scales with the number
     of *distinct* important terms, not with corpus size — this is what
     makes the offline-expansion deployment of Section V-D practical.
+
+    With ``parallel.workers > 1`` documents are sharded over a worker
+    pool; the shared two-tier resource cache means each distinct term is
+    still (normally) answered once per run.  Per-document results are
+    folded in document order, so the contextualized database is
+    bit-for-bit identical at every worker count.
     """
+    work: list[tuple[str, list[str]]] = [
+        (document.doc_id, annotated.important(document.doc_id))
+        for document in annotated.documents
+    ]
+    chunk_size = (parallel or ParallelConfig(workers=1)).resolve_chunk_size(len(work))
+    chunks = chunked(work, max(1, chunk_size))
+    expand = partial(_expand_chunk, resources)
     context_terms: dict[str, list[str]] = {}
     expanded_sets: dict[str, set[str]] = {}
     vocabulary = Vocabulary()
-    for document in annotated.documents:
-        doc_id = document.doc_id
-        merged: list[str] = []
-        seen: set[str] = set()
-        for term in annotated.important(doc_id):
-            for resource in resources:
-                for context_term in resource.context_terms(term):
-                    key = normalize_term(context_term)
-                    if key and key not in seen:
-                        seen.add(key)
-                        merged.append(context_term)
-        context_terms[doc_id] = merged
-        expanded = set(annotated.term_sets.get(doc_id, set()))
-        expanded.update(seen)
-        expanded_sets[doc_id] = expanded
-        vocabulary.add_document(expanded)
+    for chunk_result in map_chunks(expand, chunks, parallel):
+        for doc_id, merged, seen_keys in chunk_result:
+            context_terms[doc_id] = merged
+            expanded = set(annotated.term_sets.get(doc_id, set()))
+            expanded.update(seen_keys)
+            expanded_sets[doc_id] = expanded
+            vocabulary.add_document(expanded)
     return ContextualizedDatabase(
         annotated=annotated,
         context_terms=context_terms,

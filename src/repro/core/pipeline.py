@@ -10,11 +10,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..config import ParallelConfig
 from ..corpus.document import Document
 from ..db.inverted_index import InvertedIndex
+from ..db.resource_cache import PersistentResourceCache
 from ..db.store import DocumentStore
 from ..extractors.base import TermExtractor
-from ..resources.base import ExternalResource
+from ..resources.base import CacheStats, ExternalResource
 from .annotate import AnnotatedDatabase, annotate_database
 from .contextualize import ContextualizedDatabase, contextualize
 from .hierarchy import FacetHierarchy, build_facet_hierarchies
@@ -46,6 +48,8 @@ class FacetExtractionResult:
     facet_terms: list[FacetTermCandidate]
     hierarchies: list[FacetHierarchy] = field(default_factory=list)
     timings: StageTimings = field(default_factory=StageTimings)
+    cache_stats: dict[str, CacheStats] = field(default_factory=dict)
+    """Per-resource cache counters observed during this run."""
 
     def facet_term_strings(self) -> list[str]:
         """Just the selected terms, ranked by score."""
@@ -77,6 +81,18 @@ class FacetExtractor:
     build_hierarchies:
         Skip hierarchy construction when False (recall studies only
         need the flat term set).
+    parallel:
+        Batch-execution settings for Steps 1-2 (worker count, chunk
+        size, persistent cache path).  Serial by default; results are
+        bit-for-bit identical at every worker count.
+    resource_cache:
+        An already-open persistent cache to attach to the resources;
+        overrides ``parallel.cache_path``.  Useful when several
+        pipelines should share one store.
+    cache_fingerprint:
+        Extra namespace component for persistent-cache entries (e.g.
+        :meth:`~repro.config.ReproConfig.cache_fingerprint`), keeping
+        differently-configured runs from sharing answers.
     """
 
     def __init__(
@@ -89,6 +105,9 @@ class FacetExtractor:
         subsumption_threshold: float = 0.8,
         build_hierarchies: bool = True,
         edge_validator=None,
+        parallel: ParallelConfig | None = None,
+        resource_cache: PersistentResourceCache | None = None,
+        cache_fingerprint: str = "",
     ) -> None:
         if not extractors:
             raise ValueError("FacetExtractor needs at least one extractor")
@@ -102,17 +121,33 @@ class FacetExtractor:
         self._subsumption_threshold = subsumption_threshold
         self._build_hierarchies = build_hierarchies
         self._edge_validator = edge_validator
+        self._parallel = parallel or ParallelConfig(workers=1)
+        cache = resource_cache
+        if cache is None and self._parallel.cache_path:
+            cache = PersistentResourceCache(self._parallel.cache_path)
+        self.resource_cache = cache
+        if cache is not None:
+            for resource in self._resources:
+                namespace = resource.cache_namespace()
+                if cache_fingerprint:
+                    namespace = f"{namespace}|{cache_fingerprint}"
+                resource.attach_cache(cache, namespace=namespace)
+
+    @property
+    def parallel(self) -> ParallelConfig:
+        """The batch-execution settings this pipeline runs with."""
+        return self._parallel
 
     def run(self, documents: list[Document]) -> FacetExtractionResult:
         """Extract facets from a document collection."""
         timings = StageTimings()
 
         start = time.perf_counter()
-        annotated = annotate_database(documents, self._extractors)
+        annotated = annotate_database(documents, self._extractors, self._parallel)
         timings.annotation = time.perf_counter() - start
 
         start = time.perf_counter()
-        contextualized = contextualize(annotated, self._resources)
+        contextualized = contextualize(annotated, self._resources, self._parallel)
         timings.contextualization = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -142,4 +177,8 @@ class FacetExtractor:
             facet_terms=facet_terms,
             hierarchies=hierarchies,
             timings=timings,
+            cache_stats={
+                resource.cache_namespace(): resource.cache_stats
+                for resource in self._resources
+            },
         )

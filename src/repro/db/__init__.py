@@ -10,6 +10,7 @@ browsing interface and the user-study simulator.
 
 from .store import DocumentStore
 from .inverted_index import InvertedIndex, Posting
+from .resource_cache import PersistentResourceCache
 from .search import BM25Searcher, SearchResult
 from .sql_index import SqlInvertedIndex
 
@@ -20,4 +21,5 @@ __all__ = [
     "BM25Searcher",
     "SearchResult",
     "SqlInvertedIndex",
+    "PersistentResourceCache",
 ]

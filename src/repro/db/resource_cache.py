@@ -1,0 +1,182 @@
+"""SQLite-backed persistent cache for external-resource expansions.
+
+The paper recommends performing term and context extraction offline
+(Section V-D); this store is what makes that practical at scale.  Every
+distinct ``(namespace, term)`` expansion is written once and reused by
+every worker of the current run *and* by every later run pointed at the
+same file — the Datasette-style "SQLite as a shared cache" pattern.
+
+Design points:
+
+* **Thread-safe.** One connection (``check_same_thread=False``) guarded
+  by a lock; SQLite's own file locking arbitrates between processes.
+* **Degrades, never aborts.** A corrupted, locked, or unwritable cache
+  file switches the store into a disabled mode where ``get`` misses and
+  ``put`` is a no-op — the pipeline silently falls back to the
+  in-process tier instead of crashing a batch job.
+* **Namespaced.** Resources with different semantics (or differently
+  configured worlds) write under distinct namespaces so one run can
+  never poison another.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS context_cache (
+    namespace TEXT NOT NULL,
+    term      TEXT NOT NULL,
+    terms     TEXT NOT NULL,
+    PRIMARY KEY (namespace, term)
+);
+"""
+
+
+class PersistentResourceCache:
+    """Persistent ``(namespace, term) -> context terms`` store.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path; ``":memory:"`` keeps the store private to
+        this object (still shareable across resource instances).
+    timeout:
+        Seconds to wait on a locked database before degrading.
+    """
+
+    def __init__(self, path: str = ":memory:", timeout: float = 5.0) -> None:
+        self.path = path
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._connection: sqlite3.Connection | None = None
+        self.disabled = False
+        self.error: Exception | None = None
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._connect()
+
+    # -- connection management -------------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            connection = sqlite3.connect(
+                self.path, timeout=self._timeout, check_same_thread=False
+            )
+            connection.executescript(_SCHEMA)
+            connection.commit()
+        except sqlite3.Error as exc:
+            self._degrade(exc)
+        else:
+            self._connection = connection
+
+    def _degrade(self, exc: Exception) -> None:
+        """Disable the persistent tier after an unrecoverable error."""
+        self.disabled = True
+        self.error = exc
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = None
+
+    # -- cache operations --------------------------------------------------------
+
+    def get(self, namespace: str, term: str) -> tuple[str, ...] | None:
+        """Cached expansion for ``term``, or None on a miss (or when disabled)."""
+        with self._lock:
+            if self.disabled or self._connection is None:
+                return None
+            try:
+                row = self._connection.execute(
+                    "SELECT terms FROM context_cache WHERE namespace = ? AND term = ?",
+                    (namespace, term),
+                ).fetchone()
+            except sqlite3.Error as exc:
+                self._degrade(exc)
+                return None
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return tuple(json.loads(row[0]))
+
+    def put(self, namespace: str, term: str, terms: tuple[str, ...]) -> None:
+        """Store an expansion (no-op when disabled; last writer wins)."""
+        with self._lock:
+            if self.disabled or self._connection is None:
+                return
+            try:
+                with self._connection:
+                    self._connection.execute(
+                        "INSERT OR REPLACE INTO context_cache VALUES (?, ?, ?)",
+                        (namespace, term, json.dumps(list(terms))),
+                    )
+            except sqlite3.Error as exc:
+                self._degrade(exc)
+                return
+            self.writes += 1
+
+    def clear(self, namespace: str | None = None) -> None:
+        """Drop one namespace's entries, or every entry when None."""
+        with self._lock:
+            if self.disabled or self._connection is None:
+                return
+            try:
+                with self._connection:
+                    if namespace is None:
+                        self._connection.execute("DELETE FROM context_cache")
+                    else:
+                        self._connection.execute(
+                            "DELETE FROM context_cache WHERE namespace = ?",
+                            (namespace,),
+                        )
+            except sqlite3.Error as exc:
+                self._degrade(exc)
+
+    def size(self, namespace: str | None = None) -> int:
+        """Stored entries in one namespace (or overall when None)."""
+        with self._lock:
+            if self.disabled or self._connection is None:
+                return 0
+            try:
+                if namespace is None:
+                    row = self._connection.execute(
+                        "SELECT COUNT(*) FROM context_cache"
+                    ).fetchone()
+                else:
+                    row = self._connection.execute(
+                        "SELECT COUNT(*) FROM context_cache WHERE namespace = ?",
+                        (namespace,),
+                    ).fetchone()
+            except sqlite3.Error as exc:
+                self._degrade(exc)
+                return 0
+            return row[0]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    # -- pickling (process-backed worker pools) ----------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_connection"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._connection = None
+        if not self.disabled:
+            # A ":memory:" store cannot cross a process boundary; the
+            # worker reconnects to a private empty copy instead.
+            self._connect()

@@ -22,20 +22,27 @@ import time
 from dataclasses import dataclass
 
 from ..builder import FacetPipelineBuilder
-from ..config import ReproConfig
+from ..config import ParallelConfig, ReproConfig
 from ..corpus.document import Document
 from ..core.annotate import annotate_database
 from ..core.contextualize import contextualize
 from ..core.hierarchy import build_facet_hierarchies
 from ..core.selection import select_facet_terms
+from ..db.resource_cache import PersistentResourceCache
 from ..extractors.base import ExtractorName
 from ..extractors.registry import build_extractors
 from ..extractors.significant_terms import SIMULATED_LATENCY_SECONDS
 from ..resources.base import ResourceName
-from ..resources.registry import build_resources
+from ..resources.registry import build_resource, build_resources
+from ..resources.resilience import SimulatedLatencyResource
 
 #: Modeled per-document latency of Google expansion (Section V-D: ~1 s).
 GOOGLE_LATENCY_SECONDS = 1.0
+
+#: Per-query round trip used by the serial-vs-parallel comparison; kept
+#: small so the benchmark finishes quickly — the *ratio* between serial
+#: and parallel wall-clock is what matters, not the absolute latency.
+COMPARISON_LATENCY_SECONDS = 0.01
 
 
 @dataclass
@@ -74,6 +81,55 @@ class EfficiencyReport:
                 f"{self.expansion_with_google_s_per_doc:.2f} s/doc",
                 f"  facet-term selection: {self.selection_s * 1000:.1f} ms",
                 f"  hierarchy construction: {self.hierarchy_s:.2f} s",
+            ]
+        )
+
+
+@dataclass
+class ParallelEfficiencyReport:
+    """Serial-vs-parallel contextualization over remote resources.
+
+    ``serial_s`` and ``parallel_s`` both start from a cold cache;
+    ``warm_s`` re-runs with a fresh resource instance over the persistent
+    store the parallel run populated, so its hits come entirely from the
+    SQLite tier.
+    """
+
+    documents: int
+    workers: int
+    latency_seconds: float
+    serial_s: float
+    parallel_s: float
+    warm_s: float
+    serial_queries: int
+    parallel_queries: int
+    warm_persistent_hits: int
+    warm_queries: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_s / max(self.parallel_s, 1e-9)
+
+    @property
+    def warm_speedup(self) -> float:
+        return self.serial_s / max(self.warm_s, 1e-9)
+
+    def format_summary(self) -> str:
+        return "\n".join(
+            [
+                f"Serial vs parallel expansion over {self.documents} documents "
+                f"(remote resource, {self.latency_seconds * 1000:.0f} ms/query):",
+                f"  serial (1 worker, cold cache):   {self.serial_s:.2f} s "
+                f"({self.serial_queries} remote queries)",
+                f"  parallel ({self.workers} workers, cold cache): "
+                f"{self.parallel_s:.2f} s "
+                f"({self.parallel_queries} remote queries) — "
+                f"{self.speedup:.1f}x speedup",
+                f"  parallel ({self.workers} workers, warm persistent cache): "
+                f"{self.warm_s:.2f} s "
+                f"({self.warm_persistent_hits} distinct terms answered from "
+                f"SQLite across {self.warm_queries} lookups) — "
+                f"{self.warm_speedup:.1f}x speedup",
             ]
         )
 
@@ -153,4 +209,70 @@ class EfficiencyStudy:
             expansion_with_google_s_per_doc=expansion_with_google,
             selection_s=selection_s,
             hierarchy_s=hierarchy_s,
+        )
+
+    def run_parallel_comparison(
+        self,
+        documents: list[Document],
+        workers: int = 4,
+        latency_seconds: float = COMPARISON_LATENCY_SECONDS,
+        cache_path: str = ":memory:",
+    ) -> ParallelEfficiencyReport:
+        """Measure contextualization serial vs parallel vs warm-cache.
+
+        Expansion over a remote resource is latency-bound: each distinct
+        important term costs one (simulated) round trip.  A thread pool
+        overlaps those round trips, and a warm persistent cache removes
+        them entirely — the two deployment levers of Section V-D.
+        """
+        substrates = self.builder.substrates
+        extractors = build_extractors(
+            [ExtractorName.NAMED_ENTITIES, ExtractorName.WIKIPEDIA],
+            wikipedia=substrates.wikipedia,
+        )
+        annotated = annotate_database(documents, extractors)
+
+        def remote_google() -> SimulatedLatencyResource:
+            return SimulatedLatencyResource(
+                build_resource(ResourceName.GOOGLE, substrates, self.config),
+                latency_seconds=latency_seconds,
+            )
+
+        # Serial, cold cache — no persistent tier, so the parallel run
+        # below starts equally cold.
+        serial = remote_google()
+        start = time.perf_counter()
+        contextualize(annotated, [serial], ParallelConfig(workers=1))
+        serial_s = time.perf_counter() - start
+
+        # Parallel, cold cache — populates the shared persistent store.
+        store = PersistentResourceCache(cache_path)
+        parallel = remote_google()
+        parallel.attach_cache(store)
+        start = time.perf_counter()
+        contextualize(
+            annotated, [parallel], ParallelConfig(workers=workers)
+        )
+        parallel_s = time.perf_counter() - start
+
+        # Parallel, warm cache — a *fresh* resource instance over the
+        # now-populated store: every distinct term is a persistent hit.
+        warm = remote_google()
+        warm.attach_cache(store)
+        start = time.perf_counter()
+        contextualize(annotated, [warm], ParallelConfig(workers=workers))
+        warm_s = time.perf_counter() - start
+
+        warm_stats = warm.cache_stats
+        return ParallelEfficiencyReport(
+            documents=len(documents),
+            workers=workers,
+            latency_seconds=latency_seconds,
+            serial_s=serial_s,
+            parallel_s=parallel_s,
+            warm_s=warm_s,
+            serial_queries=serial.simulated_calls,
+            parallel_queries=parallel.simulated_calls,
+            warm_persistent_hits=warm_stats.persistent_hits,
+            warm_queries=warm_stats.queries,
         )

@@ -1,0 +1,106 @@
+"""Batch execution engine: shard work, run a pool, merge deterministically.
+
+The paper's efficiency study (Section V-D) shows that per-document term
+extraction and per-term resource expansion dominate the pipeline cost
+and are embarrassingly parallel over documents.  This module provides
+the sharding machinery used by :func:`repro.core.annotate.annotate_database`
+and :func:`repro.core.contextualize.contextualize`:
+
+* :func:`chunked` splits a work list into fixed-size shards;
+* :func:`map_chunks` runs one function over every shard on a
+  ``concurrent.futures`` pool (thread- or process-backed, per
+  :class:`~repro.config.ParallelConfig`) and returns the results **in
+  submission order** — the merge is deterministic by construction, so
+  parallel output is bit-for-bit identical to serial output;
+* a shard that raises surfaces its exception to the caller (pending
+  shards are cancelled) — there are no silent partial results.
+
+Thread workers suit the latency-bound remote resources (simulated
+network sleeps release the GIL); process workers suit CPU-bound local
+extraction but require picklable extractors/resources.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TypeVar
+
+from .config import ParallelConfig
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: The serial default used when callers pass ``parallel=None``.
+SERIAL = ParallelConfig(workers=1)
+
+
+def chunked(items: Sequence[T], size: int) -> list[list[T]]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def _make_executor(config: ParallelConfig, job_count: int) -> Executor:
+    workers = min(config.workers, job_count)
+    if config.backend == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def map_chunks(
+    fn: Callable[[list[T]], R],
+    chunks: list[list[T]],
+    config: ParallelConfig | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every chunk, results in submission order.
+
+    With ``workers == 1`` (or a single chunk) this runs inline — the
+    serial path and the parallel path execute the same code, which is
+    what guarantees identical results.  The first chunk exception (in
+    submission order) propagates; pending chunks are cancelled.
+    """
+    config = config or SERIAL
+    if not config.enabled or len(chunks) <= 1:
+        return [fn(chunk) for chunk in chunks]
+    with _make_executor(config, len(chunks)) as pool:
+        futures = [pool.submit(fn, chunk) for chunk in chunks]
+        results: list[R] = []
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    return results
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    config: ParallelConfig | None = None,
+) -> list[R]:
+    """Apply a per-item function over a sharded work list, order kept.
+
+    Convenience wrapper over :func:`map_chunks` for callers that do not
+    need chunk-level state.  ``fn`` must be picklable for the process
+    backend (a module-level function or :func:`functools.partial`).
+    """
+    config = config or SERIAL
+    chunks = chunked(items, config.resolve_chunk_size(len(items)))
+    merged: list[R] = []
+    for chunk_result in map_chunks(_MapChunk(fn), chunks, config):
+        merged.extend(chunk_result)
+    return merged
+
+
+class _MapChunk:
+    """Picklable per-chunk adapter for :func:`parallel_map`."""
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self._fn = fn
+
+    def __call__(self, chunk: Iterable[T]) -> list[R]:
+        return [self._fn(item) for item in chunk]

@@ -14,7 +14,7 @@ plus :class:`CompositeResource` which unions several resources (the
 "All" rows of Tables II-VII).
 """
 
-from .base import ExternalResource, ResourceName
+from .base import CacheStats, ExternalResource, ResourceName
 from .google import GoogleResource
 from .wordnet_hypernyms import WordNetHypernymResource
 from .wiki_graph import WikipediaGraphResource
@@ -27,9 +27,10 @@ from .domain import (
     financial_glossary,
 )
 from .registry import build_resource, build_resources
-from .resilience import FlakyResource, ResilientResource
+from .resilience import FlakyResource, ResilientResource, SimulatedLatencyResource
 
 __all__ = [
+    "CacheStats",
     "ExternalResource",
     "ResourceName",
     "GoogleResource",
@@ -45,4 +46,5 @@ __all__ = [
     "build_resources",
     "FlakyResource",
     "ResilientResource",
+    "SimulatedLatencyResource",
 ]

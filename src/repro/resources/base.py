@@ -1,17 +1,38 @@
-"""Resource interface with per-term memoization.
+"""Resource interface with two-tier per-term memoization.
 
 The same important terms recur across thousands of documents, so every
 resource caches query results — this is also what makes the paper's
 "perform term and context extraction offline" deployment mode natural
 (Section V-D).
+
+Caching is two-tier:
+
+* an **in-process LRU** (bounded, thread-safe) answers the hot repeats
+  within a run;
+* an optional **persistent SQLite store**
+  (:class:`~repro.db.resource_cache.PersistentResourceCache`, attached
+  via :meth:`ExternalResource.attach_cache`) is shared across worker
+  threads/processes and across runs, so a warm cache file makes remote
+  expansion essentially free.
+
+Cached entries are stored as **immutable tuples** and every call returns
+a fresh list, so no caller can poison the cache by mutating an answer —
+neither the list it received nor the list ``_query`` originally returned.
 """
 
 from __future__ import annotations
 
 import abc
 import enum
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 
+from ..db.resource_cache import PersistentResourceCache
 from ..text.tokenizer import normalize_term
+
+#: Default bound of the in-process LRU tier.
+DEFAULT_MEMORY_CACHE_SIZE = 65_536
 
 
 class ResourceName(enum.Enum):
@@ -23,6 +44,23 @@ class ResourceName(enum.Enum):
     WIKI_GRAPH = "Wikipedia Graph"
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """Exact counter snapshot for one resource's two-tier cache."""
+
+    memory_hits: int = 0
+    persistent_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.persistent_hits
+
+    @property
+    def queries(self) -> int:
+        return self.hits + self.misses
+
+
 class ExternalResource(abc.ABC):
     """Maps an important term to its context terms ``R_i(t)``."""
 
@@ -32,29 +70,155 @@ class ExternalResource(abc.ABC):
     #: True when answering requires a (simulated) network round trip.
     remote: bool = False
 
-    def __init__(self) -> None:
-        self._cache: dict[str, list[str]] = {}
+    def __init__(self, memory_cache_size: int = DEFAULT_MEMORY_CACHE_SIZE) -> None:
+        if memory_cache_size < 1:
+            raise ValueError(
+                f"memory_cache_size must be >= 1, got {memory_cache_size}"
+            )
+        self._cache: OrderedDict[str, tuple[str, ...]] = OrderedDict()
+        self._memory_cache_size = memory_cache_size
+        self._lock = threading.Lock()
+        self._persistent: PersistentResourceCache | None = None
+        self._namespace: str | None = None
+        self._memory_hits = 0
+        self._persistent_hits = 0
+        self._misses = 0
+        self._no_persist = threading.local()
+
+    # -- the public query path ---------------------------------------------------
 
     def context_terms(self, term: str) -> list[str]:
         """Context terms for ``term`` (cached on the normalized form)."""
         key = normalize_term(term)
         if not key:
             return []
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self._query(term)
-            self._cache[key] = cached
-        return list(cached)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._memory_hits += 1
+                return list(cached)
+        if self._persistent is not None and self._namespace is not None:
+            stored = self._persistent.get(self._namespace, key)
+            if stored is not None:
+                with self._lock:
+                    self._persistent_hits += 1
+                    self._memory_put(key, stored)
+                return list(stored)
+        # Miss on both tiers: answer the query outside the lock (remote
+        # queries are slow; two workers racing on the same fresh term
+        # both query, which is wasteful but deterministic — last write
+        # wins with an identical answer).
+        result = tuple(self._query(term))
+        persist = not self._consume_no_persist()
+        with self._lock:
+            self._misses += 1
+            self._memory_put(key, result)
+        if persist and self._persistent is not None and self._namespace is not None:
+            self._persistent.put(self._namespace, key, result)
+        return list(result)
 
     @abc.abstractmethod
     def _query(self, term: str) -> list[str]:
         """Answer one uncached query."""
 
+    # -- memory tier -------------------------------------------------------------
+
+    def _memory_put(self, key: str, value: tuple[str, ...]) -> None:
+        """Insert into the LRU tier (caller holds the lock)."""
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._memory_cache_size:
+            self._cache.popitem(last=False)
+
+    # -- persistent tier ---------------------------------------------------------
+
+    def attach_cache(
+        self,
+        store: PersistentResourceCache,
+        namespace: str | None = None,
+    ) -> None:
+        """Put a persistent store behind the in-process tier.
+
+        ``namespace`` defaults to :meth:`cache_namespace`; pass an
+        augmented namespace (e.g. including the world seed/scale) when
+        one cache file is shared by differently-configured runs.
+        """
+        self._persistent = store
+        self._namespace = namespace or self.cache_namespace()
+
+    def detach_cache(self) -> None:
+        """Drop the persistent tier (the memory tier is kept)."""
+        self._persistent = None
+        self._namespace = None
+
+    def cache_namespace(self) -> str:
+        """Default persistent-cache namespace for this resource.
+
+        Subclasses whose answers depend on configuration (result counts,
+        top-k, wrapped members) extend this so entries written under one
+        configuration are never served to another.
+        """
+        return type(self).__name__
+
+    @property
+    def persistent_cache(self) -> PersistentResourceCache | None:
+        return self._persistent
+
+    def _mark_do_not_persist(self) -> None:
+        """Called by ``_query`` to keep its current answer out of the
+        persistent tier (e.g. a degraded empty answer after retries)."""
+        self._no_persist.flag = True
+
+    def _consume_no_persist(self) -> bool:
+        flagged = getattr(self._no_persist, "flag", False)
+        self._no_persist.flag = False
+        return flagged
+
+    # -- introspection -----------------------------------------------------------
+
     @property
     def cache_size(self) -> int:
-        """Number of memoized terms."""
-        return len(self._cache)
+        """Number of memoized terms in the in-process tier."""
+        with self._lock:
+            return len(self._cache)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Exact hit/miss counters (snapshot)."""
+        with self._lock:
+            return CacheStats(
+                memory_hits=self._memory_hits,
+                persistent_hits=self._persistent_hits,
+                misses=self._misses,
+            )
+
+    def reset_cache_stats(self) -> None:
+        with self._lock:
+            self._memory_hits = 0
+            self._persistent_hits = 0
+            self._misses = 0
 
     def clear_cache(self) -> None:
-        """Drop all memoized results."""
-        self._cache.clear()
+        """Drop all memoized results — both tiers.
+
+        The persistent tier is cleared only for this resource's
+        namespace; other resources sharing the store are untouched.
+        """
+        with self._lock:
+            self._cache.clear()
+        if self._persistent is not None and self._namespace is not None:
+            self._persistent.clear(self._namespace)
+
+    # -- pickling (process-backed worker pools) ----------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_no_persist"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._no_persist = threading.local()

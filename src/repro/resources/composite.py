@@ -35,3 +35,10 @@ class CompositeResource(ExternalResource):
                     seen.add(key)
                     merged.append(context_term)
         return merged
+
+    def cache_namespace(self) -> str:
+        # The union depends on which members are combined (and on their
+        # order); encode the member namespaces so different combinations
+        # never share persistent entries.
+        members = "+".join(r.cache_namespace() for r in self._resources)
+        return f"CompositeResource({members})"

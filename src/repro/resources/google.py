@@ -45,3 +45,9 @@ class GoogleResource(ExternalResource):
             limit=self._context_term_count,
             result_count=self._result_count,
         )
+
+    def cache_namespace(self) -> str:
+        return (
+            f"GoogleResource(limit={self._context_term_count},"
+            f"results={self._result_count})"
+        )

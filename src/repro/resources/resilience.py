@@ -10,12 +10,22 @@ module makes the pipeline robust to that:
 * :class:`ResilientResource` — a production wrapper that retries a
   failing resource a bounded number of times and degrades to an empty
   answer (logging nothing into the expansion) instead of aborting the
-  whole extraction run.
+  whole extraction run;
+* :class:`SimulatedLatencyResource` — a wrapper that sleeps per
+  uncached query, modelling the remote round trip the paper measured
+  (used by the efficiency benchmark to show worker-pool speedups).
+
+All wrappers compose with the shared two-tier cache: they answer under
+the *inner* resource's cache namespace (their answers are the inner
+resource's answers), and :class:`ResilientResource` keeps degraded empty
+answers out of the persistent tier so a transient outage can never
+poison later runs.
 """
 
 from __future__ import annotations
 
 import random
+import time
 
 from ..errors import ResourceError
 from .base import ExternalResource
@@ -45,6 +55,9 @@ class FlakyResource(ExternalResource):
             self.failures += 1
             raise ResourceError(f"simulated outage answering {term!r}")
         return self._inner.context_terms(term)
+
+    def cache_namespace(self) -> str:
+        return self._inner.cache_namespace()
 
 
 class ResilientResource(ExternalResource):
@@ -82,4 +95,48 @@ class ResilientResource(ExternalResource):
                     self.retries += 1
         self.gave_up += 1
         assert last_error is not None
+        # The empty answer is a degradation, not the resource's real
+        # answer: keep it in the in-process tier only, never in the
+        # persistent store, so a transient outage cannot poison later
+        # runs that share the cache file.
+        self._mark_do_not_persist()
         return []
+
+    def cache_namespace(self) -> str:
+        return self._inner.cache_namespace()
+
+
+class SimulatedLatencyResource(ExternalResource):
+    """Adds a fixed per-query sleep, modelling a remote round trip.
+
+    Cache hits (either tier) skip the sleep — exactly the behaviour that
+    makes the offline/warm-cache deployment of Section V-D attractive —
+    and sleeping releases the GIL, so a thread-backed worker pool
+    overlaps the simulated round trips of different documents.
+    """
+
+    def __init__(
+        self,
+        inner: ExternalResource,
+        latency_seconds: float,
+    ) -> None:
+        if latency_seconds < 0:
+            raise ValueError(
+                f"latency_seconds must be >= 0, got {latency_seconds}"
+            )
+        super().__init__()
+        self.name = inner.name
+        self.remote = True
+        self._inner = inner
+        self._latency_seconds = latency_seconds
+        self.simulated_calls = 0
+
+    def _query(self, term: str) -> list[str]:
+        self.simulated_calls += 1
+        time.sleep(self._latency_seconds)
+        return self._inner.context_terms(term)
+
+    def cache_namespace(self) -> str:
+        # Latency does not change answers; share the inner namespace so
+        # a cache warmed through this wrapper serves the bare resource.
+        return self._inner.cache_namespace()

@@ -28,3 +28,6 @@ class WikipediaGraphResource(ExternalResource):
 
     def _query(self, term: str) -> list[str]:
         return [n.title for n in self._graph.neighbours(term, k=self._top_k)]
+
+    def cache_namespace(self) -> str:
+        return f"WikipediaGraphResource(k={self._top_k})"

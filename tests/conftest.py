@@ -2,11 +2,42 @@
 
 Heavy artifacts (world, Wikipedia snapshot, small corpus, pipeline run)
 are session-scoped so the suite stays fast; they use a reduced scale.
+
+Tests marked ``slow`` (the wide seed x scale determinism matrix) are
+deselected by default so the tier-1 run (``python -m pytest -x -q``)
+stays fast; enable them with ``--run-slow``.
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked 'slow' (wide determinism matrices)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: wide-matrix test excluded from tier-1; enable with --run-slow",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow: run with --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 from repro.builder import FacetPipelineBuilder
 from repro.config import ReproConfig

@@ -4,9 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import ParallelConfig
+from repro.core.annotate import annotate_database
+from repro.core.contextualize import contextualize
+from repro.db.resource_cache import PersistentResourceCache
 from repro.errors import ResourceError
 from repro.resources.base import ExternalResource, ResourceName
-from repro.resources.resilience import FlakyResource, ResilientResource
+from repro.resources.resilience import (
+    FlakyResource,
+    ResilientResource,
+    SimulatedLatencyResource,
+)
 
 
 class EchoResource(ExternalResource):
@@ -107,3 +115,104 @@ class TestResilientResource:
         candidates = select_facet_terms(contextualized, top_k=None)
         # The run completes; degradation may cost recall, never a crash.
         assert isinstance(candidates, list)
+
+
+def _annotate_sample(builder, snyt, count=20):
+    from repro.extractors.base import ExtractorName
+    from repro.extractors.registry import build_extractors
+
+    docs = list(snyt)[:count]
+    extractors = build_extractors(
+        [ExtractorName.NAMED_ENTITIES], wikipedia=builder.substrates.wikipedia
+    )
+    return annotate_database(docs, extractors)
+
+
+class TestParallelResilience:
+    """Fault injection inside the worker pool (Steps 1-2 sharded)."""
+
+    def test_worker_failure_surfaces_no_partial_results(self, builder, snyt):
+        """A resource raising mid-chunk aborts the whole stage loudly."""
+        annotated = _annotate_sample(builder, snyt)
+        always_down = FlakyResource(EchoResource(), error_rate=1.0)
+        with pytest.raises(ResourceError):
+            contextualize(
+                annotated,
+                [always_down],
+                ParallelConfig(workers=2, chunk_size=3),
+            )
+
+    def test_intermittent_worker_failure_still_surfaces(self, builder, snyt):
+        """Even one failing chunk among many healthy ones propagates."""
+        annotated = _annotate_sample(builder, snyt)
+        flaky = FlakyResource(EchoResource(), error_rate=0.2, seed=5)
+        with pytest.raises(ResourceError):
+            for _ in range(50):  # the injected fault fires eventually
+                flaky.clear_cache()
+                contextualize(
+                    annotated, [flaky], ParallelConfig(workers=4, chunk_size=2)
+                )
+
+    def test_retry_wrapper_composes_with_pool_and_shared_cache(
+        self, builder, snyt, tmp_path
+    ):
+        """Retry/degrade inside the pool, backed by the persistent store."""
+        annotated = _annotate_sample(builder, snyt)
+        store = PersistentResourceCache(str(tmp_path / "cache.db"))
+
+        def run(error_rate, seed):
+            resilient = ResilientResource(
+                FlakyResource(EchoResource(), error_rate, seed=seed),
+                max_attempts=4,
+            )
+            resilient.attach_cache(store)
+            return resilient, contextualize(
+                annotated, [resilient], ParallelConfig(workers=3, chunk_size=2)
+            )
+
+        resource, contextualized = run(error_rate=0.3, seed=11)
+        assert resource.cache_stats.misses > 0
+        # A healthy re-run over the same store answers from SQLite.
+        healthy, again = run(error_rate=0.0, seed=0)
+        assert again.context_terms == contextualized.context_terms or (
+            resource.gave_up > 0
+        )
+        assert healthy.cache_stats.persistent_hits > 0
+
+    def test_degraded_answers_never_enter_persistent_tier(self, tmp_path):
+        store = PersistentResourceCache(str(tmp_path / "cache.db"))
+        resilient = ResilientResource(AlwaysFailing(), max_attempts=2)
+        resilient.attach_cache(store)
+        assert resilient.context_terms("paris") == []
+        assert resilient.gave_up == 1
+        # Degraded [] stays in the memory tier only.
+        assert resilient.cache_size == 1
+        assert store.size(resilient.cache_namespace()) == 0
+        # A recovered resource sharing the store re-queries and persists.
+        recovered = ResilientResource(EchoResource(), max_attempts=2)
+        recovered.attach_cache(store)
+        assert recovered.context_terms("paris") == ["about paris"]
+        assert store.size(recovered.cache_namespace()) == 1
+
+    def test_wrappers_share_the_inner_cache_namespace(self):
+        inner = EchoResource()
+        assert (
+            FlakyResource(inner, error_rate=0.5).cache_namespace()
+            == ResilientResource(inner).cache_namespace()
+            == SimulatedLatencyResource(inner, 0.0).cache_namespace()
+            == inner.cache_namespace()
+        )
+
+
+class TestSimulatedLatencyResource:
+    def test_delegates_and_counts_round_trips(self):
+        inner = EchoResource()
+        slow = SimulatedLatencyResource(inner, latency_seconds=0.0)
+        assert slow.context_terms("Paris") == ["about paris"]
+        assert slow.context_terms("Paris") == ["about paris"]
+        assert slow.simulated_calls == 1  # the cache hit skips the sleep
+        assert slow.remote
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            SimulatedLatencyResource(EchoResource(), latency_seconds=-1.0)
