@@ -32,9 +32,14 @@ def test_efficiency(benchmark, config, builder, save_result):
 
     parallel_sample = corpus.documents[: min(PARALLEL_SAMPLE, len(corpus))]
     parallel_report = study.run_parallel_comparison(parallel_sample, workers=4)
+    instrumented = study.run_instrumented(parallel_sample, workers=4)
     save_result(
         "efficiency",
-        report.format_summary() + "\n\n" + parallel_report.format_summary(),
+        report.format_summary()
+        + "\n\n"
+        + parallel_report.format_summary()
+        + "\n\n"
+        + instrumented.format_summary(),
     )
 
     assert report.extraction_local_docs_per_s > 100
@@ -50,3 +55,19 @@ def test_efficiency(benchmark, config, builder, save_result):
     assert parallel_report.speedup >= 2.0
     assert parallel_report.warm_persistent_hits > 0
     assert parallel_report.warm_s < parallel_report.serial_s
+
+    # The instrumented run sources its breakdown from the metrics
+    # registry: every stage timer must be present and the resources must
+    # have recorded their cache traffic.
+    assert set(instrumented.stage_seconds) == {
+        "annotation",
+        "contextualization",
+        "selection",
+        "hierarchy",
+    }
+    assert all(s > 0 for s in instrumented.stage_seconds.values())
+    assert instrumented.resource_counters
+    assert any(
+        name.endswith(".misses") or name.endswith(".memory_hits")
+        for name in instrumented.resource_counters
+    )

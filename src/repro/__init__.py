@@ -3,15 +3,20 @@ Useful Facet Hierarchies from Text Databases" (ICDE 2008).
 
 Quickstart::
 
-    from repro import FacetPipelineBuilder
-    from repro.config import ReproConfig
+    import repro
     from repro.corpus import build_snyt
 
-    config = ReproConfig(scale=0.1)
-    corpus = build_snyt(config)
-    result = FacetPipelineBuilder(config).build().run(corpus.documents)
+    config = repro.ReproConfig(scale=0.1)
+    result = repro.run(build_snyt(config), config=config)
     for facet in result.hierarchies[:5]:
         print(facet.name, facet.root.count)
+
+Instrumented run (trace tree + metrics)::
+
+    obs = repro.Observability.enabled()
+    result = repro.run(corpus, scale=0.1, observability=obs)
+    print(obs.tracer.render())
+    print(obs.metrics.format_table())
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
@@ -19,12 +24,20 @@ paper-versus-measured record of every table and figure.
 
 from __future__ import annotations
 
-from .config import DEFAULT_CONFIG, ParallelConfig, ReproConfig
-from .core.pipeline import FacetExtractionResult, FacetExtractor
-from .core.interface import FacetedInterface
+from .api import run
 from .builder import FacetPipelineBuilder
+from .config import DEFAULT_CONFIG, ParallelConfig, ReproConfig
+from .core.interface import FacetedInterface
+from .core.pipeline import FacetExtractionResult, FacetExtractor
+from .observability import (
+    MetricsRegistry,
+    Observability,
+    ResourceStats,
+    SpanTimings,
+    Tracer,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproConfig",
@@ -34,5 +47,11 @@ __all__ = [
     "FacetExtractionResult",
     "FacetedInterface",
     "FacetPipelineBuilder",
+    "MetricsRegistry",
+    "Observability",
+    "ResourceStats",
+    "SpanTimings",
+    "Tracer",
+    "run",
     "__version__",
 ]

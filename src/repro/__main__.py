@@ -11,11 +11,18 @@ Commands
     ``--workers N`` shards Steps 1-2 across a worker pool and
     ``--cache PATH`` shares a persistent SQLite expansion cache across
     workers and runs; the output is bit-for-bit identical either way.
+    ``--trace-out PATH`` writes a JSONL trace of nested spans and
+    ``--metrics`` prints the metrics registry after the run.
+``trace FILE``
+    Pretty-print a JSONL trace produced by ``extract --trace-out``.
 ``browse``
     Demonstrate the faceted interface (search, drill-down, dice).
 
 Scale with ``--scale`` (or the REPRO_SCALE environment variable);
-parallelize with ``--workers`` (or REPRO_WORKERS).
+parallelize with ``--workers`` (or REPRO_WORKERS).  Diagnostics go to
+stderr through the structured logger — tune them with ``--log-format
+json|text`` and ``--log-level`` (or REPRO_LOG_LEVEL); results stay on
+stdout.
 """
 
 from __future__ import annotations
@@ -24,6 +31,9 @@ import argparse
 import sys
 
 from .config import ParallelConfig, ReproConfig
+from .observability import Observability, configure_logging, get_logger
+
+log = get_logger(__name__)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,6 +51,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="corpus scale relative to the paper (default: REPRO_SCALE or 1.0)",
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed")
+    parser.add_argument(
+        "--log-format",
+        default="text",
+        choices=["text", "json"],
+        help="structured-log rendering on stderr (default: text)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="log level (default: REPRO_LOG_LEVEL or WARNING)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list paper experiments")
@@ -76,6 +98,29 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persistent SQLite resource-cache file shared across "
         "workers and runs",
+    )
+    extract.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace (nested spans) of the run to PATH",
+    )
+    extract.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (counters/timers) after the run",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="pretty-print a JSONL trace written by extract --trace-out"
+    )
+    trace.add_argument("path", metavar="FILE", help="JSONL trace file")
+    trace.add_argument(
+        "--max-children",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show at most N children per span (default: all)",
     )
 
     sub.add_parser("browse", help="demonstrate the faceted interface")
@@ -126,6 +171,13 @@ def _parallel_config(args: argparse.Namespace) -> ParallelConfig | None:
     return ParallelConfig(**kwargs)
 
 
+def _observability(args: argparse.Namespace) -> Observability | None:
+    """An enabled bundle when any observability flag was given."""
+    if getattr(args, "trace_out", None) or getattr(args, "metrics", False):
+        return Observability.enabled()
+    return None
+
+
 def _cmd_list() -> int:
     from .harness import EXPERIMENTS
 
@@ -141,6 +193,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     status = 0
     for experiment_id in args.experiments:
         if experiment_id not in EXPERIMENTS:
+            log.error("run.unknown_experiment", experiment=experiment_id)
             print(f"unknown experiment: {experiment_id}", file=sys.stderr)
             status = 1
             continue
@@ -162,15 +215,45 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
     config = _config(args)
     corpus = build_corpus(args.dataset, config)
-    workers = config.parallel.workers
-    mode = f"{workers} workers" if workers > 1 else "serial"
-    print(f"extracting facets from {corpus.name} ({len(corpus)} stories, {mode})...")
-    result = FacetPipelineBuilder(config).build().run(corpus.documents)
+    obs = _observability(args)
+    log.info(
+        "extract.start",
+        dataset=corpus.name,
+        documents=len(corpus),
+        workers=config.parallel.workers,
+        traced=bool(args.trace_out),
+    )
+    builder = FacetPipelineBuilder(config)
+    if obs is not None:
+        builder.with_observability(obs)
+    result = builder.build().run(corpus.documents)
     for candidate in result.facet_terms[: args.top]:
         print(
             f"{candidate.term:<32} df {candidate.df_original:>5} -> "
             f"{candidate.df_contextualized:>5}  score {candidate.score:10.1f}"
         )
+    if obs is not None and args.trace_out:
+        obs.tracer.write_jsonl(args.trace_out)
+        log.info("extract.trace_written", path=args.trace_out)
+    if obs is not None and args.metrics:
+        print()
+        print(obs.metrics.format_table())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .observability import load_trace, render_spans
+
+    try:
+        roots = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        log.error("trace.unreadable", path=args.path, error=str(exc))
+        print(f"cannot read trace: {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not roots:
+        print(f"empty trace: {args.path}", file=sys.stderr)
+        return 1
+    print(render_spans(roots, max_children=args.max_children))
     return 0
 
 
@@ -196,12 +279,15 @@ def _cmd_browse(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    configure_logging(log_format=args.log_format, level=args.log_level)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "extract":
         return _cmd_extract(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "browse":
         return _cmd_browse(args)
     if args.command == "report":

@@ -10,6 +10,8 @@ selected with :meth:`FacetPipelineBuilder.with_extractors` /
 
 from __future__ import annotations
 
+import time
+
 from .config import ParallelConfig, ReproConfig
 from .core.evidence import LinkEvidence
 from .core.pipeline import FacetExtractor
@@ -17,10 +19,14 @@ from .db.resource_cache import PersistentResourceCache
 from .extractors.base import ExtractorName
 from .extractors.registry import build_extractors
 from .kb.world import World, build_world
+from .observability import Observability
+from .observability.logging import get_logger
 from .resources.base import ResourceName
 from .resources.composite import CompositeResource
 from .resources.registry import ResourceSubstrates, build_resources
 from .text.vocabulary import Vocabulary
+
+log = get_logger(__name__)
 
 
 class FacetPipelineBuilder:
@@ -38,8 +44,15 @@ class FacetPipelineBuilder:
         background: Vocabulary | None = None,
     ) -> None:
         self.config = config or ReproConfig()
+        start = time.perf_counter()
         self.world = world or build_world(self.config)
         self.substrates = ResourceSubstrates.build(self.world, self.config)
+        log.debug(
+            "builder.substrates_ready",
+            seed=self.config.seed,
+            scale=self.config.scale,
+            seconds=round(time.perf_counter() - start, 3),
+        )
         self.edge_evidence = LinkEvidence(
             wikipedia=self.substrates.wikipedia,
             lexicon=self.substrates.lookup,
@@ -53,6 +66,7 @@ class FacetPipelineBuilder:
         self._build_hierarchies = True
         self._parallel = self.config.parallel
         self._resource_cache: PersistentResourceCache | None = None
+        self._observability: Observability | None = None
 
     # -- fluent configuration ----------------------------------------------------
 
@@ -95,6 +109,13 @@ class FacetPipelineBuilder:
         self._resource_cache = None
         return self
 
+    def with_observability(
+        self, observability: Observability | None
+    ) -> "FacetPipelineBuilder":
+        """Tracing/metrics bundle for built pipelines (None disables)."""
+        self._observability = observability
+        return self
+
     # -- construction -------------------------------------------------------------
 
     def _shared_resource_cache(self) -> PersistentResourceCache | None:
@@ -119,6 +140,12 @@ class FacetPipelineBuilder:
             resource_list = [CompositeResource(resources)]
         else:
             resource_list = resources
+        log.debug(
+            "builder.pipeline_built",
+            extractors=[name.value for name in self._extractor_names],
+            resources=[name.value for name in self._resource_names],
+            workers=self._parallel.workers,
+        )
         return FacetExtractor(
             extractors=extractors,
             resources=resource_list,
@@ -130,4 +157,5 @@ class FacetPipelineBuilder:
             parallel=self._parallel,
             resource_cache=self._shared_resource_cache(),
             cache_fingerprint=self.config.cache_fingerprint(),
+            observability=self._observability,
         )

@@ -14,6 +14,9 @@ import random
 from dataclasses import dataclass, field
 
 from .errors import ConfigError
+from .observability.logging import get_logger
+
+log = get_logger(__name__)
 
 #: Dataset sizes used in the paper (Section V-A).
 PAPER_SNYT_SIZE = 1_000
@@ -49,6 +52,7 @@ def _env_scale(default: float = 1.0) -> float:
         raise ConfigError(f"REPRO_SCALE must be a number, got {raw!r}") from exc
     if value <= 0:
         raise ConfigError(f"REPRO_SCALE must be positive, got {value}")
+    log.debug("config.env_override", variable="REPRO_SCALE", value=value)
     return value
 
 
@@ -63,6 +67,7 @@ def _env_workers(default: int = 1) -> int:
         raise ConfigError(f"REPRO_WORKERS must be an integer, got {raw!r}") from exc
     if value < 1:
         raise ConfigError(f"REPRO_WORKERS must be >= 1, got {value}")
+    log.debug("config.env_override", variable="REPRO_WORKERS", value=value)
     return value
 
 
@@ -71,9 +76,13 @@ def _env_workers(default: int = 1) -> int:
 _AUTO_CHUNKS_PER_WORKER = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ParallelConfig:
     """Batch-execution settings for the parallel pipeline.
+
+    All parameters are keyword-only: positional construction silently
+    reordering ``workers``/``chunk_size`` is exactly the kind of bug a
+    frozen config should rule out.
 
     Parameters
     ----------
@@ -130,9 +139,11 @@ class ParallelConfig:
         return max(1, -(-item_count // divisor))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ReproConfig:
     """Top-level configuration for experiments.
+
+    All parameters are keyword-only (``ReproConfig(seed=7, scale=0.1)``).
 
     Parameters
     ----------

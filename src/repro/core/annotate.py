@@ -14,6 +14,8 @@ from functools import partial
 from ..config import ParallelConfig
 from ..corpus.document import Document
 from ..extractors.base import TermExtractor
+from ..observability import Observability
+from ..observability.context import current_metrics
 from ..parallel import chunked, map_chunks
 from ..text.phrases import candidate_phrases
 from ..text.stopwords import is_stopword
@@ -80,6 +82,7 @@ def annotate_database(
     documents: list[Document],
     extractors: list[TermExtractor],
     parallel: ParallelConfig | None = None,
+    obs: Observability | None = None,
 ) -> AnnotatedDatabase:
     """Run Step 1 over a document collection.
 
@@ -90,6 +93,10 @@ def annotate_database(
     pool; each document is processed by the same per-chunk code the
     serial path uses and the results are folded in document order, so
     the output is bit-for-bit identical at every worker count.
+
+    An active ``obs`` bundle records a chunk span per shard and
+    per-chunk worker-local metrics (see :func:`repro.parallel.map_chunks`);
+    instrumentation never touches the data path.
     """
     chunk_size = (parallel or ParallelConfig(workers=1)).resolve_chunk_size(
         len(documents)
@@ -99,7 +106,7 @@ def annotate_database(
     # (the Yahoo stand-in) have idf available during extraction.
     vocabulary = Vocabulary()
     term_sets: dict[str, set[str]] = {}
-    for chunk_result in map_chunks(_stats_chunk, chunks, parallel):
+    for chunk_result in map_chunks(_stats_chunk, chunks, parallel, obs=obs):
         for doc_id, normalized in chunk_result:
             vocabulary.add_document(normalized)
             term_sets[doc_id] = set(normalized)
@@ -108,9 +115,17 @@ def annotate_database(
     # Second pass: important-term extraction.
     important: dict[str, list[str]] = {}
     extract = partial(_extract_chunk, extractors)
-    for chunk_result in map_chunks(extract, chunks, parallel):
+    for chunk_result in map_chunks(extract, chunks, parallel, obs=obs):
         for doc_id, merged in chunk_result:
             important[doc_id] = merged
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.increment("annotate.documents", len(documents))
+        metrics.increment(
+            "annotate.important_terms",
+            sum(len(terms) for terms in important.values()),
+        )
+        metrics.gauge("annotate.vocabulary_size", len(vocabulary))
     return AnnotatedDatabase(
         documents=list(documents),
         important_terms=important,

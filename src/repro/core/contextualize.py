@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from ..config import ParallelConfig
+from ..observability import Observability
+from ..observability.context import current_metrics
 from ..parallel import chunked, map_chunks
 from ..resources.base import ExternalResource
 from ..text.tokenizer import normalize_term
@@ -62,6 +64,7 @@ def contextualize(
     annotated: AnnotatedDatabase,
     resources: list[ExternalResource],
     parallel: ParallelConfig | None = None,
+    obs: Observability | None = None,
 ) -> ContextualizedDatabase:
     """Run Step 2: query every resource with every important term.
 
@@ -85,13 +88,21 @@ def contextualize(
     context_terms: dict[str, list[str]] = {}
     expanded_sets: dict[str, set[str]] = {}
     vocabulary = Vocabulary()
-    for chunk_result in map_chunks(expand, chunks, parallel):
+    for chunk_result in map_chunks(expand, chunks, parallel, obs=obs):
         for doc_id, merged, seen_keys in chunk_result:
             context_terms[doc_id] = merged
             expanded = set(annotated.term_sets.get(doc_id, set()))
             expanded.update(seen_keys)
             expanded_sets[doc_id] = expanded
             vocabulary.add_document(expanded)
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.increment("contextualize.documents", len(work))
+        metrics.increment(
+            "contextualize.context_terms",
+            sum(len(terms) for terms in context_terms.values()),
+        )
+        metrics.gauge("contextualize.vocabulary_size", len(vocabulary))
     return ContextualizedDatabase(
         annotated=annotated,
         context_terms=context_terms,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import HierarchyError
+from ..observability.context import current_metrics
 from ..text.tokenizer import normalize_term
 from .contextualize import ContextualizedDatabase
 from .selection import FacetTermCandidate
@@ -124,7 +125,16 @@ def build_facet_hierarchies(
         max_parent_df=max_parent_df,
         edge_validator=edge_validator,
     )
-    return hierarchies_from_subsumption(subsumption, doc_sets)
+    hierarchies = hierarchies_from_subsumption(subsumption, doc_sets)
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.increment("hierarchy.candidate_terms", len(terms))
+        metrics.increment("hierarchy.usable_terms", len(usable))
+        metrics.increment("hierarchy.facets", len(hierarchies))
+        metrics.increment(
+            "hierarchy.nodes", sum(facet.size for facet in hierarchies)
+        )
+    return hierarchies
 
 
 def hierarchies_from_subsumption(

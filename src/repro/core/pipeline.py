@@ -3,11 +3,27 @@
 :class:`FacetExtractor` wires Steps 1-3 and hierarchy construction
 together; :class:`FacetExtractionResult` carries every intermediate so
 the evaluation harness (and curious users) can inspect each stage.
+
+The pipeline is permanently instrumented: hand the extractor an
+:class:`~repro.observability.Observability` bundle and it produces a
+trace (``pipeline`` → ``stage:*`` → ``chunk`` → ``resource:*`` spans)
+plus a metrics registry with per-stage timers and per-resource cache
+counters.  Without a bundle the no-op tracer is used and every probe
+costs one ``None`` check, so results — including parallel-vs-serial
+bit-for-bit determinism — are unaffected.
+
+.. deprecated:: 1.2
+   ``StageTimings`` moved to :class:`repro.observability.SpanTimings`
+   and the ``cache_stats`` dict became
+   :attr:`FacetExtractionResult.resource_stats` (values are
+   :class:`repro.observability.ResourceStats`).  The old names still
+   work here but emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..config import ParallelConfig
@@ -16,26 +32,19 @@ from ..db.inverted_index import InvertedIndex
 from ..db.resource_cache import PersistentResourceCache
 from ..db.store import DocumentStore
 from ..extractors.base import TermExtractor
-from ..resources.base import CacheStats, ExternalResource
+from ..observability import DISABLED, Observability, ResourceStats, SpanTimings
+from ..observability.logging import get_logger
+from ..resources.base import ExternalResource
 from .annotate import AnnotatedDatabase, annotate_database
 from .contextualize import ContextualizedDatabase, contextualize
 from .hierarchy import FacetHierarchy, build_facet_hierarchies
 from .interface import FacetedInterface
 from .selection import DEFAULT_TOP_K, FacetTermCandidate, select_facet_terms
 
+log = get_logger(__name__)
 
-@dataclass
-class StageTimings:
-    """Wall-clock seconds per pipeline stage (the Section V-D numbers)."""
-
-    annotation: float = 0.0
-    contextualization: float = 0.0
-    selection: float = 0.0
-    hierarchy: float = 0.0
-
-    @property
-    def total(self) -> float:
-        return self.annotation + self.contextualization + self.selection + self.hierarchy
+#: The four stages, in execution order (span names are ``stage:<name>``).
+STAGES = ("annotation", "contextualization", "selection", "hierarchy")
 
 
 @dataclass
@@ -47,21 +56,52 @@ class FacetExtractionResult:
     contextualized: ContextualizedDatabase
     facet_terms: list[FacetTermCandidate]
     hierarchies: list[FacetHierarchy] = field(default_factory=list)
-    timings: StageTimings = field(default_factory=StageTimings)
-    cache_stats: dict[str, CacheStats] = field(default_factory=dict)
+    timings: SpanTimings = field(default_factory=SpanTimings)
+    resource_stats: dict[str, ResourceStats] = field(default_factory=dict)
     """Per-resource cache counters observed during this run."""
+    store: DocumentStore | None = None
+    """The document store the run was fed from, when one existed."""
+    _built_store: DocumentStore | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _built_index: InvertedIndex | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def cache_stats(self) -> dict[str, ResourceStats]:
+        """Deprecated alias for :attr:`resource_stats`."""
+        warnings.warn(
+            "FacetExtractionResult.cache_stats is deprecated; use "
+            "resource_stats (values are repro.observability.ResourceStats)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.resource_stats
 
     def facet_term_strings(self) -> list[str]:
         """Just the selected terms, ranked by score."""
         return [candidate.term for candidate in self.facet_terms]
 
     def interface(self, store: DocumentStore | None = None) -> FacetedInterface:
-        """Build the faceted browsing interface over the result."""
+        """Build the faceted browsing interface over the result.
+
+        Reuses, in order of preference: an explicitly passed store, the
+        store the run was fed from (:attr:`store`), or a store built on
+        first call and cached — repeated calls never silently rebuild
+        document storage or the inverted index.
+        """
         if store is None:
-            store = DocumentStore(self.documents)
-        index = InvertedIndex()
-        index.add_documents(self.documents)
-        return FacetedInterface(store, self.hierarchies, index=index)
+            store = self.store
+        if store is None:
+            if self._built_store is None:
+                self._built_store = DocumentStore(self.documents)
+            store = self._built_store
+        if self._built_index is None:
+            index = InvertedIndex()
+            index.add_documents(self.documents)
+            self._built_index = index
+        return FacetedInterface(store, self.hierarchies, index=self._built_index)
 
 
 class FacetExtractor:
@@ -93,6 +133,9 @@ class FacetExtractor:
         Extra namespace component for persistent-cache entries (e.g.
         :meth:`~repro.config.ReproConfig.cache_fingerprint`), keeping
         differently-configured runs from sharing answers.
+    observability:
+        Tracing/metrics bundle; None (default) installs the zero-cost
+        no-op bundle.
     """
 
     def __init__(
@@ -108,6 +151,7 @@ class FacetExtractor:
         parallel: ParallelConfig | None = None,
         resource_cache: PersistentResourceCache | None = None,
         cache_fingerprint: str = "",
+        observability: Observability | None = None,
     ) -> None:
         if not extractors:
             raise ValueError("FacetExtractor needs at least one extractor")
@@ -122,6 +166,7 @@ class FacetExtractor:
         self._build_hierarchies = build_hierarchies
         self._edge_validator = edge_validator
         self._parallel = parallel or ParallelConfig(workers=1)
+        self.observability = observability or DISABLED
         cache = resource_cache
         if cache is None and self._parallel.cache_path:
             cache = PersistentResourceCache(self._parallel.cache_path)
@@ -138,38 +183,48 @@ class FacetExtractor:
         """The batch-execution settings this pipeline runs with."""
         return self._parallel
 
-    def run(self, documents: list[Document]) -> FacetExtractionResult:
-        """Extract facets from a document collection."""
-        timings = StageTimings()
+    def run(
+        self,
+        documents: list[Document],
+        store: DocumentStore | None = None,
+    ) -> FacetExtractionResult:
+        """Extract facets from a document collection.
 
-        start = time.perf_counter()
-        annotated = annotate_database(documents, self._extractors, self._parallel)
-        timings.annotation = time.perf_counter() - start
-
-        start = time.perf_counter()
-        contextualized = contextualize(annotated, self._resources, self._parallel)
-        timings.contextualization = time.perf_counter() - start
-
-        start = time.perf_counter()
-        facet_terms = select_facet_terms(
-            contextualized,
-            top_k=self._top_k,
-            statistic=self._statistic,
-            require_both_shifts=self._require_both_shifts,
+        ``store``, when given, is carried onto the result so
+        :meth:`FacetExtractionResult.interface` reuses it instead of
+        building a fresh one.
+        """
+        obs = self.observability
+        timings = SpanTimings()
+        log.info(
+            "pipeline.start",
+            documents=len(documents),
+            workers=self._parallel.workers,
+            backend=self._parallel.backend,
         )
-        timings.selection = time.perf_counter() - start
-
-        hierarchies: list[FacetHierarchy] = []
-        if self._build_hierarchies:
-            start = time.perf_counter()
-            hierarchies = build_facet_hierarchies(
-                facet_terms,
-                contextualized,
-                threshold=self._subsumption_threshold,
-                edge_validator=self._edge_validator,
+        with obs.collect(), obs.tracer.span(
+            "pipeline",
+            documents=len(documents),
+            workers=self._parallel.workers,
+            backend=self._parallel.backend,
+        ) as pipeline_span:
+            annotated, contextualized, facet_terms, hierarchies = self._run_stages(
+                documents, timings, obs
             )
-            timings.hierarchy = time.perf_counter() - start
-
+            pipeline_span.add("facet_terms", len(facet_terms))
+            pipeline_span.add("facets", len(hierarchies))
+            if obs.metrics is not None:
+                for stage in STAGES:
+                    obs.metrics.record_time(
+                        f"stage.{stage}.seconds", getattr(timings, stage)
+                    )
+        log.info(
+            "pipeline.done",
+            documents=len(documents),
+            facet_terms=len(facet_terms),
+            facets=len(hierarchies),
+            seconds=round(timings.total, 3),
+        )
         return FacetExtractionResult(
             documents=list(documents),
             annotated=annotated,
@@ -177,8 +232,81 @@ class FacetExtractor:
             facet_terms=facet_terms,
             hierarchies=hierarchies,
             timings=timings,
-            cache_stats={
+            resource_stats={
                 resource.cache_namespace(): resource.cache_stats
                 for resource in self._resources
             },
+            store=store,
         )
+
+    def _run_stages(
+        self,
+        documents: list[Document],
+        timings: SpanTimings,
+        obs: Observability,
+    ) -> tuple[
+        AnnotatedDatabase,
+        ContextualizedDatabase,
+        list[FacetTermCandidate],
+        list[FacetHierarchy],
+    ]:
+        with obs.tracer.span("stage:annotation") as span:
+            start = time.perf_counter()
+            annotated = annotate_database(
+                documents, self._extractors, self._parallel, obs=obs
+            )
+            timings.annotation = time.perf_counter() - start
+            span.add("documents", len(documents))
+
+        with obs.tracer.span("stage:contextualization") as span:
+            start = time.perf_counter()
+            contextualized = contextualize(
+                annotated, self._resources, self._parallel, obs=obs
+            )
+            timings.contextualization = time.perf_counter() - start
+            span.add("documents", len(documents))
+
+        with obs.tracer.span("stage:selection") as span:
+            start = time.perf_counter()
+            facet_terms = select_facet_terms(
+                contextualized,
+                top_k=self._top_k,
+                statistic=self._statistic,
+                require_both_shifts=self._require_both_shifts,
+            )
+            timings.selection = time.perf_counter() - start
+            span.add("selected", len(facet_terms))
+
+        hierarchies: list[FacetHierarchy] = []
+        if self._build_hierarchies:
+            with obs.tracer.span("stage:hierarchy") as span:
+                start = time.perf_counter()
+                hierarchies = build_facet_hierarchies(
+                    facet_terms,
+                    contextualized,
+                    threshold=self._subsumption_threshold,
+                    edge_validator=self._edge_validator,
+                )
+                timings.hierarchy = time.perf_counter() - start
+                span.add("facets", len(hierarchies))
+        return annotated, contextualized, facet_terms, hierarchies
+
+
+def __getattr__(name: str):
+    if name == "StageTimings":
+        warnings.warn(
+            "repro.core.pipeline.StageTimings is deprecated; use "
+            "repro.observability.SpanTimings",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SpanTimings
+    if name == "CacheStats":
+        warnings.warn(
+            "repro.core.pipeline.CacheStats is deprecated; use "
+            "repro.observability.ResourceStats",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ResourceStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

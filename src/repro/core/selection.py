@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..observability.context import current_metrics
 from .contextualize import ContextualizedDatabase
 from .likelihood import chi_square_statistic, log_likelihood_ratio
 from .shifts import frequency_shift, rank_shift
@@ -92,4 +93,10 @@ def select_facet_terms(
             )
         )
     candidates.sort(key=lambda c: (-c.score, c.term))
-    return candidates if top_k is None else candidates[:top_k]
+    selected = candidates if top_k is None else candidates[:top_k]
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.increment("selection.terms_considered", len(contextualized))
+        metrics.increment("selection.candidates", len(candidates))
+        metrics.increment("selection.selected", len(selected))
+    return selected

@@ -25,6 +25,11 @@ import json
 import sqlite3
 import threading
 
+from ..observability.context import current_metrics
+from ..observability.logging import get_logger
+
+log = get_logger(__name__)
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS context_cache (
     namespace TEXT NOT NULL,
@@ -83,6 +88,12 @@ class PersistentResourceCache:
             except sqlite3.Error:
                 pass
             self._connection = None
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.increment("cache.persistent.degraded")
+        log.warning(
+            "persistent_cache.degraded", path=self.path, error=str(exc)
+        )
 
     # -- cache operations --------------------------------------------------------
 
@@ -99,10 +110,15 @@ class PersistentResourceCache:
             except sqlite3.Error as exc:
                 self._degrade(exc)
                 return None
+            metrics = current_metrics()
             if row is None:
                 self.misses += 1
+                if metrics is not None:
+                    metrics.increment("cache.persistent.misses")
                 return None
             self.hits += 1
+            if metrics is not None:
+                metrics.increment("cache.persistent.hits")
             return tuple(json.loads(row[0]))
 
     def put(self, namespace: str, term: str, terms: tuple[str, ...]) -> None:
@@ -120,6 +136,9 @@ class PersistentResourceCache:
                 self._degrade(exc)
                 return
             self.writes += 1
+            metrics = current_metrics()
+            if metrics is not None:
+                metrics.increment("cache.persistent.writes")
 
     def clear(self, namespace: str | None = None) -> None:
         """Drop one namespace's entries, or every entry when None."""

@@ -27,11 +27,13 @@ from ..corpus.document import Document
 from ..core.annotate import annotate_database
 from ..core.contextualize import contextualize
 from ..core.hierarchy import build_facet_hierarchies
+from ..core.pipeline import STAGES
 from ..core.selection import select_facet_terms
 from ..db.resource_cache import PersistentResourceCache
 from ..extractors.base import ExtractorName
 from ..extractors.registry import build_extractors
 from ..extractors.significant_terms import SIMULATED_LATENCY_SECONDS
+from ..observability import Observability
 from ..resources.base import ResourceName
 from ..resources.registry import build_resource, build_resources
 from ..resources.resilience import SimulatedLatencyResource
@@ -134,6 +136,56 @@ class ParallelEfficiencyReport:
         )
 
 
+@dataclass
+class InstrumentedEfficiencyReport:
+    """Per-stage / per-resource breakdown sourced from the metrics registry.
+
+    Unlike :class:`EfficiencyReport`, which hand-times each stage with
+    ``perf_counter`` around explicit calls, this report runs the real
+    pipeline once under :class:`~repro.observability.Observability` and
+    reads everything back out of the registry the instrumentation
+    populated — the same numbers ``extract --metrics`` prints.
+    """
+
+    documents: int
+    workers: int
+    stage_seconds: dict[str, float]
+    resource_counters: dict[str, int]
+    cache_counters: dict[str, int]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "documents": self.documents,
+            "workers": self.workers,
+            "stage_seconds": dict(self.stage_seconds),
+            "resource_counters": dict(self.resource_counters),
+            "cache_counters": dict(self.cache_counters),
+        }
+
+    def format_summary(self) -> str:
+        lines = [
+            f"Instrumented pipeline over {self.documents} documents "
+            f"({self.workers} workers), from the metrics registry:"
+        ]
+        for stage in STAGES:
+            seconds = self.stage_seconds.get(stage, 0.0)
+            share = seconds / max(self.total_seconds, 1e-9)
+            lines.append(f"  stage {stage:<18} {seconds:8.3f} s  ({share:5.1%})")
+        if self.resource_counters:
+            lines.append("  per-resource cache traffic:")
+            for name, value in sorted(self.resource_counters.items()):
+                lines.append(f"    {name:<40} {value:>8}")
+        if self.cache_counters:
+            lines.append("  persistent cache:")
+            for name, value in sorted(self.cache_counters.items()):
+                lines.append(f"    {name:<40} {value:>8}")
+        return "\n".join(lines)
+
+
 class EfficiencyStudy:
     """Time every stage on a document sample."""
 
@@ -209,6 +261,52 @@ class EfficiencyStudy:
             expansion_with_google_s_per_doc=expansion_with_google,
             selection_s=selection_s,
             hierarchy_s=hierarchy_s,
+        )
+
+    def run_instrumented(
+        self,
+        documents: list[Document],
+        workers: int = 1,
+    ) -> InstrumentedEfficiencyReport:
+        """Run the full pipeline once, instrumented, and report from the registry.
+
+        Stage wall-clock comes from the ``stage.<name>.seconds`` timers
+        and cache traffic from the ``resource.*`` / ``cache.persistent.*``
+        counters that the pipeline's own instrumentation records — no
+        hand-rolled timers around individual stages.
+        """
+        obs = Observability.enabled()
+        previous_parallel = self.builder._parallel
+        try:
+            self.builder.with_parallel(
+                ParallelConfig(workers=workers)
+            ).with_observability(obs)
+            self.builder.build().run(documents)
+        finally:
+            self.builder.with_parallel(previous_parallel)
+            self.builder.with_observability(None)
+
+        stage_seconds: dict[str, float] = {}
+        for stage in STAGES:
+            timer = obs.metrics.timer_value(f"stage.{stage}.seconds")
+            stage_seconds[stage] = timer.total if timer is not None else 0.0
+        counters = obs.metrics.counters
+        resource_counters = {
+            name: int(value)
+            for name, value in counters.items()
+            if name.startswith("resource.")
+        }
+        cache_counters = {
+            name: int(value)
+            for name, value in counters.items()
+            if name.startswith("cache.persistent.")
+        }
+        return InstrumentedEfficiencyReport(
+            documents=len(documents),
+            workers=workers,
+            stage_seconds=stage_seconds,
+            resource_counters=resource_counters,
+            cache_counters=cache_counters,
         )
 
     def run_parallel_comparison(

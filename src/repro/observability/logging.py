@@ -1,0 +1,152 @@
+"""Structured logging for the library and CLI.
+
+Every log call is an **event with fields**, not an interpolated string:
+
+    log = get_logger(__name__)
+    log.info("extract.start", dataset="SNYT", documents=1000)
+
+The ``text`` format renders ``event key=value …`` lines for humans; the
+``json`` format renders one JSON object per line for machines.  The
+level comes from ``configure_logging(level=…)``, the ``REPRO_LOG_LEVEL``
+environment variable, or defaults to WARNING so library users see
+nothing unless they opt in.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO
+
+#: Root logger name; every module logger is a child of this.
+ROOT_LOGGER = "repro"
+
+#: Record attribute carrying the structured field dict.
+_FIELDS_ATTR = "repro_fields"
+
+
+class TextFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger event key=value …`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, _FIELDS_ATTR, None) or {}
+        rendered = " ".join(f"{k}={v}" for k, v in fields.items())
+        base = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname:<7} {record.name} {record.getMessage()}"
+        )
+        if rendered:
+            base = f"{base} {rendered}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def _env_level(default: int = logging.WARNING) -> int:
+    """Level from ``REPRO_LOG_LEVEL`` (name or number), if set."""
+    raw = os.environ.get("REPRO_LOG_LEVEL")
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    resolved = logging.getLevelName(raw.upper())
+    return resolved if isinstance(resolved, int) else default
+
+
+def configure_logging(
+    log_format: str = "text",
+    level: int | str | None = None,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Install a handler on the ``repro`` root logger (idempotent).
+
+    Parameters
+    ----------
+    log_format:
+        ``"text"`` (human) or ``"json"`` (one object per line).
+    level:
+        Explicit level; None reads ``REPRO_LOG_LEVEL`` (default WARNING).
+    stream:
+        Destination stream (default ``sys.stderr`` — stdout stays
+        reserved for program output).
+    """
+    if log_format not in ("text", "json"):
+        raise ValueError(f"log_format must be 'text' or 'json', got {log_format!r}")
+    if level is None:
+        level = _env_level()
+    elif isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    root.propagate = False
+    formatter = JsonFormatter() if log_format == "json" else TextFormatter()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(formatter)
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    return root
+
+
+class StructuredLogger:
+    """Thin wrapper turning ``log.info(event, **fields)`` into records."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def raw(self) -> logging.Logger:
+        """The underlying stdlib logger."""
+        return self._logger
+
+    def _log(self, level: int, event: str, fields: dict[str, object]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Structured logger scoped under the ``repro`` root.
+
+    ``name`` is typically ``__name__``; names outside the ``repro``
+    namespace are nested under it so one handler covers everything.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return StructuredLogger(logging.getLogger(name))

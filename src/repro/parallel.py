@@ -18,15 +18,30 @@ and :func:`repro.core.contextualize.contextualize`:
 Thread workers suit the latency-bound remote resources (simulated
 network sleeps release the GIL); process workers suit CPU-bound local
 extraction but require picklable extractors/resources.
+
+Observability: when :func:`map_chunks` is handed an active
+:class:`~repro.observability.Observability` bundle, every chunk runs
+with its own **worker-local**
+:class:`~repro.observability.MetricsRegistry` (pushed onto the thread's
+context, so resource probes land in it) and under its own chunk
+:class:`~repro.observability.Span`.  After the pool drains, chunk
+registries are merged into the parent registry and chunk spans attached
+to the calling stage span **in submission order** — aggregate metrics
+and trace structure never depend on worker scheduling, and both survive
+the process backend because the per-chunk bundle is pickled back with
+the chunk result.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TypeVar
 
 from .config import ParallelConfig
+from .observability import MetricsRegistry, Observability, Span
+from .observability import context as obs_context
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -49,23 +64,51 @@ def _make_executor(config: ParallelConfig, job_count: int) -> Executor:
     return ThreadPoolExecutor(max_workers=workers)
 
 
-def map_chunks(
-    fn: Callable[[list[T]], R],
-    chunks: list[list[T]],
-    config: ParallelConfig | None = None,
-) -> list[R]:
-    """Apply ``fn`` to every chunk, results in submission order.
+class _ChunkOutcome:
+    """What an instrumented chunk sends back: result + its telemetry."""
 
-    With ``workers == 1`` (or a single chunk) this runs inline — the
-    serial path and the parallel path execute the same code, which is
-    what guarantees identical results.  The first chunk exception (in
-    submission order) propagates; pending chunks are cancelled.
-    """
-    config = config or SERIAL
-    if not config.enabled or len(chunks) <= 1:
-        return [fn(chunk) for chunk in chunks]
-    with _make_executor(config, len(chunks)) as pool:
-        futures = [pool.submit(fn, chunk) for chunk in chunks]
+    __slots__ = ("result", "span", "metrics")
+
+    def __init__(self, result: object, span: Span, metrics: MetricsRegistry) -> None:
+        self.result = result
+        self.span = span
+        self.metrics = metrics
+
+
+class _InstrumentedChunk:
+    """Picklable wrapper running one chunk under worker-local telemetry."""
+
+    def __init__(self, fn: Callable[[list[T]], R], index: int) -> None:
+        self._fn = fn
+        self._index = index
+
+    def __call__(self, chunk: list[T]) -> _ChunkOutcome:
+        registry = MetricsRegistry()
+        span = Span(
+            name="chunk",
+            start=time.time(),
+            tags={"index": self._index, "items": len(chunk)},
+        )
+        try:
+            with obs_context.use_metrics(registry), obs_context.use_span(span):
+                result = self._fn(chunk)
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.end = time.time()
+        return _ChunkOutcome(result, span, registry)
+
+
+def _run_jobs(
+    jobs: list[tuple[Callable[[list[T]], R], list[T]]],
+    config: ParallelConfig,
+) -> list[R]:
+    """Run ``(callable, chunk)`` jobs inline or pooled, submission order."""
+    if not config.enabled or len(jobs) <= 1:
+        return [job(chunk) for job, chunk in jobs]
+    with _make_executor(config, len(jobs)) as pool:
+        futures = [pool.submit(job, chunk) for job, chunk in jobs]
         results: list[R] = []
         try:
             for future in futures:
@@ -74,6 +117,44 @@ def map_chunks(
             for future in futures:
                 future.cancel()
             raise
+    return results
+
+
+def map_chunks(
+    fn: Callable[[list[T]], R],
+    chunks: list[list[T]],
+    config: ParallelConfig | None = None,
+    obs: Observability | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every chunk, results in submission order.
+
+    With ``workers == 1`` (or a single chunk) this runs inline — the
+    serial path and the parallel path execute the same code, which is
+    what guarantees identical results.  The first chunk exception (in
+    submission order) propagates; pending chunks are cancelled.
+
+    With an active ``obs`` bundle every chunk collects metrics into a
+    worker-local registry and times itself into a chunk span; both are
+    folded into the parent bundle in submission order after the pool
+    drains (see the module docstring).  The serial path uses the same
+    instrumented wrapper, so accounting is identical at any worker
+    count.
+    """
+    config = config or SERIAL
+    if obs is None or not obs.active:
+        return _run_jobs([(fn, chunk) for chunk in chunks], config)
+    parent_span = obs.tracer.current()
+    jobs = [
+        (_InstrumentedChunk(fn, index), chunk)
+        for index, chunk in enumerate(chunks)
+    ]
+    outcomes: list[_ChunkOutcome] = _run_jobs(jobs, config)
+    results: list[R] = []
+    for outcome in outcomes:
+        if obs.metrics is not None:
+            obs.metrics.merge(outcome.metrics)
+        obs.tracer.attach(outcome.span, parent=parent_span)
+        results.append(outcome.result)  # type: ignore[arg-type]
     return results
 
 

@@ -25,14 +25,21 @@ from __future__ import annotations
 import abc
 import enum
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
 
 from ..db.resource_cache import PersistentResourceCache
+from ..observability.context import current_metrics, current_span, use_span
+from ..observability.stats import ResourceStats
+from ..observability.tracing import Span
 from ..text.tokenizer import normalize_term
 
 #: Default bound of the in-process LRU tier.
 DEFAULT_MEMORY_CACHE_SIZE = 65_536
+
+#: Backwards-compatible alias: the counter snapshot type moved to
+#: :mod:`repro.observability.stats` as :class:`ResourceStats`.
+CacheStats = ResourceStats
 
 
 class ResourceName(enum.Enum):
@@ -42,23 +49,6 @@ class ResourceName(enum.Enum):
     WORDNET = "WordNet Hypernyms"
     WIKI_SYNONYMS = "Wikipedia Synonyms"
     WIKI_GRAPH = "Wikipedia Graph"
-
-
-@dataclass(frozen=True)
-class CacheStats:
-    """Exact counter snapshot for one resource's two-tier cache."""
-
-    memory_hits: int = 0
-    persistent_hits: int = 0
-    misses: int = 0
-
-    @property
-    def hits(self) -> int:
-        return self.memory_hits + self.persistent_hits
-
-    @property
-    def queries(self) -> int:
-        return self.hits + self.misses
 
 
 class ExternalResource(abc.ABC):
@@ -92,11 +82,14 @@ class ExternalResource(abc.ABC):
         key = normalize_term(term)
         if not key:
             return []
+        metrics = current_metrics()
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
                 self._memory_hits += 1
+                if metrics is not None:
+                    metrics.increment(f"resource.{self.metric_label()}.memory_hits")
                 return list(cached)
         if self._persistent is not None and self._namespace is not None:
             stored = self._persistent.get(self._namespace, key)
@@ -104,12 +97,16 @@ class ExternalResource(abc.ABC):
                 with self._lock:
                     self._persistent_hits += 1
                     self._memory_put(key, stored)
+                if metrics is not None:
+                    metrics.increment(
+                        f"resource.{self.metric_label()}.persistent_hits"
+                    )
                 return list(stored)
         # Miss on both tiers: answer the query outside the lock (remote
         # queries are slow; two workers racing on the same fresh term
         # both query, which is wasteful but deterministic — last write
         # wins with an identical answer).
-        result = tuple(self._query(term))
+        result = tuple(self._instrumented_query(term, key, metrics))
         persist = not self._consume_no_persist()
         with self._lock:
             self._misses += 1
@@ -117,6 +114,50 @@ class ExternalResource(abc.ABC):
         if persist and self._persistent is not None and self._namespace is not None:
             self._persistent.put(self._namespace, key, result)
         return list(result)
+
+    def _instrumented_query(self, term: str, key: str, metrics) -> list[str]:
+        """Answer an uncached query, recording latency and a call span.
+
+        The expensive path — an actual resource call — gets a span of
+        its own (nested under the active chunk/stage span) plus a miss
+        counter, a latency timer, and a latency histogram; with
+        observability disabled this is one extra ``None`` check.
+        """
+        parent = current_span()
+        if metrics is None and parent is None:
+            return self._query(term)
+        label = self.metric_label()
+        span: Span | None = None
+        if parent is not None:
+            span = Span(
+                name=f"resource:{label}", start=time.time(), tags={"term": key}
+            )
+        start = time.perf_counter()
+        try:
+            with use_span(span):
+                result = self._query(term)
+        except BaseException:
+            if span is not None:
+                span.status = "error"
+                span.end = time.time()
+                parent.children.append(span)
+            if metrics is not None:
+                metrics.increment(f"resource.{label}.errors")
+            raise
+        elapsed = time.perf_counter() - start
+        if span is not None:
+            span.end = time.time()
+            span.counters["terms"] = float(len(result))
+            parent.children.append(span)
+        if metrics is not None:
+            metrics.increment(f"resource.{label}.misses")
+            metrics.record_time(f"resource.{label}.query_seconds", elapsed)
+            metrics.observe(f"resource.{label}.query_latency", elapsed)
+        return result
+
+    def metric_label(self) -> str:
+        """Short stable label used in metric names and call spans."""
+        return self.name.value.lower().replace(" ", "_")
 
     @abc.abstractmethod
     def _query(self, term: str) -> list[str]:

@@ -42,3 +42,9 @@ class CompositeResource(ExternalResource):
         # never share persistent entries.
         members = "+".join(r.cache_namespace() for r in self._resources)
         return f"CompositeResource({members})"
+
+    def metric_label(self) -> str:
+        # Members record under their own labels when the composite
+        # queries them; the union itself records as "composite" so the
+        # two never collide in the registry.
+        return "composite"

@@ -28,7 +28,11 @@ import random
 import time
 
 from ..errors import ResourceError
+from ..observability.context import current_metrics
+from ..observability.logging import get_logger
 from .base import ExternalResource
+
+log = get_logger(__name__)
 
 
 class FlakyResource(ExternalResource):
@@ -53,6 +57,9 @@ class FlakyResource(ExternalResource):
     def _query(self, term: str) -> list[str]:
         if self._rng.random() < self._error_rate:
             self.failures += 1
+            metrics = current_metrics()
+            if metrics is not None:
+                metrics.increment(f"resource.{self.metric_label()}.failures")
             raise ResourceError(f"simulated outage answering {term!r}")
         return self._inner.context_terms(term)
 
@@ -85,6 +92,7 @@ class ResilientResource(ExternalResource):
         self.gave_up = 0
 
     def _query(self, term: str) -> list[str]:
+        metrics = current_metrics()
         last_error: Exception | None = None
         for attempt in range(self._max_attempts):
             try:
@@ -93,8 +101,21 @@ class ResilientResource(ExternalResource):
                 last_error = exc
                 if attempt + 1 < self._max_attempts:
                     self.retries += 1
+                    if metrics is not None:
+                        metrics.increment(
+                            f"resource.{self.metric_label()}.retries"
+                        )
         self.gave_up += 1
         assert last_error is not None
+        if metrics is not None:
+            metrics.increment(f"resource.{self.metric_label()}.degraded")
+        log.warning(
+            "resource.degraded",
+            resource=self.metric_label(),
+            term=term,
+            attempts=self._max_attempts,
+            error=str(last_error),
+        )
         # The empty answer is a degradation, not the resource's real
         # answer: keep it in the in-process tier only, never in the
         # persistent store, so a transient outage cannot poison later
@@ -133,6 +154,11 @@ class SimulatedLatencyResource(ExternalResource):
 
     def _query(self, term: str) -> list[str]:
         self.simulated_calls += 1
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.increment(
+                f"resource.{self.metric_label()}.simulated_round_trips"
+            )
         time.sleep(self._latency_seconds)
         return self._inner.context_terms(term)
 

@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import main
@@ -37,3 +43,141 @@ class TestCli:
 
     def test_seed_flag(self, capsys):
         assert main(["--scale", "0.05", "--seed", "42", "run", "EXP-F5"]) == 0
+
+    def test_extract_with_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "--scale",
+                    "0.05",
+                    "extract",
+                    "--top",
+                    "3",
+                    "--trace-out",
+                    str(trace_path),
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "score" in out
+        assert "stage.annotation.seconds" in out  # the metrics table
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line.strip()
+        ]
+        names = {record["name"] for record in records}
+        assert "pipeline" in names
+        assert {
+            "stage:annotation",
+            "stage:contextualization",
+            "stage:selection",
+            "stage:hierarchy",
+        } <= names
+
+    def test_trace_subcommand(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["--scale", "0.05", "extract", "--top", "1",
+                 "--trace-out", str(trace_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--max-children", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline" in out
+        assert "stage:annotation" in out
+
+    def test_trace_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_empty_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", str(empty)]) == 1
+        assert "empty trace" in capsys.readouterr().err
+
+
+def _run_cli(*args: str, cwd: str | None = None) -> subprocess.CompletedProcess:
+    """Invoke ``python -m repro`` the way a user would."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=300,
+    )
+
+
+class TestCliSubprocess:
+    """End-to-end smoke tests through a real interpreter boundary."""
+
+    def test_list(self):
+        proc = _run_cli("list")
+        assert proc.returncode == 0, proc.stderr
+        assert "EXP-T1" in proc.stdout
+
+    def test_extract_parallel_with_trace_and_metrics(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        proc = _run_cli(
+            "--scale",
+            "0.05",
+            "extract",
+            "--top",
+            "5",
+            "--workers",
+            "2",
+            "--trace-out",
+            str(trace_path),
+            "--metrics",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "score" in proc.stdout
+        assert "resource." in proc.stdout  # per-resource cache counters
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert records[0]["name"] == "pipeline"
+        assert records[0]["parent"] is None
+        names = {record["name"] for record in records}
+        assert "chunk" in names  # worker spans made it into the trace
+
+        trace_proc = _run_cli("trace", str(trace_path))
+        assert trace_proc.returncode == 0, trace_proc.stderr
+        assert "pipeline" in trace_proc.stdout
+        assert "└─" in trace_proc.stdout
+
+    def test_json_logs_on_stderr(self):
+        proc = _run_cli(
+            "--log-format",
+            "json",
+            "--log-level",
+            "INFO",
+            "--scale",
+            "0.05",
+            "extract",
+            "--top",
+            "1",
+        )
+        assert proc.returncode == 0, proc.stderr
+        events = [
+            json.loads(line)
+            for line in proc.stderr.splitlines()
+            if line.startswith("{")
+        ]
+        assert any(e.get("event") == "pipeline.done" for e in events)
+        # stdout stays clean program output
+        assert not proc.stdout.startswith("{")

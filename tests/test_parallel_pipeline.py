@@ -109,7 +109,7 @@ class TestDeterminism:
         assert canonical(cold) == serial_result
         warm = parallel_builder.with_parallel(parallel).build().run(documents)
         assert canonical(warm) == serial_result
-        stats = list(warm.cache_stats.values())[0]
+        stats = list(warm.resource_stats.values())[0]
         assert stats.persistent_hits > 0
         assert stats.misses == 0
 
