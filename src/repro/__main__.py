@@ -17,6 +17,10 @@ Commands
     Pretty-print a JSONL trace produced by ``extract --trace-out``.
 ``browse``
     Demonstrate the faceted interface (search, drill-down, dice).
+``lint [PATH...]``
+    Run the project-invariant static analyzer (determinism,
+    thread-safety, cache hygiene; see :mod:`repro.devtools`) and exit
+    non-zero on findings — the same gate CI enforces.
 
 Scale with ``--scale`` (or the REPRO_SCALE environment variable);
 parallelize with ``--workers`` (or REPRO_WORKERS).  Diagnostics go to
@@ -124,6 +128,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("browse", help="demonstrate the faceted interface")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer (repro.devtools)",
+    )
+    from .devtools.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     report = sub.add_parser(
         "report", help="assemble benchmarks/results/ into a markdown report"
@@ -290,6 +302,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "browse":
         return _cmd_browse(args)
+    if args.command == "lint":
+        from .devtools.cli import run_lint
+
+        return run_lint(args)
     if args.command == "report":
         from .harness.report import write_report
 

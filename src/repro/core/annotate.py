@@ -123,6 +123,7 @@ def annotate_database(
         metrics.increment("annotate.documents", len(documents))
         metrics.increment(
             "annotate.important_terms",
+            # order: summing ints is order-insensitive
             sum(len(terms) for terms in important.values()),
         )
         metrics.gauge("annotate.vocabulary_size", len(vocabulary))

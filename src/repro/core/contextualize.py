@@ -100,6 +100,7 @@ def contextualize(
         metrics.increment("contextualize.documents", len(work))
         metrics.increment(
             "contextualize.context_terms",
+            # order: summing ints is order-insensitive
             sum(len(terms) for terms in context_terms.values()),
         )
         metrics.gauge("contextualize.vocabulary_size", len(vocabulary))

@@ -62,7 +62,7 @@ def skew_divergence(
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
     mixed = {}
-    for term in set(p) | set(q):
+    for term in sorted(set(p) | set(q)):
         mixed[term] = alpha * q.get(term, 0.0) + (1 - alpha) * p.get(term, 0.0)
     return kl_divergence(p, mixed)
 

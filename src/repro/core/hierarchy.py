@@ -9,6 +9,7 @@ the OLAP-style structure the user study browses.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..errors import HierarchyError
@@ -85,7 +86,7 @@ def build_facet_hierarchies(
     min_docs: int = 1,
     max_df_ratio: float | None = DEFAULT_MAX_DF_RATIO,
     max_coverage: float = DEFAULT_MAX_COVERAGE,
-    edge_validator=None,
+    edge_validator: Callable[[str, str], bool] | None = None,
 ) -> list[FacetHierarchy]:
     """Group facet terms into per-facet trees and populate them.
 

@@ -107,9 +107,9 @@ def load_expansions(
         connection.close()
 
     known = {doc.doc_id for doc in documents}
-    important: dict[str, list[str]] = {doc_id: [] for doc_id in known}
-    term_sets: dict[str, set[str]] = {doc_id: set() for doc_id in known}
-    context_terms: dict[str, list[str]] = {doc_id: [] for doc_id in known}
+    important: dict[str, list[str]] = {doc_id: [] for doc_id in sorted(known)}
+    term_sets: dict[str, set[str]] = {doc_id: set() for doc_id in sorted(known)}
+    context_terms: dict[str, list[str]] = {doc_id: [] for doc_id in sorted(known)}
     for doc_id, _pos, term in important_rows:
         if doc_id in known:
             important[doc_id].append(term)

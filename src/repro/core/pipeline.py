@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..config import ParallelConfig
@@ -147,7 +148,7 @@ class FacetExtractor:
         require_both_shifts: bool = True,
         subsumption_threshold: float = 0.8,
         build_hierarchies: bool = True,
-        edge_validator=None,
+        edge_validator: Callable[[str, str], bool] | None = None,
         parallel: ParallelConfig | None = None,
         resource_cache: PersistentResourceCache | None = None,
         cache_fingerprint: str = "",

@@ -137,6 +137,7 @@ def build_subsumption_hierarchy(
         ):
             hierarchy.parents[y] = best_parent
             hierarchy.children[best_parent].append(y)
+    # order: each child list is sorted in place; no cross-entry order leaks
     for kids in hierarchy.children.values():
         kids.sort()
     return hierarchy

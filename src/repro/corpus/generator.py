@@ -38,6 +38,10 @@ VARIANT_MENTION_PROBABILITY = 0.75
 #: the Wikipedia-synonyms resource exists to repair.
 CANONICAL_FIRST_MENTION_PROBABILITY = 0.4
 
+#: Dateline used when a caller does not supply a publication date
+#: (mid-November 2005, the SNYT collection window).
+DEFAULT_PUBLISHED = date(2005, 11, 14)
+
 
 class ArticleGenerator:
     """Deterministic generator of simulated news stories.
@@ -148,7 +152,7 @@ class ArticleGenerator:
         doc_id: str,
         rng: random.Random,
         source: str = "The New York Times",
-        published: date = date(2005, 11, 14),
+        published: date = DEFAULT_PUBLISHED,
     ) -> Document:
         """Generate one article."""
         topic = self._world.sample_topic(rng)

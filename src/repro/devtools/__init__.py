@@ -1,0 +1,61 @@
+"""repro.devtools — project-invariant static analysis.
+
+PR 1 and PR 2 made promises that ordinary tests cannot economically
+guard: parallel output is bit-for-bit identical to serial, worker
+payloads are picklable, disabled observability is zero-cost, and cache
+entries are immutable.  This package turns those invariants into an
+AST-based lint pass — ``python -m repro lint`` — that runs as a
+blocking CI job, so a stray ``time.time()`` or an unsorted ``set``
+iteration in a core stage is caught before it silently breaks the
+paper's byte-stable Shift/LLR results.
+
+Layout
+------
+:mod:`~repro.devtools.findings`
+    :class:`Severity` and the immutable :class:`Finding` record.
+:mod:`~repro.devtools.imports`
+    Lightweight per-module import tracker used to resolve qualified
+    names (``Span`` → ``repro.observability.tracing.Span``) without
+    executing any code.
+:mod:`~repro.devtools.context`
+    :class:`ModuleContext`: one parsed module plus everything rules
+    need — parent links, ``# repro: noqa[...]`` suppressions, and
+    ``# order:`` determinism comments.
+:mod:`~repro.devtools.rules`
+    The self-registering :class:`Rule` base class and the initial
+    ruleset (DET001/DET002/PAR001/OBS001/CACHE001/API001).  A new rule
+    is a ~30-line subclass; defining it registers it.
+:mod:`~repro.devtools.analyzer`
+    :class:`Analyzer`: walks files/trees, applies rules in scope, and
+    filters suppressed findings.
+:mod:`~repro.devtools.reporting`
+    Text and JSON reporters.
+:mod:`~repro.devtools.cli`
+    The ``python -m repro lint`` entry point.
+
+Suppression syntax: a trailing ``# repro: noqa`` silences every rule on
+that line; ``# repro: noqa[DET001,API001]`` silences just those rules.
+DET002 additionally honours an explicit ordering comment — ``# order:
+<why this iteration is order-safe>`` on the line or the line above.
+"""
+
+from __future__ import annotations
+
+from .analyzer import Analyzer
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .imports import ImportTracker
+from .reporting import render_json, render_text
+from .rules import Rule, all_rules
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "ImportTracker",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "render_json",
+    "render_text",
+]

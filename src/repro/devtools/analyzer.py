@@ -1,0 +1,113 @@
+"""The analyzer: apply every in-scope rule to every module.
+
+The analyzer is pure — it never imports the code under analysis, only
+parses it — so it is safe to point at arbitrary trees (the CI job, the
+test fixtures' temp packages, a contributor's work in progress).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .rules import Rule, all_rules
+
+#: Pseudo rule id attached to files the parser rejects.
+PARSE_ERROR = "PARSE"
+
+
+class Analyzer:
+    """Runs a ruleset over source files, modules, or whole trees.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances to run; defaults to the full registry.
+    select / ignore:
+        Optional rule-id whitelists/blacklists applied on top.
+    """
+
+    def __init__(
+        self,
+        rules: "list[Rule] | None" = None,
+        select: "set[str] | None" = None,
+        ignore: "set[str] | None" = None,
+    ) -> None:
+        chosen = list(rules) if rules is not None else all_rules()
+        if select is not None:
+            wanted = {rule_id.upper() for rule_id in select}
+            unknown = wanted - {rule.rule_id for rule in chosen}
+            if unknown:
+                raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+            chosen = [rule for rule in chosen if rule.rule_id in wanted]
+        if ignore is not None:
+            dropped = {rule_id.upper() for rule_id in ignore}
+            chosen = [rule for rule in chosen if rule.rule_id not in dropped]
+        self.rules = chosen
+
+    # -- entry points ------------------------------------------------------------
+
+    def analyze_paths(self, paths: "list[str | Path]") -> list[Finding]:
+        """Analyze files and/or directory trees (``*.py``, sorted)."""
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        findings: list[Finding] = []
+        for file_path in files:
+            findings.extend(self.analyze_file(file_path))
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def analyze_file(self, path: "str | Path") -> list[Finding]:
+        file_path = Path(path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            return [self._parse_failure(str(file_path), 1, f"unreadable: {exc}")]
+        return self.analyze_source(source, path=str(file_path))
+
+    def analyze_source(
+        self,
+        source: str,
+        path: str = "<string>",
+        module: str | None = None,
+    ) -> list[Finding]:
+        """Analyze one module given as text.
+
+        ``module`` overrides the dotted name inferred from the package
+        layout on disk — rule scoping keys off it.
+        """
+        try:
+            ctx = ModuleContext(source, path=path, module=module)
+        except SyntaxError as exc:
+            return [
+                self._parse_failure(
+                    path, exc.lineno or 1, f"syntax error: {exc.msg}"
+                )
+            ]
+        findings: list[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(ctx.module):
+                continue
+            for finding in rule.check(ctx):
+                if not ctx.is_suppressed(finding.line, finding.rule_id):
+                    findings.append(finding)
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    @staticmethod
+    def _parse_failure(path: str, line: int, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            col=1,
+            rule_id=PARSE_ERROR,
+            severity=Severity.ERROR,
+            message=message,
+            hint="fix the file so it parses; analysis skipped it",
+        )

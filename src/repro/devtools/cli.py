@@ -1,0 +1,98 @@
+"""``python -m repro lint`` — the static-analysis CLI surface.
+
+Exit codes: 0 when no finding reaches the ``--fail-on`` threshold,
+1 when at least one does, 2 on bad usage (unknown rule ids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analyzer import Analyzer
+from .findings import Severity
+from .reporting import render_json, render_text
+from .rules import all_rules
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--fail-on",
+        default="warning",
+        choices=["info", "warning", "error", "never"],
+        help="lowest severity that fails the run (default: warning)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def _split_ids(raw: str | None) -> "set[str] | None":
+    if raw is None:
+        return None
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+def list_rules() -> str:
+    """Human-readable table of every registered rule."""
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scopes) if rule.scopes else "all modules"
+        lines.append(
+            f"{rule.rule_id:<10} [{rule.severity.label:<7}] "
+            f"{rule.summary}  (scope: {scope})"
+        )
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint command; returns the process exit code."""
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        analyzer = Analyzer(
+            select=_split_ids(args.select), ignore=_split_ids(args.ignore)
+        )
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    findings = analyzer.analyze_paths(list(args.paths))
+    if args.output_format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    blocking = [f for f in findings if f.severity >= threshold]
+    return 1 if blocking else 0

@@ -1,0 +1,68 @@
+"""Finding records produced by the static analyzer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """How serious a finding is; ordering is by blocking strength."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, value: "str | Severity") -> "Severity":
+        """Accept ``"error"``/``"WARNING"``/an existing member."""
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls[value.strip().upper()]
+        except KeyError:
+            valid = ", ".join(member.name.lower() for member in cls)
+            raise ValueError(
+                f"unknown severity {value!r}; expected one of: {valid}"
+            ) from None
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    hint: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        """``path:line:col: RULE [severity] message`` (single line)."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.label}] {self.message}"
+        )
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "hint": self.hint,
+        }

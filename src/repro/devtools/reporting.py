@@ -1,0 +1,49 @@
+"""Reporters: findings → human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .findings import Finding
+
+#: Version stamp of the JSON report schema.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One line per finding plus a summary tail.
+
+    ``path:line:col: RULE [severity] message  (hint: ...)`` — the same
+    shape compilers use, so editors and CI log scrapers link straight
+    to the source location.
+    """
+    lines = [finding.format() for finding in findings]
+    if findings:
+        by_rule = Counter(finding.rule_id for finding in findings)
+        breakdown = ", ".join(
+            f"{rule_id}×{count}" for rule_id, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(f"{len(findings)} finding(s): {breakdown}")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Stable JSON document: version, findings, and summary counts."""
+    report = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "by_rule": dict(
+                sorted(Counter(f.rule_id for f in findings).items())
+            ),
+            "by_severity": dict(
+                sorted(Counter(f.severity.label for f in findings).items())
+            ),
+        },
+    }
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -1,0 +1,614 @@
+"""The rule registry and the initial project-invariant ruleset.
+
+A rule is a class with a ``rule_id``, a severity, optional module
+scoping, and a :meth:`Rule.check` generator over one
+:class:`~repro.devtools.context.ModuleContext`.  Defining a subclass
+registers it — adding a check in a future PR is ~30 lines:
+
+    class DET999(Rule):
+        rule_id = "DET999"
+        severity = Severity.ERROR
+        summary = "what the invariant is"
+        hint = "how to fix a violation"
+        scopes = ("repro.core",)
+
+        def check(self, ctx):
+            for node in ast.walk(ctx.tree):
+                if ...:
+                    yield self.finding(ctx, node, "message")
+
+Initial rules — each encodes an invariant PR 1/PR 2 established:
+
+========  ==========================================================
+DET001    no wall clocks / unseeded randomness in core stages
+DET002    no iteration over unordered sets/dict views feeding output
+PAR001    process-pool payloads must not close over unpicklables
+OBS001    spans/tracers are built via the no-op-safe bundle only
+CACHE001  cache writes must store immutable values
+API001    public API functions carry complete type annotations
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+
+#: id → rule class; populated by ``Rule.__init_subclass__``.
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def all_rules() -> list["Rule"]:
+    """One instance of every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+class Rule(abc.ABC):
+    """Base class: subclassing with a ``rule_id`` self-registers."""
+
+    rule_id: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    summary: ClassVar[str] = ""
+    hint: ClassVar[str] = ""
+    #: Dotted module prefixes the rule applies to; empty = everywhere.
+    scopes: ClassVar[tuple[str, ...]] = ()
+    #: Dotted module prefixes the rule never applies to.
+    excludes: ClassVar[tuple[str, ...]] = ()
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.rule_id:
+            existing = _REGISTRY.get(cls.rule_id)
+            if existing is not None and existing is not cls:
+                raise ValueError(f"duplicate rule id: {cls.rule_id}")
+            _REGISTRY[cls.rule_id] = cls
+
+    @staticmethod
+    def _in_scope(module: str, prefixes: tuple[str, ...]) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    def applies_to(self, module: str) -> bool:
+        """Whether the rule runs on a module with this dotted name."""
+        if self._in_scope(module, self.excludes):
+            return False
+        return not self.scopes or self._in_scope(module, self.scopes)
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str, hint: str | None = None
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+# ---------------------------------------------------------------------------
+# DET001 — wall clocks and unseeded randomness in deterministic stages
+# ---------------------------------------------------------------------------
+
+#: Calls that inject wall-clock time or process-unique entropy.  The
+#: monotonic clocks (``time.perf_counter``/``time.monotonic``) are
+#: deliberately absent: they only ever feed telemetry durations.
+_DET001_BANNED = {
+    "time.time": "wall-clock timestamp",
+    "time.time_ns": "wall-clock timestamp",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "random UUID",
+    "random.random": "global unseeded RNG",
+    "random.randint": "global unseeded RNG",
+    "random.randrange": "global unseeded RNG",
+    "random.randbytes": "global unseeded RNG",
+    "random.getrandbits": "global unseeded RNG",
+    "random.choice": "global unseeded RNG",
+    "random.choices": "global unseeded RNG",
+    "random.shuffle": "global unseeded RNG",
+    "random.sample": "global unseeded RNG",
+    "random.uniform": "global unseeded RNG",
+    "random.gauss": "global unseeded RNG",
+    "datetime.datetime.now": "wall-clock timestamp",
+    "datetime.datetime.utcnow": "wall-clock timestamp",
+    "datetime.datetime.today": "wall-clock timestamp",
+    "datetime.date.today": "wall-clock timestamp",
+}
+
+
+class DeterministicClockRule(Rule):
+    """DET001: Shift_f/Shift_r and the Dunning LLR scores (PAPER.md §3)
+    must be byte-stable across runs, so the stages that produce them may
+    not read wall clocks or the global RNG.  Seeded generators
+    (``config.rng(namespace)``, ``random.Random(seed)``) are fine."""
+
+    rule_id = "DET001"
+    severity = Severity.ERROR
+    summary = "no wall clocks or unseeded randomness in deterministic stages"
+    hint = (
+        "derive randomness from ReproConfig.rng(namespace) and timestamps "
+        "from the observability layer; monotonic telemetry clocks "
+        "(time.perf_counter/time.monotonic) are allowed"
+    )
+    scopes = ("repro.core", "repro.extractors", "repro.resources")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve(node.func)
+            if qualified is None:
+                continue
+            reason = _DET001_BANNED.get(qualified)
+            if reason is not None:
+                yield self.finding(
+                    ctx, node, f"call to {qualified}() injects {reason}"
+                )
+            elif qualified == "random.Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.Random() without a seed is nondeterministic",
+                    hint="seed it: random.Random(config.seed) or config.rng(name)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# DET002 — unordered iteration feeding ordered output
+# ---------------------------------------------------------------------------
+
+#: Consumers whose result cannot depend on iteration order.
+_ORDER_SAFE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+#: Set-combining methods whose result is itself an unordered set.
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+class UnorderedIterationRule(Rule):
+    """DET002: iterating a ``set`` (hash-order, varies with
+    PYTHONHASHSEED) or a bare dict view in a core stage and feeding the
+    result into ordered output breaks byte-stability.  Wrap the
+    iterable in ``sorted(...)`` or state why the order cannot leak with
+    an ``# order: ...`` comment."""
+
+    rule_id = "DET002"
+    severity = Severity.WARNING
+    summary = "no unordered set/dict-view iteration feeding ordered output"
+    hint = (
+        "wrap the iterable in sorted(...), or add '# order: <reason>' "
+        "on (or above) the line when insertion order is provably stable"
+    )
+    scopes = ("repro.core",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for body in self._scopes(ctx.tree):
+            set_vars = self._set_locals(body)
+            for node in self._walk_scope(body):
+                yield from self._check_node(ctx, node, set_vars)
+
+    # -- scope handling ----------------------------------------------------------
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+        """Module body and every function/method body, nested included."""
+        yield tree.body
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.body
+
+    @classmethod
+    def _walk_scope(cls, body: list[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk statements without descending into nested functions
+        (those are visited as their own scope)."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _set_locals(cls, body: list[ast.stmt]) -> frozenset[str]:
+        """Names assigned a set-typed expression within this scope."""
+        names: set[str] = set()
+        for node in cls._walk_scope(body):
+            if isinstance(node, ast.Assign) and cls._is_set_expr(node.value, frozenset()):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                annotation = ast.unparse(node.annotation)
+                if annotation.split("[", 1)[0] in ("set", "frozenset", "Set", "FrozenSet"):
+                    names.add(node.target.id)
+        return frozenset(names)
+
+    # -- expression classification -----------------------------------------------
+
+    @classmethod
+    def _is_set_expr(cls, node: ast.AST, set_vars: frozenset[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_vars
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return cls._is_set_expr(node.left, set_vars) or cls._is_set_expr(
+                node.right, set_vars
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and cls._is_set_expr(func.value, set_vars)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _is_dict_view(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("values", "keys")
+            and not node.args
+            and not node.keywords
+        )
+
+    # -- the check ---------------------------------------------------------------
+
+    def _check_node(
+        self, ctx: ModuleContext, node: ast.AST, set_vars: frozenset[str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            yield from self._flag(ctx, node.iter, node, set_vars)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            if self._consumer_is_safe(ctx, node):
+                return
+            for generator in node.generators:
+                yield from self._flag(ctx, generator.iter, node, set_vars)
+
+    def _consumer_is_safe(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        """True for e.g. ``sorted(x for x in some_set)``."""
+        parent = ctx.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_SAFE_CONSUMERS
+        )
+
+    def _flag(
+        self,
+        ctx: ModuleContext,
+        iterable: ast.AST,
+        site: ast.AST,
+        set_vars: frozenset[str],
+    ) -> Iterator[Finding]:
+        line = getattr(site, "lineno", 1)
+        if ctx.has_ordering_comment(line):
+            return
+        if self._is_set_expr(iterable, set_vars):
+            yield self.finding(
+                ctx,
+                site,
+                "iteration over an unordered set feeds ordered output "
+                f"({ast.unparse(iterable)})",
+            )
+        elif self._is_dict_view(iterable):
+            yield self.finding(
+                ctx,
+                site,
+                "iteration over a bare dict view feeds ordered output "
+                f"({ast.unparse(iterable)})",
+            )
+
+
+# ---------------------------------------------------------------------------
+# PAR001 — process-pool payloads closing over unpicklables
+# ---------------------------------------------------------------------------
+
+#: Constructors whose results do not survive pickling to a worker.
+_UNPICKLABLE = {
+    "threading.Lock": "a lock",
+    "threading.RLock": "a re-entrant lock",
+    "threading.Condition": "a condition variable",
+    "threading.Semaphore": "a semaphore",
+    "threading.BoundedSemaphore": "a semaphore",
+    "threading.Event": "an event",
+    "threading.local": "thread-local storage",
+    "sqlite3.connect": "an open database connection",
+}
+
+
+class PicklablePayloadRule(Rule):
+    """PAR001: anything submitted to the process-pool backend is
+    pickled; :mod:`repro.parallel` chunk payloads are callables, so any
+    class defining ``__call__`` that stores a lock, an open file, a
+    connection, or a tracer handle on ``self`` must also define
+    ``__getstate__`` to drop it (the pattern
+    :class:`repro.db.resource_cache.PersistentResourceCache` uses)."""
+
+    rule_id = "PAR001"
+    severity = Severity.ERROR
+    summary = "pool payloads must not close over locks/files/tracers"
+    hint = (
+        "drop the handle in __getstate__ and rebuild it in __setstate__ "
+        "(see PersistentResourceCache), or keep it out of the payload"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "__call__" not in methods or "__getstate__" in methods:
+                continue
+            yield from self._check_payload_class(ctx, node)
+
+    def _check_payload_class(
+        self, ctx: ModuleContext, cls_node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(cls_node):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                target
+                for target in node.targets
+                if isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ]
+            if not targets:
+                continue
+            what = self._risky(ctx, node.value)
+            if what is None:
+                continue
+            attrs = ", ".join(f"self.{target.attr}" for target in targets)
+            yield self.finding(
+                ctx,
+                node,
+                f"payload class {cls_node.name!r} (defines __call__) stores "
+                f"{what} on {attrs} without a __getstate__",
+            )
+
+    @staticmethod
+    def _risky(ctx: ModuleContext, value: ast.AST) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "an open file handle"
+        qualified = ctx.resolve(func)
+        if qualified is None:
+            return None
+        if qualified in _UNPICKLABLE:
+            return _UNPICKLABLE[qualified]
+        if "observability" in qualified and qualified.endswith(".Tracer"):
+            return "a tracer handle"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — observability must stay no-op-safe in hot paths
+# ---------------------------------------------------------------------------
+
+
+class NoOpSafeObservabilityRule(Rule):
+    """OBS001: instrumented hot paths go through the
+    :class:`~repro.observability.Observability` bundle
+    (``obs.tracer.span(...)`` is free when disabled) or the
+    ``Span.begin(...)``/``span.finish()`` factory pair.  Constructing
+    ``Span``/``Tracer`` directly outside :mod:`repro.observability`
+    re-introduces per-call allocation — and a wall-clock read — even
+    when observability is off."""
+
+    rule_id = "OBS001"
+    severity = Severity.WARNING
+    summary = "construct spans/tracers via the no-op-safe bundle only"
+    hint = (
+        "use obs.tracer.span(name, **tags) or Span.begin(name, **tags) / "
+        "span.finish(); direct Span()/Tracer() calls belong in "
+        "repro.observability"
+    )
+    excludes = ("repro.observability", "repro.devtools")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve(node.func)
+            if qualified is None or "observability" not in qualified:
+                continue
+            final = qualified.rsplit(".", 1)[-1]
+            if final in ("Span", "Tracer"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct {final}(...) construction outside the "
+                    "observability layer bypasses the no-op bundle",
+                )
+
+
+# ---------------------------------------------------------------------------
+# CACHE001 — cache values must be immutable
+# ---------------------------------------------------------------------------
+
+#: Expressions that produce freshly mutable containers.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _mutable_kind(node: ast.AST) -> str | None:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "a list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "a dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    ):
+        return f"a {node.func.id}"
+    return None
+
+
+class ImmutableCacheValueRule(Rule):
+    """CACHE001: the PR-1 ``context_terms`` cache-poisoning bug, as a
+    lint rule.  A value stored in :class:`PersistentResourceCache` or an
+    LRU tier is shared by every later reader; storing a mutable
+    container lets one caller's in-place edit corrupt everyone else's
+    answer.  Store tuples, frozensets, or ``frozen=True`` dataclasses."""
+
+    rule_id = "CACHE001"
+    severity = Severity.ERROR
+    summary = "cache entries must be immutable values"
+    hint = (
+        "convert before storing: tuple(...), frozenset(...), or a "
+        "frozen dataclass — and return fresh copies to callers"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_put(ctx, node)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_subscript_store(ctx, node)
+
+    def _check_put(self, ctx: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in (
+            "put",
+            "_memory_put",
+        ):
+            return
+        value = self._value_argument(node)
+        if value is None:
+            return
+        kind = _mutable_kind(value)
+        if kind is not None:
+            yield self.finding(
+                ctx,
+                node,
+                f"{func.attr}() stores {kind}; cache entries must be "
+                "immutable (tuple/frozenset/frozen dataclass)",
+            )
+
+    @staticmethod
+    def _value_argument(node: ast.Call) -> ast.AST | None:
+        for keyword in node.keywords:
+            if keyword.arg in ("terms", "value"):
+                return keyword.value
+        if node.args:
+            return node.args[-1]
+        return None
+
+    def _check_subscript_store(
+        self, ctx: ModuleContext, node: ast.Assign
+    ) -> Iterator[Finding]:
+        kind = _mutable_kind(node.value)
+        if kind is None:
+            return
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and "cache" in target.value.attr.lower()
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"assignment into {ast.unparse(target.value)}[...] stores "
+                    f"{kind}; cache entries must be immutable",
+                )
+
+
+# ---------------------------------------------------------------------------
+# API001 — complete annotations on the public API surface
+# ---------------------------------------------------------------------------
+
+
+class PublicApiAnnotationRule(Rule):
+    """API001: the public entry points (``repro.api``, ``repro.config``,
+    ``repro.core.pipeline``) are what users and the mypy gate read
+    first; every public function and method there must annotate every
+    parameter and its return type."""
+
+    rule_id = "API001"
+    severity = Severity.WARNING
+    summary = "public API functions need complete type annotations"
+    hint = "annotate every parameter and the return type"
+    scopes = ("repro.api", "repro.config", "repro.core.pipeline")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_body(ctx, ctx.tree.body, method=False)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                yield from self._check_body(ctx, node.body, method=True)
+
+    def _check_body(
+        self, ctx: ModuleContext, body: list[ast.stmt], method: bool
+    ) -> Iterator[Finding]:
+        for node in body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            public = not node.name.startswith("_") or node.name == "__init__"
+            if not public:
+                continue
+            missing = self._missing_annotations(node, method)
+            skip_return = node.name == "__init__"
+            if node.returns is None and not skip_return:
+                missing.append("return")
+            if missing:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public function {node.name!r} is missing type "
+                    f"annotations for: {', '.join(missing)}",
+                )
+
+    @staticmethod
+    def _missing_annotations(
+        node: "ast.FunctionDef | ast.AsyncFunctionDef", method: bool
+    ) -> list[str]:
+        args = node.args
+        ordered = [*args.posonlyargs, *args.args]
+        if method and ordered and ordered[0].arg in ("self", "cls"):
+            ordered = ordered[1:]
+        ordered.extend(args.kwonlyargs)
+        missing = [arg.arg for arg in ordered if arg.annotation is None]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        return missing

@@ -16,7 +16,6 @@ models real inter-annotator noise.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from ..builder import FacetPipelineBuilder

@@ -127,7 +127,7 @@ class QualificationTest:
         """True when ``judge`` passes (>= 18 of 20 correct)."""
         rng = self._config.rng(f"qualtest:{judge.judge_id}")
         correct = 0
-        for item in self._items:
+        for _item in self._items:
             answers_right = rng.random() < judge.accuracy
             if answers_right:
                 correct += 1

@@ -20,12 +20,10 @@ reaching for facets instead of the search box grows with experience.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from ..config import ReproConfig
 from ..core.interface import FacetedInterface
-from ..corpus.document import Document
 from ..kb.world import World
 
 #: Seconds to formulate and scan one keyword search.

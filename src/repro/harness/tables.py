@@ -69,7 +69,7 @@ def run_pilot_study(
     pool = AnnotatorPool(world, _pilot_config(config))
     taxonomy = world.taxonomy
     result = PilotStudyResult()
-    for doc_id, terms in pool.annotate_corpus(documents).items():
+    for _doc_id, terms in pool.annotate_corpus(documents).items():
         for term in terms:
             canonical = taxonomy.canonical(term)
             if canonical is None:

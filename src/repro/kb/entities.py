@@ -8,7 +8,6 @@ deterministic for a given :class:`~repro.config.ReproConfig` seed.
 
 from __future__ import annotations
 
-import random
 from collections.abc import Iterable
 
 from ..config import ReproConfig
@@ -520,7 +519,7 @@ class EntityFactory:
             "commission", "inquiry", "initiative", "proposal", "hearings",
             "testimony", "nomination", "investigation",
         )
-        for index in range(110):
+        for _index in range(110):
             name = self._person_name()
             anchor = self._rng.choice(person_anchors)
             role = self._rng.choice(person_roles)
@@ -536,7 +535,7 @@ class EntityFactory:
                     prominence=self._rng.uniform(0.05, 0.3),
                 )
             )
-        for index in range(50):
+        for _index in range(50):
             stem = self._rng.choice(names.COMPANY_STEMS)
             area = self._rng.choice(names.UNIVERSITY_STEMS)
             name = f"{area} {stem} Associates"

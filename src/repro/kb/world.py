@@ -152,7 +152,7 @@ class World:
             return rng.choice(pool)
         point = rng.uniform(0, total)
         acc = 0.0
-        for entity, weight in zip(pool, weights):
+        for entity, weight in zip(pool, weights, strict=True):
             acc += weight
             if acc >= point:
                 return entity

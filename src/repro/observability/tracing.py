@@ -41,6 +41,27 @@ class Span:
     children: list["Span"] = field(default_factory=list)
     status: str = "ok"
 
+    @classmethod
+    def begin(cls, name: str, **tags: object) -> "Span":
+        """Open a span stamped with the wall clock, outside a tracer.
+
+        The sanctioned way for library code (worker chunks, resource
+        calls) to build a span by hand: the wall-clock read stays inside
+        the observability layer, so instrumented modules never touch
+        ``time.time()`` themselves.  Pair with :meth:`finish`, and only
+        call on a path already guarded by an active bundle/parent span —
+        unconditional construction belongs to ``tracer.span(...)``,
+        which is free when disabled.
+        """
+        return cls(name=name, start=time.time(), tags=dict(tags))
+
+    def finish(self, status: str | None = None) -> "Span":
+        """Stamp the end time (and optionally a status); returns self."""
+        if status is not None:
+            self.status = status
+        self.end = time.time()
+        return self
+
     @property
     def duration(self) -> float:
         """Wall-clock seconds covered by this span."""

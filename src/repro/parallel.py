@@ -34,7 +34,6 @@ the chunk result.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TypeVar
@@ -84,11 +83,7 @@ class _InstrumentedChunk:
 
     def __call__(self, chunk: list[T]) -> _ChunkOutcome:
         registry = MetricsRegistry()
-        span = Span(
-            name="chunk",
-            start=time.time(),
-            tags={"index": self._index, "items": len(chunk)},
-        )
+        span = Span.begin("chunk", index=self._index, items=len(chunk))
         try:
             with obs_context.use_metrics(registry), obs_context.use_span(span):
                 result = self._fn(chunk)
@@ -96,7 +91,7 @@ class _InstrumentedChunk:
             span.status = "error"
             raise
         finally:
-            span.end = time.time()
+            span.finish()
         return _ChunkOutcome(result, span, registry)
 
 

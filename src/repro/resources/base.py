@@ -129,24 +129,21 @@ class ExternalResource(abc.ABC):
         label = self.metric_label()
         span: Span | None = None
         if parent is not None:
-            span = Span(
-                name=f"resource:{label}", start=time.time(), tags={"term": key}
-            )
+            span = Span.begin(f"resource:{label}", term=key)
         start = time.perf_counter()
         try:
             with use_span(span):
                 result = self._query(term)
         except BaseException:
             if span is not None:
-                span.status = "error"
-                span.end = time.time()
+                span.finish(status="error")
                 parent.children.append(span)
             if metrics is not None:
                 metrics.increment(f"resource.{label}.errors")
             raise
         elapsed = time.perf_counter() - start
         if span is not None:
-            span.end = time.time()
+            span.finish()
             span.counters["terms"] = float(len(result))
             parent.children.append(span)
         if metrics is not None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ..text.tokenizer import normalize_term
-from .base import ExternalResource, ResourceName
+from .base import ExternalResource
 
 
 class CompositeResource(ExternalResource):

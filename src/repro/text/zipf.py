@@ -46,7 +46,7 @@ def zipf_fit(frequencies: Iterable[int]) -> tuple[float, float]:
     sxx = sum((x - mean_x) ** 2 for x in xs)
     if sxx == 0:
         raise ValueError("degenerate rank distribution")
-    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys, strict=True))
     slope = sxy / sxx
     intercept = mean_y - slope * mean_x
     return -slope, math.exp(intercept)

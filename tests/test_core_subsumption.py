@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.subsumption import (
-    SubsumptionHierarchy,
     build_subsumption_hierarchy,
 )
 from repro.errors import HierarchyError

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import ReproConfig
 from repro.corpus import (
     ArticleGenerator,
     build_corpus,
@@ -12,7 +11,6 @@ from repro.corpus import (
     build_snb,
     build_snyt,
 )
-from repro.corpus.datasets import DatasetName
 from repro.corpus.sources import NEWSBLASTER_SOURCES, NYT_SOURCE
 from repro.errors import CorpusError
 from repro.text.tokenizer import normalize_term

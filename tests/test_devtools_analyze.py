@@ -1,0 +1,625 @@
+"""Tests for the project-invariant static analyzer (repro.devtools).
+
+Each rule is exercised with a fixture snippet that violates it, one
+that satisfies it, and one that suppresses it with ``# repro: noqa``.
+The CLI contract — exit non-zero with ``file:line`` + rule-id output on
+a violating package, exit zero on the real ``src/repro`` tree — is
+checked via ``python -m repro lint`` subprocesses, and the JSON
+reporter's schema is validated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import Analyzer, Severity, all_rules, render_json, render_text
+from repro.devtools.analyzer import PARSE_ERROR
+from repro.devtools.context import ModuleContext, infer_module_name
+from repro.devtools.imports import ImportTracker
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+EXPECTED_RULES = {"DET001", "DET002", "PAR001", "OBS001", "CACHE001", "API001"}
+
+
+def check(source: str, module: str) -> list:
+    """Analyze a dedented snippet under a given dotted module name."""
+    return Analyzer().analyze_source(
+        textwrap.dedent(source), path=f"{module.replace('.', '/')}.py", module=module
+    )
+
+
+def rule_ids(findings: list) -> set[str]:
+    return {finding.rule_id for finding in findings}
+
+
+# -- registry ---------------------------------------------------------------------
+
+
+def test_registry_has_the_full_initial_ruleset():
+    assert {rule.rule_id for rule in all_rules()} >= EXPECTED_RULES
+
+
+def test_rules_carry_metadata():
+    for rule in all_rules():
+        assert rule.summary, rule.rule_id
+        assert rule.hint, rule.rule_id
+        assert isinstance(rule.severity, Severity)
+
+
+# -- import tracker ---------------------------------------------------------------
+
+
+def test_import_tracker_resolves_absolute_and_aliased_imports():
+    import ast
+
+    tree = ast.parse(
+        "import time\nimport os.path\nfrom uuid import uuid4 as u4\n"
+    )
+    tracker = ImportTracker.from_module(tree)
+    assert tracker.resolve(ast.parse("time.time", mode="eval").body) == "time.time"
+    assert tracker.resolve(ast.parse("os.path.join", mode="eval").body) == "os.path.join"
+    assert tracker.resolve(ast.parse("u4", mode="eval").body) == "uuid.uuid4"
+    assert tracker.resolve(ast.parse("unbound.name", mode="eval").body) is None
+
+
+def test_import_tracker_resolves_relative_imports():
+    import ast
+
+    tree = ast.parse("from ..observability.tracing import Span\n")
+    tracker = ImportTracker.from_module(
+        tree, module="repro.resources.base", is_package=False
+    )
+    assert (
+        tracker.resolve(ast.parse("Span", mode="eval").body)
+        == "repro.observability.tracing.Span"
+    )
+
+
+def test_module_name_inference_walks_packages(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "stages.py").write_text("")
+    assert infer_module_name(pkg / "stages.py") == "repro.core.stages"
+    assert infer_module_name(pkg / "__init__.py") == "repro.core"
+
+
+# -- DET001 -----------------------------------------------------------------------
+
+
+def test_det001_flags_wall_clock_in_core():
+    findings = check(
+        """
+        import time
+
+        def stage():
+            return time.time()
+        """,
+        "repro.core.stages",
+    )
+    assert rule_ids(findings) == {"DET001"}
+    assert findings[0].severity is Severity.ERROR
+    assert "time.time" in findings[0].message
+
+
+def test_det001_flags_unseeded_random_and_urandom():
+    findings = check(
+        """
+        import os
+        import random
+
+        def extract():
+            random.shuffle([])
+            r = random.Random()
+            return os.urandom(8)
+        """,
+        "repro.extractors.fancy",
+    )
+    assert len(findings) == 3
+    assert rule_ids(findings) == {"DET001"}
+
+
+def test_det001_allows_seeded_rngs_and_monotonic_clocks():
+    findings = check(
+        """
+        import random
+        import time
+
+        def stage(seed: int) -> float:
+            rng = random.Random(seed)
+            start = time.perf_counter()
+            rng.random()
+            return time.perf_counter() - start
+        """,
+        "repro.core.stages",
+    )
+    assert findings == []
+
+
+def test_det001_out_of_scope_module_is_ignored():
+    findings = check(
+        "import time\n\ndef f():\n    return time.time()\n",
+        "repro.harness.timers",
+    )
+    assert findings == []
+
+
+def test_det001_suppressed_by_noqa():
+    findings = check(
+        """
+        import time
+
+        def stage():
+            return time.time()  # repro: noqa[DET001]
+        """,
+        "repro.core.stages",
+    )
+    assert findings == []
+
+
+# -- DET002 -----------------------------------------------------------------------
+
+
+def test_det002_flags_set_iteration():
+    findings = check(
+        """
+        def merge(p, q):
+            out = []
+            for term in set(p) | set(q):
+                out.append(term)
+            return out
+        """,
+        "repro.core.distributional",
+    )
+    assert rule_ids(findings) == {"DET002"}
+
+
+def test_det002_flags_dict_view_and_set_variable():
+    findings = check(
+        """
+        def f(d, xs):
+            items = [v for v in d.values()]
+            s = set(xs)
+            more = [x for x in s]
+            return items, more
+        """,
+        "repro.core.stages",
+    )
+    assert len(findings) == 2
+    assert rule_ids(findings) == {"DET002"}
+
+
+def test_det002_sorted_wrapper_is_clean():
+    findings = check(
+        """
+        def merge(p, q):
+            return [term for term in sorted(set(p) | set(q))]
+        """,
+        "repro.core.distributional",
+    )
+    assert findings == []
+
+
+def test_det002_ordering_comment_is_clean():
+    findings = check(
+        """
+        def f(d):
+            # order: summing ints is order-insensitive
+            return sum(len(v) for v in d.values())
+        """,
+        "repro.core.stages",
+    )
+    assert findings == []
+
+
+def test_det002_safe_consumers_are_clean():
+    findings = check(
+        """
+        def f(xs):
+            s = set(xs)
+            return len(s), sorted(x for x in s), max(s | {0})
+        """,
+        "repro.core.stages",
+    )
+    assert findings == []
+
+
+def test_det002_only_applies_to_core():
+    findings = check(
+        "def f(d):\n    return [v for v in d.values()]\n",
+        "repro.eval.metrics",
+    )
+    assert findings == []
+
+
+# -- PAR001 -----------------------------------------------------------------------
+
+
+def test_par001_flags_lock_in_callable_payload():
+    findings = check(
+        """
+        import threading
+
+        class ChunkPayload:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def __call__(self, chunk):
+                return chunk
+        """,
+        "repro.parallel_ext",
+    )
+    assert rule_ids(findings) == {"PAR001"}
+    assert "self._lock" in findings[0].message
+
+
+def test_par001_flags_open_file_and_tracer_handles():
+    findings = check(
+        """
+        from repro.observability import Tracer
+
+        class Payload:
+            def __init__(self, path):
+                self.handle = open(path)
+                self.tracer = Tracer()
+
+            def __call__(self, chunk):
+                return chunk
+        """,
+        "repro.workers",
+    )
+    assert "PAR001" in rule_ids(findings)
+    par = [f for f in findings if f.rule_id == "PAR001"]
+    assert len(par) == 2
+
+
+def test_par001_getstate_makes_payload_clean():
+    findings = check(
+        """
+        import threading
+
+        class Payload:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def __call__(self, chunk):
+                return chunk
+
+            def __getstate__(self):
+                state = self.__dict__.copy()
+                state["_lock"] = None
+                return state
+        """,
+        "repro.workers",
+    )
+    assert findings == []
+
+
+def test_par001_non_callable_classes_are_ignored():
+    findings = check(
+        """
+        import threading
+
+        class NotAPayload:
+            def __init__(self):
+                self._lock = threading.Lock()
+        """,
+        "repro.workers",
+    )
+    assert findings == []
+
+
+# -- OBS001 -----------------------------------------------------------------------
+
+
+def test_obs001_flags_direct_span_construction():
+    findings = check(
+        """
+        from repro.observability.tracing import Span
+
+        def hot_path():
+            span = Span(name="work", start=0.0)
+            return span
+        """,
+        "repro.core.stages",
+    )
+    assert "OBS001" in rule_ids(findings)
+
+
+def test_obs001_allows_factory_and_observability_internals():
+    clean = check(
+        """
+        from repro.observability.tracing import Span
+
+        def hot_path():
+            span = Span.begin("work", items=3)
+            span.finish()
+            return span
+        """,
+        "repro.core.stages",
+    )
+    assert clean == []
+    internal = check(
+        """
+        from .tracing import Span
+
+        def helper():
+            return Span(name="x")
+        """,
+        "repro.observability.helpers",
+    )
+    assert internal == []
+
+
+# -- CACHE001 ---------------------------------------------------------------------
+
+
+def test_cache001_flags_mutable_put_values():
+    findings = check(
+        """
+        def store(cache, namespace, key, values):
+            cache.put(namespace, key, list(values))
+            cache.put(namespace, key, [v for v in values])
+        """,
+        "repro.resources.custom",
+    )
+    assert len(findings) == 2
+    assert rule_ids(findings) == {"CACHE001"}
+
+
+def test_cache001_flags_mutable_subscript_store():
+    findings = check(
+        """
+        class Resource:
+            def remember(self, key, values):
+                self._cache[key] = list(values)
+        """,
+        "repro.resources.custom",
+    )
+    assert rule_ids(findings) == {"CACHE001"}
+
+
+def test_cache001_tuple_values_are_clean():
+    findings = check(
+        """
+        def store(cache, namespace, key, values):
+            cache.put(namespace, key, tuple(values))
+        """,
+        "repro.resources.custom",
+    )
+    assert findings == []
+
+
+# -- API001 -----------------------------------------------------------------------
+
+
+def test_api001_flags_missing_annotations_in_public_api():
+    findings = check(
+        """
+        def run(documents, top_k=10):
+            return documents[:top_k]
+        """,
+        "repro.api",
+    )
+    assert rule_ids(findings) == {"API001"}
+    assert "documents" in findings[0].message
+    assert "return" in findings[0].message
+
+
+def test_api001_checks_init_params_but_not_private_helpers():
+    findings = check(
+        """
+        class Pipeline:
+            def __init__(self, top_k, validator=None) -> None:
+                self._top_k = top_k
+
+        def _helper(x):
+            return x
+        """,
+        "repro.core.pipeline",
+    )
+    assert rule_ids(findings) == {"API001"}
+    assert len(findings) == 1
+
+
+def test_api001_fully_annotated_is_clean():
+    findings = check(
+        """
+        def run(documents: list[str], top_k: int = 10) -> list[str]:
+            return documents[:top_k]
+        """,
+        "repro.api",
+    )
+    assert findings == []
+
+
+def test_api001_out_of_scope_module_is_ignored():
+    findings = check("def f(x):\n    return x\n", "repro.harness.tables")
+    assert findings == []
+
+
+# -- analyzer machinery -----------------------------------------------------------
+
+
+def test_select_and_ignore_filter_rules():
+    source = "import time\n\ndef f(x):\n    return time.time()\n"
+    only_det = Analyzer(select={"DET001"}).analyze_source(
+        source, module="repro.core.stages"
+    )
+    assert rule_ids(only_det) == {"DET001"}
+    without_det = Analyzer(ignore={"DET001"}).analyze_source(
+        source, module="repro.core.stages"
+    )
+    assert "DET001" not in rule_ids(without_det)
+    with pytest.raises(ValueError):
+        Analyzer(select={"NOPE999"})
+
+
+def test_syntax_error_becomes_parse_finding():
+    findings = Analyzer().analyze_source("def broken(:\n", path="bad.py")
+    assert len(findings) == 1
+    assert findings[0].rule_id == PARSE_ERROR
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_blanket_noqa_suppresses_every_rule():
+    findings = check(
+        """
+        import time
+
+        def f():
+            return time.time()  # repro: noqa
+        """,
+        "repro.core.stages",
+    )
+    assert findings == []
+
+
+def test_context_tracks_ordering_comments_and_noqa():
+    ctx = ModuleContext(
+        "x = 1  # repro: noqa[DET001,API001]\n# order: stable\ny = 2\n",
+        module="repro.core.x",
+    )
+    assert ctx.is_suppressed(1, "DET001")
+    assert ctx.is_suppressed(1, "api001")
+    assert not ctx.is_suppressed(1, "OBS001")
+    assert ctx.has_ordering_comment(2)
+    assert ctx.has_ordering_comment(3)
+    assert not ctx.has_ordering_comment(1)
+
+
+# -- reporters --------------------------------------------------------------------
+
+
+def _sample_findings() -> list:
+    return check(
+        """
+        import time
+
+        def f():
+            return time.time()
+        """,
+        "repro.core.stages",
+    )
+
+
+def test_text_reporter_formats_location_and_rule():
+    findings = _sample_findings()
+    text = render_text(findings)
+    assert "repro/core/stages.py:5:" in text
+    assert "DET001" in text
+    assert "finding(s)" in text
+    assert render_text([]) == "no findings"
+
+
+def test_json_reporter_schema():
+    findings = _sample_findings()
+    report = json.loads(render_json(findings))
+    assert report["version"] == 1
+    assert set(report) == {"version", "findings", "summary"}
+    assert report["summary"]["total"] == len(findings)
+    assert report["summary"]["by_rule"]["DET001"] == 1
+    assert report["summary"]["by_severity"]["error"] == 1
+    for entry in report["findings"]:
+        assert set(entry) == {
+            "path",
+            "line",
+            "col",
+            "rule_id",
+            "severity",
+            "message",
+            "hint",
+        }
+        assert isinstance(entry["line"], int)
+        assert entry["severity"] in {"info", "warning", "error"}
+
+
+# -- CLI --------------------------------------------------------------------------
+
+
+def _run_lint(*args: str, cwd: Path | None = None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd or REPO_ROOT,
+        timeout=120,
+    )
+
+
+def _write_violating_package(root: Path) -> Path:
+    """A temp package shaped like repro, seeded with violations."""
+    core = root / "repro" / "core"
+    core.mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (core / "__init__.py").write_text("")
+    (core / "bad.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def stage(p, q):
+                out = []
+                for term in set(p) | set(q):
+                    out.append(term)
+                return out, time.time()
+            """
+        )
+    )
+    return root / "repro"
+
+
+def test_cli_exits_nonzero_on_violating_package(tmp_path):
+    package = _write_violating_package(tmp_path)
+    result = _run_lint(str(package))
+    assert result.returncode == 1
+    assert "DET001" in result.stdout
+    assert "DET002" in result.stdout
+    assert "bad.py:" in result.stdout
+
+
+def test_cli_exits_zero_on_the_repo():
+    result = _run_lint("src/repro")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "no findings" in result.stdout
+
+
+def test_cli_json_format(tmp_path):
+    package = _write_violating_package(tmp_path)
+    result = _run_lint(str(package), "--format", "json")
+    assert result.returncode == 1
+    report = json.loads(result.stdout)
+    assert report["version"] == 1
+    assert report["summary"]["total"] >= 2
+
+
+def test_cli_list_rules():
+    result = _run_lint("--list-rules")
+    assert result.returncode == 0
+    for rule_id in EXPECTED_RULES:
+        assert rule_id in result.stdout
+
+
+def test_cli_fail_on_never_reports_but_passes(tmp_path):
+    package = _write_violating_package(tmp_path)
+    result = _run_lint(str(package), "--fail-on", "never")
+    assert result.returncode == 0
+    assert "DET001" in result.stdout
+
+
+def test_cli_unknown_rule_id_is_usage_error():
+    result = _run_lint("--select", "NOPE999")
+    assert result.returncode == 2
+    assert "unknown rule" in result.stderr

@@ -10,7 +10,6 @@ from repro.resources.composite import CompositeResource
 from repro.resources.registry import (
     build_all_resources,
     build_resource,
-    build_resources,
 )
 
 
