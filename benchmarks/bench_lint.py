@@ -1,0 +1,63 @@
+"""BENCH-LINT — cold vs warm runs of the flow-analysis lint engine.
+
+The incremental cache under ``.repro-lint-cache/`` is the engine's
+production-scale story: CI and editors re-run the analyzer constantly,
+and almost nothing changes between runs.  This benchmark measures a
+cold whole-tree analysis of ``src/repro`` against a warm run backed by
+the on-disk cache, asserting that the warm run (a) returns exactly the
+same findings and (b) is at least 5x faster.
+"""
+
+import time
+from pathlib import Path
+
+from repro.devtools import AnalysisStats, Analyzer, LintCache
+
+#: Warm runs must beat cold runs by at least this factor.
+MIN_SPEEDUP = 5.0
+
+
+def test_lint_cold_vs_warm(benchmark, tmp_path, save_result):
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    analyzer = Analyzer()
+
+    def cold_run():
+        cache = LintCache(tmp_path / "cache", analyzer.signature)
+        stats = AnalysisStats()
+        start = time.perf_counter()
+        findings = analyzer.analyze_paths([src], cache=cache, stats=stats)
+        elapsed = time.perf_counter() - start
+        cache.save()
+        return findings, stats, elapsed
+
+    cold_findings, cold_stats, cold_s = benchmark.pedantic(
+        cold_run, rounds=1, iterations=1
+    )
+
+    warm_cache = LintCache(tmp_path / "cache", analyzer.signature)
+    warm_stats = AnalysisStats()
+    start = time.perf_counter()
+    warm_findings = analyzer.analyze_paths([src], cache=warm_cache, stats=warm_stats)
+    warm_s = time.perf_counter() - start
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    save_result(
+        "lint_cold_vs_warm",
+        "\n".join(
+            [
+                "repro lint: cold vs warm (incremental cache)",
+                f"  files analyzed          {cold_stats.files_total}",
+                f"  cold run                {cold_s * 1000:8.1f} ms "
+                f"({cold_stats.files_reanalyzed} parsed)",
+                f"  warm run                {warm_s * 1000:8.1f} ms "
+                f"({warm_stats.files_from_cache} from cache)",
+                f"  speedup                 {speedup:8.1f}x",
+                f"  findings (both runs)    {len(cold_findings)}",
+            ]
+        ),
+    )
+
+    assert warm_findings == cold_findings
+    assert warm_stats.files_from_cache == warm_stats.files_total
+    assert warm_stats.project_from_cache is True
+    assert speedup >= MIN_SPEEDUP

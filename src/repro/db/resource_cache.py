@@ -85,8 +85,12 @@ class PersistentResourceCache:
         if self._connection is not None:
             try:
                 self._connection.close()
-            except sqlite3.Error:
-                pass
+            except sqlite3.Error as close_exc:
+                log.debug(
+                    "persistent_cache.close_failed",
+                    path=self.path,
+                    error=str(close_exc),
+                )
             self._connection = None
         metrics = current_metrics()
         if metrics is not None:

@@ -1,18 +1,21 @@
-"""repro.devtools — project-invariant static analysis.
+"""repro.devtools — whole-program static analysis for project invariants.
 
 PR 1 and PR 2 made promises that ordinary tests cannot economically
 guard: parallel output is bit-for-bit identical to serial, worker
 payloads are picklable, disabled observability is zero-cost, and cache
 entries are immutable.  This package turns those invariants into an
 AST-based lint pass — ``python -m repro lint`` — that runs as a
-blocking CI job, so a stray ``time.time()`` or an unsorted ``set``
-iteration in a core stage is caught before it silently breaks the
-paper's byte-stable Shift/LLR results.
+blocking CI job.  PR 4 grew it from a per-file matcher into a
+whole-program flow-analysis engine: a project model with a cross-module
+call graph, per-function control-flow graphs with reaching-definitions
+data-flow, and a declarative taint framework the FLOW/RACE rules are
+written against.
 
 Layout
 ------
 :mod:`~repro.devtools.findings`
-    :class:`Severity` and the immutable :class:`Finding` record.
+    :class:`Severity`, the immutable :class:`Finding` record, and
+    :class:`Fix` spans for ``--fix``.
 :mod:`~repro.devtools.imports`
     Lightweight per-module import tracker used to resolve qualified
     names (``Span`` → ``repro.observability.tracing.Span``) without
@@ -21,15 +24,34 @@ Layout
     :class:`ModuleContext`: one parsed module plus everything rules
     need — parent links, ``# repro: noqa[...]`` suppressions, and
     ``# order:`` determinism comments.
-:mod:`~repro.devtools.rules`
-    The self-registering :class:`Rule` base class and the initial
-    ruleset (DET001/DET002/PAR001/OBS001/CACHE001/API001).  A new rule
-    is a ~30-line subclass; defining it registers it.
+:mod:`~repro.devtools.project`
+    :class:`ProjectModel`: symbol table and conservative call graph
+    over the whole tree, parsed once.
+:mod:`~repro.devtools.cfg` / :mod:`~repro.devtools.dataflow`
+    Basic-block control-flow graphs and the reaching-definitions
+    solver the flow rules run on.
+:mod:`~repro.devtools.taint`
+    Declarative source → sanitizer → sink propagation
+    (:class:`TaintSpec`), one level inter-procedural via call-graph
+    summaries.
+:mod:`~repro.devtools.rules` / :mod:`~repro.devtools.flow_rules`
+    The self-registering :class:`Rule` base class, the syntactic rules
+    (DET001/PAR001/OBS001/CACHE001/API001) and the flow rules
+    (FLOW001/FLOW002/RACE001 and the data-flow DET002).
 :mod:`~repro.devtools.analyzer`
-    :class:`Analyzer`: walks files/trees, applies rules in scope, and
-    filters suppressed findings.
-:mod:`~repro.devtools.reporting`
-    Text and JSON reporters.
+    :class:`Analyzer`: module rules per file, project rules per
+    program, suppression filtering, timing stats.
+:mod:`~repro.devtools.cache`
+    Incremental result cache (mtime + content hash per file, one
+    project hash for the whole-program tier).
+:mod:`~repro.devtools.baseline`
+    Baseline files: record existing findings once, fail only on new
+    ones.
+:mod:`~repro.devtools.fixer`
+    ``--fix``: span rewrites (DET002 → ``sorted(...)``) and
+    ``# repro: noqa`` suppression insertion.
+:mod:`~repro.devtools.reporting` / :mod:`~repro.devtools.sarif`
+    Text/JSON reporters and deterministic SARIF 2.1.0 output.
 :mod:`~repro.devtools.cli`
     The ``python -m repro lint`` entry point.
 
@@ -41,21 +63,43 @@ DET002 additionally honours an explicit ordering comment — ``# order:
 
 from __future__ import annotations
 
-from .analyzer import Analyzer
+from .analyzer import AnalysisStats, Analyzer
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .cache import LintCache
+from .cfg import CFG
 from .context import ModuleContext
-from .findings import Finding, Severity
+from .dataflow import ReachingDefinitions
+from .findings import Finding, Fix, Severity
+from .fixer import apply_fixes
 from .imports import ImportTracker
+from .project import ProjectModel
 from .reporting import render_json, render_text
-from .rules import Rule, all_rules
+from .rules import Rule, all_rules, expand_rule_patterns
+from .sarif import render_sarif
+from .taint import TaintEngine, TaintSpec
 
 __all__ = [
+    "AnalysisStats",
     "Analyzer",
+    "CFG",
     "Finding",
+    "Fix",
     "ImportTracker",
+    "LintCache",
     "ModuleContext",
+    "ProjectModel",
+    "ReachingDefinitions",
     "Rule",
     "Severity",
+    "TaintEngine",
+    "TaintSpec",
     "all_rules",
+    "apply_baseline",
+    "apply_fixes",
+    "expand_rule_patterns",
+    "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
+    "write_baseline",
 ]

@@ -1,20 +1,76 @@
-"""The analyzer: apply every in-scope rule to every module.
+"""The analyzer: module rules per file, project rules per program.
 
 The analyzer is pure — it never imports the code under analysis, only
 parses it — so it is safe to point at arbitrary trees (the CI job, the
 test fixtures' temp packages, a contributor's work in progress).
+
+Execution has two tiers:
+
+* **module rules** run per file and are cached per file content hash;
+* **project rules** (``requires_project``) run once over a
+  :class:`~repro.devtools.project.ProjectModel` built from every parsed
+  module, and are cached under a whole-project hash — any edit anywhere
+  invalidates them, which is exactly their soundness requirement.
+
+``# repro: noqa[...]`` suppression applies to both tiers; project-rule
+findings are mapped back to their module's context for the check.
 """
 
 from __future__ import annotations
 
+import hashlib
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from .cache import LintCache, engine_signature
 from .context import ModuleContext
 from .findings import Finding, Severity
-from .rules import Rule, all_rules
+from .project import ProjectModel
+from .rules import Rule, all_rules, expand_rule_patterns
 
 #: Pseudo rule id attached to files the parser rejects.
 PARSE_ERROR = "PARSE"
+
+
+@dataclass
+class AnalysisStats:
+    """Where an analyzer run spent its time."""
+
+    files_total: int = 0
+    files_reanalyzed: int = 0
+    files_from_cache: int = 0
+    project_from_cache: bool = False
+    project_rules_ran: bool = False
+    duration_s: float = 0.0
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+    rule_findings: dict[str, int] = field(default_factory=dict)
+
+    def record(self, rule_id: str, seconds: float, findings: int) -> None:
+        self.rule_seconds[rule_id] = self.rule_seconds.get(rule_id, 0.0) + seconds
+        self.rule_findings[rule_id] = (
+            self.rule_findings.get(rule_id, 0) + findings
+        )
+
+    def render(self) -> str:
+        """Human-readable summary for ``repro lint --stats``."""
+        lines = [
+            f"files: {self.files_total} total, "
+            f"{self.files_reanalyzed} analyzed, "
+            f"{self.files_from_cache} from cache",
+        ]
+        if self.project_rules_ran:
+            source = "cache" if self.project_from_cache else "fresh run"
+            lines.append(f"project rules: {source}")
+        for rule_id in sorted(
+            self.rule_seconds, key=lambda r: -self.rule_seconds[r]
+        ):
+            lines.append(
+                f"  {rule_id:<10} {self.rule_seconds[rule_id] * 1000:8.1f} ms"
+                f"  {self.rule_findings.get(rule_id, 0):>4} finding(s)"
+            )
+        lines.append(f"total: {self.duration_s * 1000:.1f} ms")
+        return "\n".join(lines)
 
 
 class Analyzer:
@@ -25,7 +81,8 @@ class Analyzer:
     rules:
         Rule instances to run; defaults to the full registry.
     select / ignore:
-        Optional rule-id whitelists/blacklists applied on top.
+        Rule ids or fnmatch globs (``FLOW*``) applied on top; unknown
+        ``select`` patterns raise :class:`ValueError`.
     """
 
     def __init__(
@@ -36,31 +93,114 @@ class Analyzer:
     ) -> None:
         chosen = list(rules) if rules is not None else all_rules()
         if select is not None:
-            wanted = {rule_id.upper() for rule_id in select}
-            unknown = wanted - {rule.rule_id for rule in chosen}
-            if unknown:
-                raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+            wanted = expand_rule_patterns(
+                {rule_id.upper() for rule_id in select}
+            )
             chosen = [rule for rule in chosen if rule.rule_id in wanted]
         if ignore is not None:
-            dropped = {rule_id.upper() for rule_id in ignore}
+            dropped = expand_rule_patterns(
+                {rule_id.upper() for rule_id in ignore}, strict=False
+            )
             chosen = [rule for rule in chosen if rule.rule_id not in dropped]
         self.rules = chosen
+        self.module_rules = [r for r in chosen if not r.requires_project]
+        self.project_rules = [r for r in chosen if r.requires_project]
+
+    @property
+    def signature(self) -> str:
+        """Cache signature of this analyzer configuration."""
+        return engine_signature([rule.rule_id for rule in self.rules])
 
     # -- entry points ------------------------------------------------------------
 
-    def analyze_paths(self, paths: "list[str | Path]") -> list[Finding]:
+    def analyze_paths(
+        self,
+        paths: "list[str | Path]",
+        cache: "LintCache | None" = None,
+        stats: "AnalysisStats | None" = None,
+    ) -> list[Finding]:
         """Analyze files and/or directory trees (``*.py``, sorted)."""
-        files: list[Path] = []
-        for raw in paths:
-            path = Path(raw)
-            if path.is_dir():
-                files.extend(sorted(path.rglob("*.py")))
-            else:
-                files.append(path)
+        stats = stats if stats is not None else AnalysisStats()
+        started = time.perf_counter()
         findings: list[Finding] = []
-        for file_path in files:
-            findings.extend(self.analyze_file(file_path))
+        file_hashes: dict[str, str] = {}
+        pending: list[tuple[str, int, str, str]] = []
+        for file_path in self._collect(paths):
+            key = str(file_path)
+            try:
+                raw = file_path.read_bytes()
+                mtime_ns = file_path.stat().st_mtime_ns
+            except OSError as exc:
+                findings.append(
+                    self._parse_failure(key, 1, f"unreadable: {exc}")
+                )
+                continue
+            digest = hashlib.sha256(raw).hexdigest()
+            file_hashes[key] = digest
+            pending.append(
+                (key, mtime_ns, digest, raw.decode("utf-8", errors="replace"))
+            )
+        stats.files_total = len(pending)
+        project_hash = LintCache.project_hash(file_hashes)
+        project_cached: "list[Finding] | None" = None
+        if cache is not None and self.project_rules:
+            project_cached = cache.lookup_project(project_hash)
+        need_project_run = bool(self.project_rules) and project_cached is None
+
+        contexts: dict[str, ModuleContext] = {}
+        for key, mtime_ns, digest, text in pending:
+            cached = (
+                cache.lookup_file(key, mtime_ns, digest)
+                if cache is not None
+                else None
+            )
+            if cached is not None and not need_project_run:
+                findings.extend(cached)
+                stats.files_from_cache += 1
+                continue
+            try:
+                ctx = ModuleContext(text, path=key)
+            except SyntaxError as exc:
+                if cached is not None:
+                    findings.extend(cached)
+                    stats.files_from_cache += 1
+                else:
+                    failure = [
+                        self._parse_failure(
+                            key, exc.lineno or 1, f"syntax error: {exc.msg}"
+                        )
+                    ]
+                    if cache is not None:
+                        cache.store_file(key, mtime_ns, digest, failure)
+                    findings.extend(failure)
+                    stats.files_reanalyzed += 1
+                continue
+            contexts[key] = ctx
+            if cached is not None:
+                findings.extend(cached)
+                stats.files_from_cache += 1
+                continue
+            file_findings = self._run_module_rules(ctx, stats)
+            if cache is not None:
+                cache.store_file(key, mtime_ns, digest, file_findings)
+            findings.extend(file_findings)
+            stats.files_reanalyzed += 1
+
+        if self.project_rules:
+            stats.project_rules_ran = True
+            if project_cached is not None:
+                stats.project_from_cache = True
+                findings.extend(project_cached)
+            else:
+                project_findings = self._run_project_rules(
+                    ProjectModel(list(contexts.values())), contexts, stats
+                )
+                if cache is not None:
+                    cache.store_project(project_hash, project_findings)
+                findings.extend(project_findings)
+
         findings.sort(key=Finding.sort_key)
+        stats.duration_s = time.perf_counter() - started
         return findings
 
     def analyze_file(self, path: "str | Path") -> list[Finding]:
@@ -80,7 +220,9 @@ class Analyzer:
         """Analyze one module given as text.
 
         ``module`` overrides the dotted name inferred from the package
-        layout on disk — rule scoping keys off it.
+        layout on disk — rule scoping keys off it.  Project rules run
+        over a single-module project model, so cross-module edges are
+        absent but same-module flow analysis works.
         """
         try:
             ctx = ModuleContext(source, path=path, module=module)
@@ -90,15 +232,79 @@ class Analyzer:
                     path, exc.lineno or 1, f"syntax error: {exc.msg}"
                 )
             ]
-        findings: list[Finding] = []
-        for rule in self.rules:
-            if not rule.applies_to(ctx.module):
-                continue
-            for finding in rule.check(ctx):
-                if not ctx.is_suppressed(finding.line, finding.rule_id):
-                    findings.append(finding)
+        stats = AnalysisStats()
+        findings = self._run_module_rules(ctx, stats)
+        if self.project_rules:
+            findings.extend(
+                self._run_project_rules(
+                    ProjectModel([ctx]), {ctx.path: ctx}, stats
+                )
+            )
         findings.sort(key=Finding.sort_key)
         return findings
+
+    # -- execution ---------------------------------------------------------------
+
+    def _run_module_rules(
+        self, ctx: ModuleContext, stats: AnalysisStats
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for rule in self.module_rules:
+            if not rule.applies_to(ctx.module):
+                continue
+            rule_started = time.perf_counter()
+            collected = [
+                finding
+                for finding in rule.check(ctx)
+                if not ctx.is_suppressed(finding.line, finding.rule_id)
+            ]
+            stats.record(
+                rule.rule_id,
+                time.perf_counter() - rule_started,
+                len(collected),
+            )
+            findings.extend(collected)
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def _run_project_rules(
+        self,
+        project: ProjectModel,
+        contexts: "dict[str, ModuleContext]",
+        stats: AnalysisStats,
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for rule in self.project_rules:
+            rule_started = time.perf_counter()
+            collected = []
+            for finding in rule.check_project(project):
+                ctx = contexts.get(finding.path)
+                if ctx is not None and ctx.is_suppressed(
+                    finding.line, finding.rule_id
+                ):
+                    continue
+                collected.append(finding)
+            stats.record(
+                rule.rule_id,
+                time.perf_counter() - rule_started,
+                len(collected),
+            )
+            findings.extend(collected)
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _collect(paths: "list[str | Path]") -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        return files
 
     @staticmethod
     def _parse_failure(path: str, line: int, message: str) -> Finding:

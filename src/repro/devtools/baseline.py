@@ -1,0 +1,83 @@
+"""Baseline files: adopt the analyzer on a codebase with existing debt.
+
+A baseline is the ratchet pattern ruff/ESLint users know: record every
+current finding once (``--write-baseline``), commit the file, and from
+then on only *new* findings fail the build.  Old debt stays visible in
+the baseline file and can be burned down deliberately instead of
+blocking unrelated work.
+
+Each finding is reduced to a **fingerprint** — a short hash of
+``(path, rule_id, message)``.  Deliberately no line number: moving a
+known finding up or down a file (the most common kind of churn) does
+not un-baseline it, while editing the offending code enough to change
+the message (different variable, different sink) does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = [
+    "BaselineError",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+#: Schema version of the baseline file.
+_BASELINE_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing or malformed."""
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across line-number churn."""
+    payload = f"{finding.path}|{finding.rule_id}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(findings: "list[Finding]", path: "str | Path") -> int:
+    """Write a baseline covering ``findings``; returns how many."""
+    prints = sorted({fingerprint(finding) for finding in findings})
+    payload = {"schema": _BASELINE_SCHEMA, "fingerprints": prints}
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(prints)
+
+
+def load_baseline(path: "str | Path") -> "frozenset[str]":
+    """Fingerprints from a baseline file; raises BaselineError loudly.
+
+    A missing or corrupt baseline must fail the run — silently treating
+    it as empty would re-report (or worse, with an inverted check, hide)
+    every baselined finding.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != _BASELINE_SCHEMA
+        or not isinstance(payload.get("fingerprints"), list)
+    ):
+        raise BaselineError(f"baseline {path} has an unexpected shape")
+    return frozenset(str(item) for item in payload["fingerprints"])
+
+
+def apply_baseline(
+    findings: "list[Finding]", baseline: "frozenset[str]"
+) -> "tuple[list[Finding], int]":
+    """Split findings into (new, number suppressed by the baseline)."""
+    fresh = [f for f in findings if fingerprint(f) not in baseline]
+    return fresh, len(findings) - len(fresh)

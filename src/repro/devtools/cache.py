@@ -1,0 +1,157 @@
+"""Incremental result cache for the analyzer.
+
+Whole-program analysis is much more expensive than the PR-3 per-file
+pass, and most lint invocations re-analyze a tree where almost nothing
+changed.  The cache keeps the warm path fast without ever risking a
+stale finding:
+
+* **per-file findings** are keyed by ``(mtime_ns, sha256)`` — the mtime
+  is a cheap first filter, the content hash the actual identity, so a
+  ``touch`` re-validates via the hash and an edit that keeps the mtime
+  (rare but possible) is still caught;
+* **project-rule findings** (call graph, taint) can be invalidated by a
+  change *anywhere*, so they are keyed by a single hash over every
+  file's content hash;
+* the whole cache is discarded when the **engine signature** changes —
+  the signature covers an engine version stamp plus the exact ruleset
+  the analyzer was built with, so toggling ``--select`` or upgrading
+  the analyzer never replays findings computed under different rules.
+
+The on-disk format is one JSON document, ``<dir>/cache.json`` under
+``.repro-lint-cache/`` by default.  A corrupt or unreadable cache file
+degrades to a cold run — never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["LintCache", "engine_signature", "ENGINE_VERSION"]
+
+#: Bump when analysis semantics change in a way the ruleset id list
+#: cannot capture (e.g. a rule's logic is rewritten under the same id).
+ENGINE_VERSION = "4"
+
+#: Schema version of the cache file itself.
+_CACHE_SCHEMA = 1
+
+
+def engine_signature(rule_ids: "list[str]") -> str:
+    """Signature of one analyzer configuration."""
+    payload = f"{ENGINE_VERSION}|{','.join(sorted(rule_ids))}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Findings cache under ``directory`` for one engine signature."""
+
+    def __init__(self, directory: "str | Path", signature: str) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "cache.json"
+        self.signature = signature
+        self._files: dict[str, dict] = {}
+        self._project: "dict | None" = None
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("schema") != _CACHE_SCHEMA:
+            return
+        if payload.get("signature") != self.signature:
+            return  # different ruleset/engine: start cold
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = payload.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    # -- per-file results --------------------------------------------------------
+
+    def lookup_file(
+        self, path: str, mtime_ns: int, digest: str
+    ) -> "list[Finding] | None":
+        entry = self._files.get(path)
+        if entry is None:
+            return None
+        if entry.get("sha256") != digest:
+            return None
+        if entry.get("mtime_ns") != mtime_ns:
+            # Same content, new mtime (touch/checkout): refresh the
+            # stamp so the next lookup short-circuits again.
+            entry["mtime_ns"] = mtime_ns
+            self._dirty = True
+        try:
+            return [Finding.from_dict(row) for row in entry.get("findings", [])]
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def store_file(
+        self, path: str, mtime_ns: int, digest: str, findings: "list[Finding]"
+    ) -> None:
+        self._files[path] = {
+            "mtime_ns": mtime_ns,
+            "sha256": digest,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    # -- project-rule results ----------------------------------------------------
+
+    @staticmethod
+    def project_hash(file_hashes: "dict[str, str]") -> str:
+        """One hash over every analyzed file's content hash."""
+        joined = "\n".join(
+            f"{path}:{digest}" for path, digest in sorted(file_hashes.items())
+        )
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    def lookup_project(self, project_hash: str) -> "list[Finding] | None":
+        if self._project is None:
+            return None
+        if self._project.get("hash") != project_hash:
+            return None
+        try:
+            return [
+                Finding.from_dict(row) for row in self._project.get("findings", [])
+            ]
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def store_project(self, project_hash: str, findings: "list[Finding]") -> None:
+        self._project = {
+            "hash": project_hash,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self) -> None:
+        """Write the cache back if anything changed; best-effort."""
+        if not self._dirty:
+            return
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "signature": self.signature,
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            return
+        self._dirty = False

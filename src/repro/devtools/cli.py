@@ -1,22 +1,51 @@
 """``python -m repro lint`` — the static-analysis CLI surface.
 
 Exit codes: 0 when no finding reaches the ``--fail-on`` threshold,
-1 when at least one does, 2 on bad usage (unknown rule ids).
+1 when at least one does, 2 on bad usage (unknown rule patterns, an
+unreadable baseline).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from .analyzer import Analyzer
+from .analyzer import AnalysisStats, Analyzer
+from .baseline import BaselineError, apply_baseline, load_baseline, write_baseline
+from .cache import LintCache
 from .findings import Severity
+from .fixer import apply_fixes
 from .reporting import render_json, render_text
-from .rules import all_rules
+from .rules import Rule, all_rules
+from .sarif import render_sarif
+
+#: Default location of the incremental result cache.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+_EXIT_CODES_EPILOG = """\
+exit codes:
+  0  no finding at or above --fail-on (or --fail-on never)
+  1  at least one finding at or above --fail-on
+  2  usage error (unknown rule id/pattern, unreadable baseline)
+"""
+
+#: Rule-id prefix → what the family is about (for --list-rules).
+_FAMILIES = {
+    "API": "public API hygiene",
+    "CACHE": "cache hygiene",
+    "DET": "determinism",
+    "FLOW": "data-flow (taint) invariants",
+    "OBS": "observability",
+    "PAR": "parallelism",
+    "RACE": "shared-state safety",
+}
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the lint options to a (sub)parser."""
+    parser.formatter_class = argparse.RawDescriptionHelpFormatter
+    parser.epilog = _EXIT_CODES_EPILOG
     parser.add_argument(
         "paths",
         nargs="*",
@@ -28,20 +57,27 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--format",
         dest="output_format",
         default="text",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or globs to run "
+        "(e.g. FLOW001 or 'FLOW*,DET*'; default: all)",
     )
     parser.add_argument(
         "--ignore",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids to skip",
+        help="comma-separated rule ids or globs to skip",
     )
     parser.add_argument(
         "--fail-on",
@@ -50,9 +86,54 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="lowest severity that fails the run (default: warning)",
     )
     parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply available fixes (DET002: wrap iterables in sorted())",
+    )
+    parser.add_argument(
+        "--fix-mode",
+        default="sorted",
+        choices=["sorted", "suppress"],
+        help="fix strategy: machine fixes, or append "
+        "'# repro: noqa[RULE]' suppressions (default: sorted)",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="with --fix: print the unified diff instead of writing files",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule timing and cache statistics to stderr",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the registered rules and exit",
+        help="print the registered rules (grouped by family) and exit",
     )
 
 
@@ -62,16 +143,37 @@ def _split_ids(raw: str | None) -> "set[str] | None":
     return {part.strip().upper() for part in raw.split(",") if part.strip()}
 
 
+def _family(rule: Rule) -> str:
+    prefix = rule.rule_id.rstrip("0123456789")
+    return prefix or rule.rule_id
+
+
 def list_rules() -> str:
-    """Human-readable table of every registered rule."""
-    lines = []
+    """Rules grouped by family, with scope and project/module kind."""
+    by_family: dict[str, list[Rule]] = {}
     for rule in all_rules():
-        scope = ", ".join(rule.scopes) if rule.scopes else "all modules"
-        lines.append(
-            f"{rule.rule_id:<10} [{rule.severity.label:<7}] "
-            f"{rule.summary}  (scope: {scope})"
-        )
+        by_family.setdefault(_family(rule), []).append(rule)
+    lines = []
+    for family in sorted(by_family):
+        description = _FAMILIES.get(family, "")
+        header = f"{family} — {description}" if description else family
+        lines.append(header)
+        for rule in by_family[family]:
+            scope = ", ".join(rule.scopes) if rule.scopes else "all modules"
+            kind = "project" if rule.requires_project else "module"
+            lines.append(
+                f"  {rule.rule_id:<10} [{rule.severity.label:<7}] ({kind}) "
+                f"{rule.summary}  (scope: {scope})"
+            )
     return "\n".join(lines)
+
+
+def _render(args: argparse.Namespace, findings, analyzer: Analyzer) -> str:
+    if args.output_format == "json":
+        return render_json(findings)
+    if args.output_format == "sarif":
+        return render_sarif(findings, analyzer.rules)
+    return render_text(findings)
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -86,11 +188,60 @@ def run_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
-    findings = analyzer.analyze_paths(list(args.paths))
-    if args.output_format == "json":
-        print(render_json(findings))
+
+    cache: "LintCache | None" = None
+    if not args.no_cache:
+        cache = LintCache(args.cache_dir, analyzer.signature)
+    stats = AnalysisStats()
+    paths = list(args.paths)
+    findings = analyzer.analyze_paths(paths, cache=cache, stats=stats)
+    if cache is not None:
+        cache.save()
+
+    if args.write_baseline:
+        count = write_baseline(findings, args.write_baseline)
+        print(
+            f"baseline written: {args.write_baseline} "
+            f"({count} fingerprint(s))"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        try:
+            known = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, known)
+
+    if args.fix:
+        result = apply_fixes(findings, mode=args.fix_mode, dry_run=args.diff)
+        if args.diff:
+            if result.diff:
+                print(result.diff, end="")
+            print(f"would apply {result.summary()}", file=sys.stderr)
+        else:
+            print(f"applied {result.summary()}", file=sys.stderr)
+            if result.changed_files:
+                # Report the post-fix state: re-analyze (the cache
+                # invalidates the rewritten files automatically).
+                findings = analyzer.analyze_paths(paths, cache=cache)
+                if args.baseline:
+                    findings, suppressed = apply_baseline(findings, known)
+                if cache is not None:
+                    cache.save()
+
+    report = _render(args, findings, analyzer)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
     else:
-        print(render_text(findings))
+        print(report)
+    if suppressed:
+        print(f"({suppressed} baselined finding(s) hidden)", file=sys.stderr)
+    if args.stats:
+        print(stats.render(), file=sys.stderr)
+
     if args.fail_on == "never":
         return 0
     threshold = Severity.parse(args.fail_on)

@@ -32,6 +32,40 @@ class Severity(enum.IntEnum):
 
 
 @dataclass(frozen=True, slots=True)
+class Fix:
+    """A source-span replacement that repairs a finding.
+
+    Lines are 1-based, columns 0-based (matching ``ast`` offsets); the
+    span covers ``[start, end)`` in the original text.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "start_line": self.start_line,
+            "start_col": self.start_col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "replacement": self.replacement,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Fix":
+        return cls(
+            start_line=int(payload["start_line"]),  # type: ignore[arg-type]
+            start_col=int(payload["start_col"]),  # type: ignore[arg-type]
+            end_line=int(payload["end_line"]),  # type: ignore[arg-type]
+            end_col=int(payload["end_col"]),  # type: ignore[arg-type]
+            replacement=str(payload["replacement"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class Finding:
     """One rule violation at one source location."""
 
@@ -42,6 +76,7 @@ class Finding:
     severity: Severity
     message: str
     hint: str = ""
+    fix: "Fix | None" = None
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
@@ -57,7 +92,7 @@ class Finding:
         return text
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -66,3 +101,20 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
         }
+        if self.fix is not None:
+            payload["fix"] = self.fix.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Finding":
+        fix = payload.get("fix")
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            rule_id=str(payload["rule_id"]),
+            severity=Severity.parse(str(payload["severity"])),
+            message=str(payload["message"]),
+            hint=str(payload.get("hint", "")),
+            fix=Fix.from_dict(fix) if isinstance(fix, dict) else None,
+        )

@@ -1,0 +1,168 @@
+"""Apply fixes for findings: span edits or suppression comments.
+
+Two modes:
+
+``sorted`` (default)
+    apply the machine-generated :class:`~repro.devtools.findings.Fix`
+    attached to a finding — today that is DET002's
+    ``iterable`` → ``sorted(iterable)`` rewrite.  Findings without an
+    attached fix are left alone.
+``suppress``
+    append ``# repro: noqa[RULE,...]`` to each finding's line — the
+    escape hatch for adopting a rule on code that is known-good for
+    reasons the analyzer cannot see.
+
+Edits are computed per file, bottom-up, so earlier spans never shift
+later ones; overlapping fixes keep only the first (in source order) and
+report the rest as skipped.  ``dry_run`` renders a unified diff instead
+of writing anything.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding, Fix
+
+__all__ = ["FixResult", "apply_fixes", "fix_source"]
+
+
+@dataclass
+class FixResult:
+    """What a fix pass did (or would do, under ``dry_run``)."""
+
+    applied: int = 0
+    skipped: int = 0
+    changed_files: list[str] = field(default_factory=list)
+    diff: str = ""
+
+    def summary(self) -> str:
+        files = len(self.changed_files)
+        text = f"{self.applied} fix(es) in {files} file(s)"
+        if self.skipped:
+            text += f", {self.skipped} skipped"
+        return text
+
+
+def _line_starts(source: str) -> "list[int]":
+    starts = [0]
+    for index, char in enumerate(source):
+        if char == "\n":
+            starts.append(index + 1)
+    return starts
+
+
+def _span_offsets(source: str, fix: Fix) -> "tuple[int, int] | None":
+    starts = _line_starts(source)
+    if fix.start_line < 1 or fix.end_line > len(starts):
+        return None
+    begin = starts[fix.start_line - 1] + fix.start_col
+    end = starts[fix.end_line - 1] + fix.end_col
+    if begin > end or end > len(source):
+        return None
+    return begin, end
+
+
+def fix_source(
+    source: str, findings: "list[Finding]", mode: str = "sorted"
+) -> "tuple[str, int, int]":
+    """Apply fixes for one file's findings.
+
+    Returns ``(new_source, applied, skipped)``; ``new_source`` equals
+    ``source`` when nothing applied.
+    """
+    if mode == "suppress":
+        return _suppress(source, findings)
+    edits: list[tuple[int, int, str]] = []
+    skipped = 0
+    for finding in findings:
+        if finding.fix is None:
+            continue
+        span = _span_offsets(source, finding.fix)
+        if span is None:
+            skipped += 1
+            continue
+        edits.append((span[0], span[1], finding.fix.replacement))
+    edits.sort()
+    chosen: list[tuple[int, int, str]] = []
+    last_end = -1
+    for begin, end, replacement in edits:
+        if begin < last_end:
+            skipped += 1  # overlaps an already-chosen edit
+            continue
+        chosen.append((begin, end, replacement))
+        last_end = end
+    for begin, end, replacement in reversed(chosen):
+        source = source[:begin] + replacement + source[end:]
+    return source, len(chosen), skipped
+
+
+def _suppress(
+    source: str, findings: "list[Finding]"
+) -> "tuple[str, int, int]":
+    lines = source.splitlines(keepends=True)
+    by_line: dict[int, list[str]] = {}
+    skipped = 0
+    for finding in findings:
+        if 1 <= finding.line <= len(lines):
+            rules = by_line.setdefault(finding.line, [])
+            if finding.rule_id not in rules:
+                rules.append(finding.rule_id)
+        else:
+            skipped += 1
+    applied = 0
+    for number, rules in by_line.items():
+        line = lines[number - 1]
+        if "repro: noqa" in line:
+            skipped += len(rules)
+            continue
+        stripped = line.rstrip("\n")
+        newline = line[len(stripped):]
+        lines[number - 1] = (
+            f"{stripped}  # repro: noqa[{','.join(sorted(rules))}]{newline}"
+        )
+        applied += len(rules)
+    return "".join(lines), applied, skipped
+
+
+def apply_fixes(
+    findings: "list[Finding]",
+    mode: str = "sorted",
+    dry_run: bool = False,
+) -> FixResult:
+    """Apply fixes grouped per file; see module docstring."""
+    result = FixResult()
+    by_path: dict[str, list[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    diffs: list[str] = []
+    for path in sorted(by_path):
+        file_path = Path(path)
+        try:
+            original = file_path.read_text(encoding="utf-8")
+        except OSError:
+            result.skipped += len(by_path[path])
+            continue
+        updated, applied, skipped = fix_source(original, by_path[path], mode)
+        result.skipped += skipped
+        if applied == 0 or updated == original:
+            continue
+        result.applied += applied
+        result.changed_files.append(path)
+        if dry_run:
+            diffs.append(
+                "".join(
+                    difflib.unified_diff(
+                        original.splitlines(keepends=True),
+                        updated.splitlines(keepends=True),
+                        fromfile=f"a/{path}",
+                        tofile=f"b/{path}",
+                    )
+                )
+            )
+        else:
+            file_path.write_text(updated, encoding="utf-8")
+    result.diff = "".join(diffs)
+    return result

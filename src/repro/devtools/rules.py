@@ -17,15 +17,28 @@ registers it — adding a check in a future PR is ~30 lines:
                 if ...:
                     yield self.finding(ctx, node, "message")
 
-Initial rules — each encodes an invariant PR 1/PR 2 established:
+Rules come in two flavours:
+
+* **module rules** check one file at a time via :meth:`Rule.check` —
+  they are cheap and cacheable per file;
+* **project rules** (``requires_project = True``) check the whole
+  program via :meth:`Rule.check_project` over a
+  :class:`~repro.devtools.project.ProjectModel` — call-graph and
+  cross-module taint questions live there.
+
+Current ruleset (syntactic rules here; flow rules in
+:mod:`repro.devtools.flow_rules`):
 
 ========  ==========================================================
 DET001    no wall clocks / unseeded randomness in core stages
-DET002    no iteration over unordered sets/dict views feeding output
+DET002    no unordered iteration feeding ordered output (data-flow)
 PAR001    process-pool payloads must not close over unpicklables
 OBS001    spans/tracers are built via the no-op-safe bundle only
 CACHE001  cache writes must store immutable values
 API001    public API functions carry complete type annotations
+FLOW001   resource responses validated before cache writes (taint)
+FLOW002   no silent exception swallow in resource/db paths
+RACE001   no unguarded shared-state mutation on worker paths
 ========  ==========================================================
 """
 
@@ -34,10 +47,14 @@ from __future__ import annotations
 import abc
 import ast
 from collections.abc import Iterator
-from typing import ClassVar
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING, ClassVar
 
 from .context import ModuleContext
 from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ProjectModel
 
 #: id → rule class; populated by ``Rule.__init_subclass__``.
 _REGISTRY: dict[str, type["Rule"]] = {}
@@ -52,6 +69,25 @@ def rule_ids() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def expand_rule_patterns(
+    patterns: "set[str] | frozenset[str]", strict: bool = True
+) -> set[str]:
+    """Expand ids and globs (``FLOW*``, ``DET00?``) against the registry.
+
+    With ``strict`` (the default) a pattern matching nothing raises
+    :class:`ValueError`, so typos fail loudly instead of silently
+    selecting an empty ruleset.
+    """
+    known = rule_ids()
+    selected: set[str] = set()
+    for pattern in patterns:
+        matched = [rule_id for rule_id in known if fnmatchcase(rule_id, pattern)]
+        if not matched and strict:
+            raise ValueError(f"unknown rule id or pattern: {pattern}")
+        selected.update(matched)
+    return selected
+
+
 class Rule(abc.ABC):
     """Base class: subclassing with a ``rule_id`` self-registers."""
 
@@ -63,6 +99,9 @@ class Rule(abc.ABC):
     scopes: ClassVar[tuple[str, ...]] = ()
     #: Dotted module prefixes the rule never applies to.
     excludes: ClassVar[tuple[str, ...]] = ()
+    #: Project rules analyze the whole program (call graph, taint)
+    #: through :meth:`check_project` instead of per-module ``check``.
+    requires_project: ClassVar[bool] = False
 
     def __init_subclass__(cls, **kwargs: object) -> None:
         super().__init_subclass__(**kwargs)
@@ -88,6 +127,10 @@ class Rule(abc.ABC):
     @abc.abstractmethod
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         """Yield findings for one module."""
+
+    def check_project(self, project: "ProjectModel") -> Iterator[Finding]:
+        """Yield findings needing the whole program (project rules only)."""
+        return iter(())
 
     def finding(
         self, ctx: ModuleContext, node: ast.AST, message: str, hint: str | None = None
@@ -172,161 +215,13 @@ class DeterministicClockRule(Rule):
 
 
 # ---------------------------------------------------------------------------
-# DET002 — unordered iteration feeding ordered output
+# DET002 moved to repro.devtools.flow_rules (data-flow reimplementation)
 # ---------------------------------------------------------------------------
 
 #: Consumers whose result cannot depend on iteration order.
 _ORDER_SAFE_CONSUMERS = frozenset(
     {"sorted", "len", "min", "max", "any", "all", "set", "frozenset"}
 )
-
-#: Set-combining methods whose result is itself an unordered set.
-_SET_METHODS = frozenset(
-    {"union", "intersection", "difference", "symmetric_difference"}
-)
-
-_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-
-
-class UnorderedIterationRule(Rule):
-    """DET002: iterating a ``set`` (hash-order, varies with
-    PYTHONHASHSEED) or a bare dict view in a core stage and feeding the
-    result into ordered output breaks byte-stability.  Wrap the
-    iterable in ``sorted(...)`` or state why the order cannot leak with
-    an ``# order: ...`` comment."""
-
-    rule_id = "DET002"
-    severity = Severity.WARNING
-    summary = "no unordered set/dict-view iteration feeding ordered output"
-    hint = (
-        "wrap the iterable in sorted(...), or add '# order: <reason>' "
-        "on (or above) the line when insertion order is provably stable"
-    )
-    scopes = ("repro.core",)
-
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for body in self._scopes(ctx.tree):
-            set_vars = self._set_locals(body)
-            for node in self._walk_scope(body):
-                yield from self._check_node(ctx, node, set_vars)
-
-    # -- scope handling ----------------------------------------------------------
-
-    @staticmethod
-    def _scopes(tree: ast.Module) -> Iterator[list[ast.stmt]]:
-        """Module body and every function/method body, nested included."""
-        yield tree.body
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield node.body
-
-    @classmethod
-    def _walk_scope(cls, body: list[ast.stmt]) -> Iterator[ast.AST]:
-        """Walk statements without descending into nested functions
-        (those are visited as their own scope)."""
-        stack: list[ast.AST] = list(body)
-        while stack:
-            node = stack.pop()
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            yield node
-            stack.extend(ast.iter_child_nodes(node))
-
-    @classmethod
-    def _set_locals(cls, body: list[ast.stmt]) -> frozenset[str]:
-        """Names assigned a set-typed expression within this scope."""
-        names: set[str] = set()
-        for node in cls._walk_scope(body):
-            if isinstance(node, ast.Assign) and cls._is_set_expr(node.value, frozenset()):
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        names.add(target.id)
-            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-                annotation = ast.unparse(node.annotation)
-                if annotation.split("[", 1)[0] in ("set", "frozenset", "Set", "FrozenSet"):
-                    names.add(node.target.id)
-        return frozenset(names)
-
-    # -- expression classification -----------------------------------------------
-
-    @classmethod
-    def _is_set_expr(cls, node: ast.AST, set_vars: frozenset[str]) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        if isinstance(node, ast.Name):
-            return node.id in set_vars
-        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
-            return cls._is_set_expr(node.left, set_vars) or cls._is_set_expr(
-                node.right, set_vars
-            )
-        if isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
-                return True
-            if (
-                isinstance(func, ast.Attribute)
-                and func.attr in _SET_METHODS
-                and cls._is_set_expr(func.value, set_vars)
-            ):
-                return True
-        return False
-
-    @staticmethod
-    def _is_dict_view(node: ast.AST) -> bool:
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in ("values", "keys")
-            and not node.args
-            and not node.keywords
-        )
-
-    # -- the check ---------------------------------------------------------------
-
-    def _check_node(
-        self, ctx: ModuleContext, node: ast.AST, set_vars: frozenset[str]
-    ) -> Iterator[Finding]:
-        if isinstance(node, ast.For):
-            yield from self._flag(ctx, node.iter, node, set_vars)
-        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
-            if self._consumer_is_safe(ctx, node):
-                return
-            for generator in node.generators:
-                yield from self._flag(ctx, generator.iter, node, set_vars)
-
-    def _consumer_is_safe(self, ctx: ModuleContext, node: ast.AST) -> bool:
-        """True for e.g. ``sorted(x for x in some_set)``."""
-        parent = ctx.parent(node)
-        return (
-            isinstance(parent, ast.Call)
-            and isinstance(parent.func, ast.Name)
-            and parent.func.id in _ORDER_SAFE_CONSUMERS
-        )
-
-    def _flag(
-        self,
-        ctx: ModuleContext,
-        iterable: ast.AST,
-        site: ast.AST,
-        set_vars: frozenset[str],
-    ) -> Iterator[Finding]:
-        line = getattr(site, "lineno", 1)
-        if ctx.has_ordering_comment(line):
-            return
-        if self._is_set_expr(iterable, set_vars):
-            yield self.finding(
-                ctx,
-                site,
-                "iteration over an unordered set feeds ordered output "
-                f"({ast.unparse(iterable)})",
-            )
-        elif self._is_dict_view(iterable):
-            yield self.finding(
-                ctx,
-                site,
-                "iteration over a bare dict view feeds ordered output "
-                f"({ast.unparse(iterable)})",
-            )
 
 
 # ---------------------------------------------------------------------------
@@ -612,3 +507,8 @@ class PublicApiAnnotationRule(Rule):
         if args.kwarg is not None and args.kwarg.annotation is None:
             missing.append(f"**{args.kwarg.arg}")
         return missing
+
+
+# Register the flow-aware rules (FLOW001/FLOW002/RACE001/DET002); the
+# import is for its registration side effect.
+from . import flow_rules  # noqa: E402,F401

@@ -37,6 +37,27 @@ from ..text.tokenizer import normalize_term
 #: Default bound of the in-process LRU tier.
 DEFAULT_MEMORY_CACHE_SIZE = 65_536
 
+
+def validate_context_terms(raw: "list[str] | tuple[str, ...]") -> tuple[str, ...]:
+    """Normalize a raw resource response into a cache-safe value.
+
+    Resource ``_query`` implementations return whatever the backing
+    corpus/graph produced; before such a response is written to either
+    cache tier it must be reduced to an immutable tuple of non-empty,
+    whitespace-trimmed strings — a poisoned entry would be served to
+    every later reader of that term, across workers and (for the
+    persistent tier) across runs.  This is the sanitizer the FLOW001
+    lint rule requires on every path from ``_query`` to a cache write.
+    """
+    cleaned: list[str] = []
+    for item in raw:
+        if not isinstance(item, str):
+            continue
+        stripped = item.strip()
+        if stripped:
+            cleaned.append(stripped)
+    return tuple(cleaned)
+
 #: Backwards-compatible alias: the counter snapshot type moved to
 #: :mod:`repro.observability.stats` as :class:`ResourceStats`.
 CacheStats = ResourceStats
@@ -106,7 +127,7 @@ class ExternalResource(abc.ABC):
         # queries are slow; two workers racing on the same fresh term
         # both query, which is wasteful but deterministic — last write
         # wins with an identical answer).
-        result = tuple(self._instrumented_query(term, key, metrics))
+        result = validate_context_terms(self._instrumented_query(term, key, metrics))
         persist = not self._consume_no_persist()
         with self._lock:
             self._misses += 1

@@ -1,0 +1,351 @@
+"""Production ergonomics: incremental cache, baseline, SARIF, --fix, CLI."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import (
+    AnalysisStats,
+    Analyzer,
+    Finding,
+    LintCache,
+    Severity,
+    apply_baseline,
+    apply_fixes,
+    load_baseline,
+    render_sarif,
+    write_baseline,
+)
+from repro.devtools.baseline import BaselineError, fingerprint
+from repro.devtools.fixer import fix_source
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: A repro.core module with one DET002 finding.
+_DIRTY = textwrap.dedent(
+    """
+    def f(xs):
+        s = set(xs)
+        return [x for x in s]
+    """
+)
+
+
+def _core_tree(tmp_path: Path, source: str = _DIRTY) -> Path:
+    """A fake ``repro/core`` package so scoped rules engage.
+
+    Nested under ``pkg/`` so a subprocess cwd of ``tmp_path`` never
+    shadows the real ``repro`` package on ``sys.path``.
+    """
+    root = tmp_path / "pkg" / "repro"
+    core = root / "core"
+    core.mkdir(parents=True)
+    (root / "__init__.py").write_text("", encoding="utf-8")
+    (core / "__init__.py").write_text("", encoding="utf-8")
+    (core / "stage.py").write_text(source, encoding="utf-8")
+    return root
+
+
+def _run_lint(*argv: str, cwd: Path) -> subprocess.CompletedProcess:
+    env_src = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+
+
+# -- incremental cache --------------------------------------------------------------
+
+
+def test_warm_cache_reuses_every_file_and_matches_cold_findings(tmp_path):
+    tree = _core_tree(tmp_path)
+    analyzer = Analyzer()
+    cache = LintCache(tmp_path / "cache", analyzer.signature)
+    cold_stats = AnalysisStats()
+    cold = analyzer.analyze_paths([tree], cache=cache, stats=cold_stats)
+    cache.save()
+
+    warm_cache = LintCache(tmp_path / "cache", analyzer.signature)
+    warm_stats = AnalysisStats()
+    warm = analyzer.analyze_paths([tree], cache=warm_cache, stats=warm_stats)
+
+    assert warm == cold
+    assert cold_stats.files_from_cache == 0
+    assert warm_stats.files_from_cache == warm_stats.files_total
+    assert warm_stats.project_from_cache is True
+
+
+def test_editing_a_file_invalidates_its_entry_and_the_project_tier(tmp_path):
+    tree = _core_tree(tmp_path)
+    analyzer = Analyzer()
+    cache = LintCache(tmp_path / "cache", analyzer.signature)
+    first = analyzer.analyze_paths([tree], cache=cache, stats=AnalysisStats())
+    assert [f.rule_id for f in first] == ["DET002"]
+    cache.save()
+
+    (tree / "core" / "stage.py").write_text(
+        "def f(xs):\n    s = sorted(set(xs))\n    return [x for x in s]\n",
+        encoding="utf-8",
+    )
+    cache2 = LintCache(tmp_path / "cache", analyzer.signature)
+    stats = AnalysisStats()
+    second = analyzer.analyze_paths([tree], cache=cache2, stats=stats)
+    assert second == []
+    assert stats.project_from_cache is False
+    # The untouched __init__ files still came from the cache.
+    assert stats.files_from_cache == 2
+
+
+def test_changed_ruleset_signature_starts_cold(tmp_path):
+    tree = _core_tree(tmp_path)
+    full = Analyzer()
+    cache = LintCache(tmp_path / "cache", full.signature)
+    full.analyze_paths([tree], cache=cache, stats=AnalysisStats())
+    cache.save()
+
+    narrow = Analyzer(select={"DET001"})
+    assert narrow.signature != full.signature
+    cache2 = LintCache(tmp_path / "cache", narrow.signature)
+    stats = AnalysisStats()
+    narrow.analyze_paths([tree], cache=cache2, stats=stats)
+    assert stats.files_from_cache == 0
+
+
+def test_corrupt_cache_file_degrades_to_cold_run(tmp_path):
+    directory = tmp_path / "cache"
+    directory.mkdir()
+    (directory / "cache.json").write_text("{not json", encoding="utf-8")
+    analyzer = Analyzer()
+    cache = LintCache(directory, analyzer.signature)
+    tree = _core_tree(tmp_path)
+    findings = analyzer.analyze_paths([tree], cache=cache, stats=AnalysisStats())
+    assert [f.rule_id for f in findings] == ["DET002"]
+
+
+def test_finding_round_trips_through_cache_serialization():
+    finding = Finding(
+        path="a.py",
+        line=3,
+        col=5,
+        rule_id="DET002",
+        severity=Severity.WARNING,
+        message="msg",
+        hint="hint",
+    )
+    assert Finding.from_dict(finding.to_dict()) == finding
+
+
+# -- baseline -----------------------------------------------------------------------
+
+
+def _finding(path="a.py", line=1, rule="FLOW001", message="m") -> Finding:
+    return Finding(
+        path=path,
+        line=line,
+        col=1,
+        rule_id=rule,
+        severity=Severity.ERROR,
+        message=message,
+    )
+
+
+def test_baseline_round_trip_suppresses_known_findings(tmp_path):
+    known = [_finding(message="old debt")]
+    baseline_path = tmp_path / "baseline.json"
+    assert write_baseline(known, baseline_path) == 1
+    fingerprints = load_baseline(baseline_path)
+    fresh, suppressed = apply_baseline(
+        [known[0], _finding(message="new bug")], fingerprints
+    )
+    assert suppressed == 1
+    assert [f.message for f in fresh] == ["new bug"]
+
+
+def test_baseline_fingerprint_ignores_line_numbers():
+    assert fingerprint(_finding(line=10)) == fingerprint(_finding(line=99))
+    assert fingerprint(_finding(message="a")) != fingerprint(_finding(message="b"))
+
+
+def test_missing_or_malformed_baseline_raises(tmp_path):
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "absent.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": 99}', encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+
+
+# -- SARIF --------------------------------------------------------------------------
+
+
+def test_sarif_document_structure_and_rule_index():
+    findings = [
+        _finding(rule="FLOW001", message="taint"),
+        _finding(rule="PARSE", message="syntax error"),
+    ]
+    rules = Analyzer().rules
+    document = json.loads(render_sarif(findings, rules))
+    assert document["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in document["$schema"]
+    run = document["runs"][0]
+    catalog = run["tool"]["driver"]["rules"]
+    ids = [rule["id"] for rule in catalog]
+    assert "FLOW001" in ids and "PARSE" in ids
+    for result in run["results"]:
+        assert catalog[result["ruleIndex"]]["id"] == result["ruleId"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] >= 1
+
+
+def test_sarif_severity_levels_map():
+    rows = [
+        (Severity.ERROR, "error"),
+        (Severity.WARNING, "warning"),
+        (Severity.INFO, "note"),
+    ]
+    for severity, level in rows:
+        finding = Finding(
+            path="a.py", line=1, col=1, rule_id="X001",
+            severity=severity, message="m",
+        )
+        document = json.loads(render_sarif([finding], []))
+        assert document["runs"][0]["results"][0]["level"] == level
+
+
+def test_sarif_output_is_deterministic():
+    findings = [_finding(rule="FLOW001"), _finding(rule="DET001", line=2)]
+    rules = Analyzer().rules
+    assert render_sarif(findings, rules) == render_sarif(findings, rules)
+
+
+# -- fixer --------------------------------------------------------------------------
+
+
+def test_fix_sorted_mode_wraps_the_iterable(tmp_path):
+    tree = _core_tree(tmp_path)
+    findings = Analyzer().analyze_paths([tree])
+    assert [f.rule_id for f in findings] == ["DET002"]
+    result = apply_fixes(findings, mode="sorted")
+    assert result.applied == 1
+    fixed = (tree / "core" / "stage.py").read_text(encoding="utf-8")
+    assert "for x in sorted(s)" in fixed
+    assert Analyzer().analyze_paths([tree]) == []
+
+
+def test_fix_suppress_mode_appends_noqa(tmp_path):
+    tree = _core_tree(tmp_path)
+    findings = Analyzer().analyze_paths([tree])
+    result = apply_fixes(findings, mode="suppress")
+    assert result.applied == 1
+    fixed = (tree / "core" / "stage.py").read_text(encoding="utf-8")
+    assert "# repro: noqa[DET002]" in fixed
+    assert Analyzer().analyze_paths([tree]) == []
+
+
+def test_fix_dry_run_produces_diff_without_writing(tmp_path):
+    tree = _core_tree(tmp_path)
+    before = (tree / "core" / "stage.py").read_text(encoding="utf-8")
+    findings = Analyzer().analyze_paths([tree])
+    result = apply_fixes(findings, mode="sorted", dry_run=True)
+    assert "+    return [x for x in sorted(s)]" in result.diff
+    assert (tree / "core" / "stage.py").read_text(encoding="utf-8") == before
+
+
+def test_fix_source_skips_overlapping_and_unfixable():
+    source = "x = 1\n"
+    finding = _finding(path="mem.py")  # no fix attached
+    updated, applied, skipped = fix_source(source, [finding], mode="sorted")
+    assert updated == source
+    assert applied == 0
+
+
+def test_suppress_existing_noqa_line_is_not_doubled():
+    source = "do()  # repro: noqa[OTHER]\n"
+    updated, applied, skipped = fix_source(
+        source, [_finding(path="m.py", line=1)], mode="suppress"
+    )
+    assert updated == source
+    assert applied == 0
+    assert skipped == 1
+
+
+# -- CLI surface --------------------------------------------------------------------
+
+
+def test_cli_list_rules_groups_by_family(tmp_path):
+    result = _run_lint("--list-rules", cwd=REPO)
+    assert result.returncode == 0
+    assert "FLOW — data-flow (taint) invariants" in result.stdout
+    assert "DET — determinism" in result.stdout
+    assert "(project)" in result.stdout
+
+
+def test_cli_select_glob_runs_family(tmp_path):
+    tree = _core_tree(tmp_path)
+    result = _run_lint(
+        "--select", "DET*", "--no-cache", str(tree), cwd=tmp_path
+    )
+    assert result.returncode == 1
+    assert "DET002" in result.stdout
+
+
+def test_cli_unknown_select_pattern_exits_2(tmp_path):
+    result = _run_lint("--select", "NOPE*", "--no-cache", ".", cwd=tmp_path)
+    assert result.returncode == 2
+    assert "unknown rule id or pattern" in result.stderr
+
+
+def test_cli_baseline_workflow(tmp_path):
+    tree = _core_tree(tmp_path)
+    wrote = _run_lint(
+        str(tree), "--no-cache", "--write-baseline", "lint-baseline.json",
+        cwd=tmp_path,
+    )
+    assert wrote.returncode == 0
+    gated = _run_lint(
+        str(tree), "--no-cache", "--baseline", "lint-baseline.json",
+        cwd=tmp_path,
+    )
+    assert gated.returncode == 0, gated.stdout + gated.stderr
+    assert "no findings" in gated.stdout
+
+
+def test_cli_sarif_output_file(tmp_path):
+    tree = _core_tree(tmp_path)
+    result = _run_lint(
+        str(tree), "--no-cache", "--format", "sarif",
+        "--output", "out.sarif", "--fail-on", "never",
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0
+    document = json.loads((tmp_path / "out.sarif").read_text(encoding="utf-8"))
+    assert document["runs"][0]["results"][0]["ruleId"] == "DET002"
+
+
+def test_cli_warm_run_is_byte_identical_and_cached(tmp_path):
+    tree = _core_tree(tmp_path)
+    argv = (str(tree), "--format", "sarif", "--fail-on", "never", "--stats")
+    first = _run_lint(*argv, cwd=tmp_path)
+    second = _run_lint(*argv, cwd=tmp_path)
+    assert first.returncode == second.returncode == 0
+    assert first.stdout == second.stdout
+    assert "0 from cache" in first.stderr
+    assert "3 from cache" in second.stderr
+
+
+def test_cli_fix_rewrites_and_reports_clean(tmp_path):
+    tree = _core_tree(tmp_path)
+    result = _run_lint(str(tree), "--no-cache", "--fix", cwd=tmp_path)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "no findings" in result.stdout
+    fixed = (tree / "core" / "stage.py").read_text(encoding="utf-8")
+    assert "sorted(s)" in fixed
