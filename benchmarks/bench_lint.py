@@ -17,7 +17,7 @@ from repro.devtools import AnalysisStats, Analyzer, LintCache
 MIN_SPEEDUP = 5.0
 
 
-def test_lint_cold_vs_warm(benchmark, tmp_path, save_result):
+def test_lint_cold_vs_warm(benchmark, tmp_path, save_result, save_json):
     src = Path(__file__).resolve().parent.parent / "src" / "repro"
     analyzer = Analyzer()
 
@@ -55,6 +55,19 @@ def test_lint_cold_vs_warm(benchmark, tmp_path, save_result):
                 f"  findings (both runs)    {len(cold_findings)}",
             ]
         ),
+    )
+
+    save_json(
+        "lint_cold_vs_warm",
+        {
+            "schema": "repro.bench_lint/1",
+            "files_total": cold_stats.files_total,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": speedup,
+            "findings": len(cold_findings),
+            "warm_files_from_cache": warm_stats.files_from_cache,
+        },
     )
 
     assert warm_findings == cold_findings

@@ -1,0 +1,115 @@
+"""Validate the machine-readable efficiency benchmark payload.
+
+CI's bench-smoke job runs ``bench_efficiency.py`` on a tiny corpus and
+then calls this script against the ``BENCH_efficiency.json`` it wrote:
+the payload must match schema ``repro.bench_efficiency/1`` and the
+batched query engine must clear its minimum cold-cache speedup over the
+per-term path with identical output.  Keeping the gate in a script (not
+inside the benchmark) means any consumer of the JSON — CI, a regression
+dashboard, a local run — applies the same contract.
+
+Usage::
+
+    python benchmarks/check_efficiency_json.py [path] [--min-speedup X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+EXPECTED_SCHEMA = "repro.bench_efficiency/1"
+
+#: The acceptance floor for the batched engine vs the per-term path.
+DEFAULT_MIN_SPEEDUP = 2.0
+
+#: Required top-level sections and the numeric keys each must carry.
+REQUIRED_SECTIONS = {
+    "per_stage": (
+        "documents",
+        "extraction_local_s_per_doc",
+        "expansion_local_s_per_doc",
+        "selection_s",
+        "hierarchy_s",
+    ),
+    "parallel": ("serial_s", "parallel_s", "warm_s", "speedup", "warm_speedup"),
+    "batched": (
+        "per_term_s",
+        "batched_s",
+        "per_term_round_trips",
+        "batched_round_trips",
+        "speedup",
+    ),
+    "instrumented": ("documents", "workers"),
+}
+
+
+def validate(payload: dict, min_speedup: float) -> list[str]:
+    """Return every contract violation found (empty list = valid)."""
+    problems: list[str] = []
+    schema = payload.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        problems.append(f"schema is {schema!r}, expected {EXPECTED_SCHEMA!r}")
+    for section, keys in REQUIRED_SECTIONS.items():
+        body = payload.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for key in keys:
+            if not isinstance(body.get(key), (int, float)):
+                problems.append(f"{section}.{key} missing or non-numeric")
+    batched = payload.get("batched")
+    if isinstance(batched, dict):
+        speedup = batched.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup < min_speedup:
+            problems.append(
+                f"batched.speedup {speedup:.2f} below minimum {min_speedup:.2f}"
+            )
+        if batched.get("identical_output") is not True:
+            problems.append("batched.identical_output is not true")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_efficiency.json",
+        help="payload to validate (default: BENCH_efficiency.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="minimum batched-vs-per-term speedup (default: %(default)s)",
+    )
+    options = parser.parse_args(argv)
+    path = pathlib.Path(options.path)
+    if not path.is_file():
+        print(f"FAIL: {path} does not exist", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"FAIL: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate(payload, options.min_speedup)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    batched = payload["batched"]
+    print(
+        f"OK: {path} matches {EXPECTED_SCHEMA}; batched engine "
+        f"{batched['speedup']:.1f}x over per-term "
+        f"({batched['batched_round_trips']} vs "
+        f"{batched['per_term_round_trips']} round trips), output identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

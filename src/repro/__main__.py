@@ -35,7 +35,12 @@ import argparse
 import sys
 
 from .config import ParallelConfig, ReproConfig
-from .observability import Observability, configure_logging, get_logger
+from .observability import (
+    Observability,
+    ResourceStats,
+    configure_logging,
+    get_logger,
+)
 
 log = get_logger(__name__)
 
@@ -250,7 +255,27 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     if obs is not None and args.metrics:
         print()
         print(obs.metrics.format_table())
+        print()
+        print(_format_resource_stats(result.resource_stats))
     return 0
+
+
+def _format_resource_stats(stats: dict[str, ResourceStats]) -> str:
+    """Per-resource query-engine table: tier hits, coalescing, batches."""
+    lines = [
+        "resource cache engines",
+        f"  {'namespace':<44} {'lru%':>6} {'hit%':>6} "
+        f"{'coalesced':>9} {'wait s':>8} {'batches':>8} {'misses':>7}"
+    ]
+    for namespace in sorted(stats):
+        s = stats[namespace]
+        label = namespace if len(namespace) <= 44 else namespace[:41] + "..."
+        lines.append(
+            f"  {label:<44} {s.memory_hit_rate:>6.1%} {s.hit_rate:>6.1%} "
+            f"{s.coalesced_hits:>9} {s.coalesce_wait_seconds:>8.3f} "
+            f"{s.batch_queries:>8} {s.misses:>7}"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:

@@ -104,6 +104,20 @@ class ParallelConfig:
         keeps resource caching purely in-process.
     memory_cache_size:
         Bound of each resource's in-process LRU tier.
+    batch_queries:
+        Route contextualization through the batched query engine: each
+        work chunk's distinct important terms are answered with one
+        deduplicated batch per resource (bulk backend lookups, batched
+        persistent-cache I/O, single-flight coalescing) instead of one
+        round trip per term.  Results are bit-for-bit identical either
+        way; False keeps the per-term path (used by benchmarks as the
+        comparison baseline).
+    prefetch:
+        Start resolving each annotation chunk's important terms against
+        the resources while later chunks are still being tagged,
+        overlapping latency-bound expansion with CPU-bound extraction.
+        Prefetch only warms caches (results are identical with it off)
+        and activates only for thread-backed pools with ``workers > 1``.
     """
 
     workers: int = field(default_factory=_env_workers)
@@ -111,6 +125,8 @@ class ParallelConfig:
     backend: str = "thread"
     cache_path: str | None = None
     memory_cache_size: int = 65_536
+    batch_queries: bool = True
+    prefetch: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -8,6 +8,7 @@ compares against the contextualized database.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -83,6 +84,7 @@ def annotate_database(
     extractors: list[TermExtractor],
     parallel: ParallelConfig | None = None,
     obs: Observability | None = None,
+    on_important: Callable[[list[tuple[str, list[str]]]], None] | None = None,
 ) -> AnnotatedDatabase:
     """Run Step 1 over a document collection.
 
@@ -97,6 +99,13 @@ def annotate_database(
     An active ``obs`` bundle records a chunk span per shard and
     per-chunk worker-local metrics (see :func:`repro.parallel.map_chunks`);
     instrumentation never touches the data path.
+
+    ``on_important`` fires with each extraction chunk's
+    ``(doc_id, I(d))`` list as the chunk completes (possibly on a worker
+    thread) — the hook the pipeline uses to start prefetching resource
+    answers for a chunk's terms while later chunks are still being
+    tagged.  It must be side-effect-only; the returned database never
+    depends on it.
     """
     chunk_size = (parallel or ParallelConfig(workers=1)).resolve_chunk_size(
         len(documents)
@@ -115,7 +124,9 @@ def annotate_database(
     # Second pass: important-term extraction.
     important: dict[str, list[str]] = {}
     extract = partial(_extract_chunk, extractors)
-    for chunk_result in map_chunks(extract, chunks, parallel, obs=obs):
+    for chunk_result in map_chunks(
+        extract, chunks, parallel, obs=obs, on_result=on_important
+    ):
         for doc_id, merged in chunk_result:
             important[doc_id] = merged
     metrics = current_metrics()

@@ -8,6 +8,7 @@ context terms — the input to the comparative analysis of Step 3.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -37,25 +38,87 @@ class ContextualizedDatabase:
         return self.context_terms.get(doc_id, [])
 
 
+def _merge_document(
+    important: list[str],
+    answers_for: Callable[[str], Iterable[list[str]]],
+) -> tuple[list[str], list[str]]:
+    """Union per-resource answers for one document, first-seen order.
+
+    Shared by the per-term and batched expansion paths — both feed the
+    same merge, so switching paths cannot change the output.
+    """
+    merged: list[str] = []
+    seen_keys: list[str] = []
+    seen: set[str] = set()
+    for term in important:
+        for answer in answers_for(term):
+            for context_term in answer:
+                key = normalize_term(context_term)
+                if key and key not in seen:
+                    seen.add(key)
+                    seen_keys.append(key)
+                    merged.append(context_term)
+    return merged, seen_keys
+
+
 def _expand_chunk(
     resources: list[ExternalResource],
     items: list[tuple[str, list[str]]],
 ) -> list[tuple[str, list[str], list[str]]]:
     """Per-chunk worker: expand ``(doc_id, I(d))`` into
-    ``(doc_id, C(d) surface forms, normalized keys in first-seen order)``."""
+    ``(doc_id, C(d) surface forms, normalized keys in first-seen order)``.
+
+    Baseline path: one resource round trip per (term, resource) pair.
+    """
     out: list[tuple[str, list[str], list[str]]] = []
     for doc_id, important in items:
-        merged: list[str] = []
-        seen_keys: list[str] = []
-        seen: set[str] = set()
+        merged, seen_keys = _merge_document(
+            important,
+            lambda term: (resource.context_terms(term) for resource in resources),
+        )
+        out.append((doc_id, merged, seen_keys))
+    return out
+
+
+def _expand_chunk_batched(
+    resources: list[ExternalResource],
+    items: list[tuple[str, list[str]]],
+) -> list[tuple[str, list[str], list[str]]]:
+    """Batched per-chunk worker: one deduplicated batch per resource.
+
+    The chunk's distinct important terms (first-seen surface form per
+    normalized key) are answered with a single
+    :meth:`~repro.resources.base.ExternalResource.context_terms_many`
+    call per resource — bulk backend lookups, batched persistent-cache
+    I/O, and single-flight coalescing across concurrent chunks — then
+    per-document merges run through the same helper as the per-term
+    path, so the output is bit-for-bit identical.
+    """
+    ordered_terms: list[str] = []
+    known_keys: set[str] = set()
+    for _doc_id, important in items:
         for term in important:
-            for resource in resources:
-                for context_term in resource.context_terms(term):
-                    key = normalize_term(context_term)
-                    if key and key not in seen:
-                        seen.add(key)
-                        seen_keys.append(key)
-                        merged.append(context_term)
+            key = normalize_term(term)
+            if key and key not in known_keys:
+                known_keys.add(key)
+                ordered_terms.append(term)
+    answer_tables: list[dict[str, list[str]]] = []
+    for resource in resources:
+        batch = resource.context_terms_many(ordered_terms)
+        answer_tables.append(
+            {
+                normalize_term(term): answer
+                for term, answer in zip(ordered_terms, batch)
+            }
+        )
+
+    def answers_for(term: str) -> Iterable[list[str]]:
+        key = normalize_term(term)
+        return (table.get(key, []) for table in answer_tables)
+
+    out: list[tuple[str, list[str], list[str]]] = []
+    for doc_id, important in items:
+        merged, seen_keys = _merge_document(important, answers_for)
         out.append((doc_id, merged, seen_keys))
     return out
 
@@ -77,14 +140,22 @@ def contextualize(
     still (normally) answered once per run.  Per-document results are
     folded in document order, so the contextualized database is
     bit-for-bit identical at every worker count.
+
+    With ``parallel.batch_queries`` (the default) each chunk resolves
+    its distinct important terms through one deduplicated batch per
+    resource instead of one round trip per term; the per-term path
+    remains available as the benchmark baseline and produces identical
+    output.
     """
     work: list[tuple[str, list[str]]] = [
         (document.doc_id, annotated.important(document.doc_id))
         for document in annotated.documents
     ]
-    chunk_size = (parallel or ParallelConfig(workers=1)).resolve_chunk_size(len(work))
+    settings = parallel or ParallelConfig(workers=1)
+    chunk_size = settings.resolve_chunk_size(len(work))
     chunks = chunked(work, max(1, chunk_size))
-    expand = partial(_expand_chunk, resources)
+    worker = _expand_chunk_batched if settings.batch_queries else _expand_chunk
+    expand = partial(worker, resources)
     context_terms: dict[str, list[str]] = {}
     expanded_sets: dict[str, set[str]] = {}
     vocabulary = Vocabulary()

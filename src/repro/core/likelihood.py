@@ -12,6 +12,16 @@ with ``log L(p, k, n) = k log p + (n - k) log(1 - p)``,
 
 The chi-square statistic is provided too, for the ablation benchmark
 that examines the paper's choice empirically.
+
+The scalar functions are the reference implementation.
+:class:`LikelihoodTables` serves the vectorized selection stage: for a
+fixed corpus size ``n`` it shares the pure per-``k`` log-likelihood
+terms (``log L(k/n, k, n)``) across every term and memoizes full scores
+per distinct ``(df, df_C)`` pair — Zipfian frequencies make those pairs
+highly repetitive, so a whole-vocabulary pass computes only a few
+hundred distinct scores.  Every cached value is produced by the scalar
+functions themselves (same expression, same association order), so
+table-driven scores are bit-for-bit identical to per-term scores.
 """
 
 from __future__ import annotations
@@ -64,6 +74,68 @@ def log_likelihood_ratio(df_original: int, df_contextualized: int, n: int) -> fl
         - binomial_log_likelihood(p, df_original, n)
         - binomial_log_likelihood(p, df_contextualized, n)
     )
+
+
+class LikelihoodTables:
+    """Shared log-likelihood tables for one corpus size ``n``.
+
+    ``pure(k)`` caches ``log L(k/n, k, n)`` per distinct ``k`` (the two
+    leading terms of the ratio use exactly this shape);
+    :meth:`log_likelihood_ratio` and :meth:`chi_square` memoize whole
+    scores per distinct ``(df, df_C)`` pair.  Results are bit-for-bit
+    identical to the module-level scalar functions: the mixed-``p``
+    terms are evaluated by :func:`binomial_log_likelihood` itself and
+    the final combination keeps the scalar's left-to-right association.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"database size must be positive, got {n}")
+        self.n = n
+        self._pure: dict[int, float] = {}
+        self._ratio: dict[tuple[int, int], float] = {}
+        self._chi: dict[tuple[int, int], float] = {}
+
+    def pure(self, k: int) -> float:
+        """``log L(k/n, k, n)`` — the success probability implied by ``k``."""
+        value = self._pure.get(k)
+        if value is None:
+            value = binomial_log_likelihood(k / self.n, k, self.n)
+            self._pure[k] = value
+        return value
+
+    def log_likelihood_ratio(self, df_original: int, df_contextualized: int) -> float:
+        """Memoized :func:`log_likelihood_ratio` for this ``n``."""
+        key = (df_original, df_contextualized)
+        value = self._ratio.get(key)
+        if value is not None:
+            return value
+        n = self.n
+        if not 0 <= df_original <= n or not 0 <= df_contextualized <= n:
+            raise ValueError(
+                "document frequencies must lie in [0, n]: "
+                f"df={df_original}, df_C={df_contextualized}, n={n}"
+            )
+        p1 = df_contextualized / n
+        p2 = df_original / n
+        p = (p1 + p2) / 2.0
+        value = (
+            self.pure(df_contextualized)
+            + self.pure(df_original)
+            - binomial_log_likelihood(p, df_original, n)
+            - binomial_log_likelihood(p, df_contextualized, n)
+        )
+        self._ratio[key] = value
+        return value
+
+    def chi_square(self, df_original: int, df_contextualized: int) -> float:
+        """Memoized :func:`chi_square_statistic` for this ``n``."""
+        key = (df_original, df_contextualized)
+        value = self._chi.get(key)
+        if value is None:
+            value = chi_square_statistic(df_original, df_contextualized, self.n)
+            self._chi[key] = value
+        return value
 
 
 def chi_square_statistic(df_original: int, df_contextualized: int, n: int) -> float:

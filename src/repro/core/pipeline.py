@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..config import ParallelConfig
@@ -36,6 +36,7 @@ from ..extractors.base import TermExtractor
 from ..observability import DISABLED, Observability, ResourceStats, SpanTimings
 from ..observability.logging import get_logger
 from ..resources.base import ExternalResource
+from ..resources.engine import ResourcePrefetcher
 from .annotate import AnnotatedDatabase, annotate_database
 from .contextualize import ContextualizedDatabase, contextualize
 from .hierarchy import FacetHierarchy, build_facet_hierarchies
@@ -184,6 +185,27 @@ class FacetExtractor:
         """The batch-execution settings this pipeline runs with."""
         return self._parallel
 
+    def _start_prefetcher(self) -> ResourcePrefetcher | None:
+        """Build the cache warm-up stage when the configuration allows it.
+
+        Prefetch pays off only when annotation chunks complete while
+        others are still running (a thread-backed pool) — with a serial
+        or process-backed run the warm-up would just serialize in front
+        of contextualization, so it stays off.
+        """
+        settings = self._parallel
+        if not (
+            settings.prefetch and settings.enabled and settings.backend == "thread"
+        ):
+            return None
+        return ResourcePrefetcher(self._prefetch_terms)
+
+    def _prefetch_terms(self, terms: Sequence[str]) -> None:
+        """Warm every resource's caches for ``terms`` (answers discarded)."""
+        batch = list(terms)
+        for resource in self._resources:
+            resource.context_terms_many(batch)
+
     def run(
         self,
         documents: list[Document],
@@ -251,21 +273,43 @@ class FacetExtractor:
         list[FacetTermCandidate],
         list[FacetHierarchy],
     ]:
-        with obs.tracer.span("stage:annotation") as span:
-            start = time.perf_counter()
-            annotated = annotate_database(
-                documents, self._extractors, self._parallel, obs=obs
-            )
-            timings.annotation = time.perf_counter() - start
-            span.add("documents", len(documents))
+        prefetcher = self._start_prefetcher()
+        on_important = None
+        if prefetcher is not None:
 
-        with obs.tracer.span("stage:contextualization") as span:
-            start = time.perf_counter()
-            contextualized = contextualize(
-                annotated, self._resources, self._parallel, obs=obs
-            )
-            timings.contextualization = time.perf_counter() - start
-            span.add("documents", len(documents))
+            def on_important(chunk_result: list[tuple[str, list[str]]]) -> None:
+                terms: list[str] = []
+                for _doc_id, important in chunk_result:
+                    terms.extend(important)
+                prefetcher.submit(terms)
+
+        try:
+            with obs.tracer.span("stage:annotation") as span:
+                start = time.perf_counter()
+                annotated = annotate_database(
+                    documents,
+                    self._extractors,
+                    self._parallel,
+                    obs=obs,
+                    on_important=on_important,
+                )
+                timings.annotation = time.perf_counter() - start
+                span.add("documents", len(documents))
+
+            with obs.tracer.span("stage:contextualization") as span:
+                start = time.perf_counter()
+                contextualized = contextualize(
+                    annotated, self._resources, self._parallel, obs=obs
+                )
+                timings.contextualization = time.perf_counter() - start
+                span.add("documents", len(documents))
+        finally:
+            # Drain after contextualization: still-running warm-ups are
+            # coalesced with main-path queries by single-flight, and the
+            # prefetcher's private metrics merge into the run exactly
+            # once regardless of scheduling.
+            if prefetcher is not None:
+                prefetcher.drain(into=obs.metrics)
 
         with obs.tracer.span("stage:selection") as span:
             start = time.perf_counter()

@@ -11,8 +11,8 @@ from dataclasses import dataclass
 
 from ..observability.context import current_metrics
 from .contextualize import ContextualizedDatabase
-from .likelihood import chi_square_statistic, log_likelihood_ratio
-from .shifts import frequency_shift, rank_shift
+from .likelihood import LikelihoodTables
+from .shifts import ShiftTables
 
 #: Default number of facet terms returned (the paper's top-k).
 DEFAULT_TOP_K = 200
@@ -68,20 +68,29 @@ def select_facet_terms(
     contextualized = database.vocabulary
     n = max(len(database.annotated.documents), 1)
 
+    # One pass over the vocabulary against precomputed tables: df/rank
+    # maps plus a rank → bin array (ShiftTables) and per-(df, df_C)
+    # memoized scores over shared log terms (LikelihoodTables).  Scores
+    # and shifts are bit-for-bit identical to the per-term reference
+    # functions — see those classes.
+    shifts = ShiftTables(original, contextualized)
+    tables = LikelihoodTables(n)
+    score_of = (
+        tables.log_likelihood_ratio
+        if statistic == "log-likelihood"
+        else tables.chi_square
+    )
     candidates: list[FacetTermCandidate] = []
     for term in contextualized.terms():
-        shift_f = frequency_shift(term, original, contextualized)
+        df = shifts.df_original(term)
+        df_c = shifts.df_contextualized(term)
+        shift_f = df_c - df
         if shift_f <= 0:
             continue
-        shift_r = rank_shift(term, original, contextualized)
+        shift_r = shifts.rank_shift(term)
         if require_both_shifts and shift_r <= 0:
             continue
-        df = original.df(term)
-        df_c = contextualized.df(term)
-        if statistic == "log-likelihood":
-            score = log_likelihood_ratio(df, df_c, n)
-        else:
-            score = chi_square_statistic(df, df_c, n)
+        score = score_of(df, df_c)
         candidates.append(
             FacetTermCandidate(
                 term=term,

@@ -17,6 +17,16 @@ Design points:
 * **Namespaced.** Resources with different semantics (or differently
   configured worlds) write under distinct namespaces so one run can
   never poison another.
+* **Batched.** :meth:`get_many` answers a whole term batch with chunked
+  ``IN (...)`` selects and :meth:`put_many` upserts a batch inside one
+  transaction via ``executemany`` — one round trip per chunk instead of
+  one per term, which is what makes the batched query engine's cache
+  traffic cheap.
+* **Tuned.** File-backed stores run under ``journal_mode=WAL`` with
+  ``synchronous=NORMAL`` (readers never block the writer, fsyncs
+  amortized); backends that reject the pragmas (``:memory:``, read-only
+  or network filesystems) keep their defaults — pragma failure is never
+  an error.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+from collections.abc import Iterable, Mapping, Sequence
 
 from ..observability.context import current_metrics
 from ..observability.logging import get_logger
@@ -38,6 +49,16 @@ CREATE TABLE IF NOT EXISTS context_cache (
     PRIMARY KEY (namespace, term)
 );
 """
+
+#: Pragmas applied to every connection, best effort (see module docstring).
+_PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+)
+
+#: Terms per ``IN (...)`` select — comfortably under SQLite's historical
+#: 999-host-parameter limit (one slot is taken by the namespace).
+_SELECT_CHUNK = 500
 
 
 class PersistentResourceCache:
@@ -62,6 +83,9 @@ class PersistentResourceCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.batch_reads = 0
+        self.batch_writes = 0
+        self.wal_enabled = False
         self._connect()
 
     # -- connection management -------------------------------------------------
@@ -77,6 +101,28 @@ class PersistentResourceCache:
             self._degrade(exc)
         else:
             self._connection = connection
+            self._apply_pragmas(connection)
+
+    def _apply_pragmas(self, connection: sqlite3.Connection) -> None:
+        """Best-effort performance pragmas.
+
+        ``:memory:`` databases report ``journal_mode=memory`` and some
+        filesystems reject WAL outright; neither disables the store —
+        the cache simply runs on SQLite's defaults.
+        """
+        for pragma in _PRAGMAS:
+            try:
+                row = connection.execute(pragma).fetchone()
+            except sqlite3.Error as exc:
+                log.debug(
+                    "persistent_cache.pragma_rejected",
+                    path=self.path,
+                    pragma=pragma,
+                    error=str(exc),
+                )
+            else:
+                if pragma.endswith("journal_mode=WAL"):
+                    self.wal_enabled = bool(row) and str(row[0]).lower() == "wal"
 
     def _degrade(self, exc: Exception) -> None:
         """Disable the persistent tier after an unrecoverable error."""
@@ -125,24 +171,89 @@ class PersistentResourceCache:
                 metrics.increment("cache.persistent.hits")
             return tuple(json.loads(row[0]))
 
+    def get_many(
+        self, namespace: str, terms: Sequence[str]
+    ) -> dict[str, tuple[str, ...]]:
+        """Cached expansions for a term batch (present keys only).
+
+        One chunked ``SELECT ... IN (...)`` per :data:`_SELECT_CHUNK`
+        terms replaces a round trip per term; absent terms are simply
+        missing from the returned mapping.  When disabled, returns an
+        empty mapping (every term is a miss).
+        """
+        if not terms:
+            return {}
+        found: dict[str, tuple[str, ...]] = {}
+        with self._lock:
+            if self.disabled or self._connection is None:
+                return {}
+            try:
+                for start in range(0, len(terms), _SELECT_CHUNK):
+                    chunk = list(terms[start : start + _SELECT_CHUNK])
+                    placeholders = ",".join("?" * len(chunk))
+                    rows = self._connection.execute(
+                        "SELECT term, terms FROM context_cache "
+                        f"WHERE namespace = ? AND term IN ({placeholders})",
+                        [namespace, *chunk],
+                    ).fetchall()
+                    for term, payload in rows:
+                        found[term] = tuple(json.loads(payload))
+            except sqlite3.Error as exc:
+                self._degrade(exc)
+                return {}
+            self.batch_reads += 1
+            self.hits += len(found)
+            self.misses += len(terms) - len(found)
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.increment("cache.persistent.batch_reads")
+            metrics.increment("cache.persistent.hits", len(found))
+            metrics.increment(
+                "cache.persistent.misses", len(terms) - len(found)
+            )
+        return found
+
     def put(self, namespace: str, term: str, terms: tuple[str, ...]) -> None:
         """Store an expansion (no-op when disabled; last writer wins)."""
+        self.put_many(namespace, {term: terms})
+
+    def put_many(
+        self, namespace: str, entries: Mapping[str, Iterable[str]]
+    ) -> None:
+        """Upsert a batch of expansions inside a single transaction.
+
+        One ``executemany`` with ``ON CONFLICT ... DO UPDATE`` per call:
+        either every entry of the batch commits or none does, and a
+        concurrent writer racing on the same terms leaves the table in a
+        last-writer-wins state rather than a partially-interleaved one.
+        """
+        if not entries:
+            return
+        rows = [
+            (namespace, term, json.dumps(list(terms)))
+            for term, terms in entries.items()
+        ]
         with self._lock:
             if self.disabled or self._connection is None:
                 return
             try:
                 with self._connection:
-                    self._connection.execute(
-                        "INSERT OR REPLACE INTO context_cache VALUES (?, ?, ?)",
-                        (namespace, term, json.dumps(list(terms))),
+                    self._connection.executemany(
+                        "INSERT INTO context_cache (namespace, term, terms) "
+                        "VALUES (?, ?, ?) "
+                        "ON CONFLICT(namespace, term) "
+                        "DO UPDATE SET terms = excluded.terms",
+                        rows,
                     )
             except sqlite3.Error as exc:
                 self._degrade(exc)
                 return
-            self.writes += 1
-            metrics = current_metrics()
-            if metrics is not None:
-                metrics.increment("cache.persistent.writes")
+            self.writes += len(rows)
+            self.batch_writes += 1
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.increment("cache.persistent.writes", len(rows))
+            metrics.increment("cache.persistent.batch_writes")
 
     def clear(self, namespace: str | None = None) -> None:
         """Drop one namespace's entries, or every entry when None."""

@@ -24,7 +24,11 @@ from .recall import RecallStudy
 from .precision import PrecisionStudy
 from .qualification import QualificationTest
 from .user_study import UserStudy, UserStudyResult
-from .efficiency import EfficiencyStudy, ParallelEfficiencyReport
+from .efficiency import (
+    BatchedEfficiencyReport,
+    EfficiencyStudy,
+    ParallelEfficiencyReport,
+)
 from .agreement import AgreementReport, measure_agreement
 from .hierarchy_metrics import HierarchyMetrics, hierarchy_metrics
 
@@ -40,6 +44,7 @@ __all__ = [
     "QualificationTest",
     "UserStudy",
     "UserStudyResult",
+    "BatchedEfficiencyReport",
     "EfficiencyStudy",
     "ParallelEfficiencyReport",
     "AgreementReport",

@@ -137,6 +137,61 @@ class ParallelEfficiencyReport:
 
 
 @dataclass
+class BatchedEfficiencyReport:
+    """Per-term engine vs batched query engine, both cold-cache.
+
+    Both runs use the same worker count and the same simulated remote
+    latency; the per-term path pays one round trip per distinct term,
+    the batched path one round trip per chunk batch
+    (:meth:`~repro.resources.resilience.SimulatedLatencyResource.query_many`).
+    ``identical_output`` certifies the two contextualized databases are
+    equal — the batched engine is a pure efficiency change.
+    """
+
+    documents: int
+    workers: int
+    latency_seconds: float
+    per_term_s: float
+    batched_s: float
+    per_term_round_trips: int
+    batched_round_trips: int
+    identical_output: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.per_term_s / max(self.batched_s, 1e-9)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "documents": self.documents,
+            "workers": self.workers,
+            "latency_seconds": self.latency_seconds,
+            "per_term_s": self.per_term_s,
+            "batched_s": self.batched_s,
+            "per_term_round_trips": self.per_term_round_trips,
+            "batched_round_trips": self.batched_round_trips,
+            "speedup": self.speedup,
+            "identical_output": self.identical_output,
+        }
+
+    def format_summary(self) -> str:
+        return "\n".join(
+            [
+                f"Per-term vs batched expansion over {self.documents} documents "
+                f"({self.workers} workers, "
+                f"{self.latency_seconds * 1000:.0f} ms/round trip):",
+                f"  per-term engine (cold cache): {self.per_term_s:.2f} s "
+                f"({self.per_term_round_trips} remote round trips)",
+                f"  batched engine (cold cache):  {self.batched_s:.2f} s "
+                f"({self.batched_round_trips} remote round trips) — "
+                f"{self.speedup:.1f}x speedup",
+                "  identical facet output: "
+                + ("yes" if self.identical_output else "NO"),
+            ]
+        )
+
+
+@dataclass
 class InstrumentedEfficiencyReport:
     """Per-stage / per-resource breakdown sourced from the metrics registry.
 
@@ -322,6 +377,11 @@ class EfficiencyStudy:
         important term costs one (simulated) round trip.  A thread pool
         overlaps those round trips, and a warm persistent cache removes
         them entirely — the two deployment levers of Section V-D.
+
+        Every run here pins ``batch_queries=False``: this comparison
+        isolates the worker-pool lever, so both sides pay one round trip
+        per term (see :meth:`run_batched_comparison` for the batching
+        lever).
         """
         substrates = self.builder.substrates
         extractors = build_extractors(
@@ -336,11 +396,16 @@ class EfficiencyStudy:
                 latency_seconds=latency_seconds,
             )
 
+        def per_term(workers: int) -> ParallelConfig:
+            return ParallelConfig(
+                workers=workers, batch_queries=False, prefetch=False
+            )
+
         # Serial, cold cache — no persistent tier, so the parallel run
         # below starts equally cold.
         serial = remote_google()
         start = time.perf_counter()
-        contextualize(annotated, [serial], ParallelConfig(workers=1))
+        contextualize(annotated, [serial], per_term(1))
         serial_s = time.perf_counter() - start
 
         # Parallel, cold cache — populates the shared persistent store.
@@ -348,9 +413,7 @@ class EfficiencyStudy:
         parallel = remote_google()
         parallel.attach_cache(store)
         start = time.perf_counter()
-        contextualize(
-            annotated, [parallel], ParallelConfig(workers=workers)
-        )
+        contextualize(annotated, [parallel], per_term(workers))
         parallel_s = time.perf_counter() - start
 
         # Parallel, warm cache — a *fresh* resource instance over the
@@ -358,7 +421,7 @@ class EfficiencyStudy:
         warm = remote_google()
         warm.attach_cache(store)
         start = time.perf_counter()
-        contextualize(annotated, [warm], ParallelConfig(workers=workers))
+        contextualize(annotated, [warm], per_term(workers))
         warm_s = time.perf_counter() - start
 
         warm_stats = warm.cache_stats
@@ -373,4 +436,68 @@ class EfficiencyStudy:
             parallel_queries=parallel.simulated_calls,
             warm_persistent_hits=warm_stats.persistent_hits,
             warm_queries=warm_stats.queries,
+        )
+
+    def run_batched_comparison(
+        self,
+        documents: list[Document],
+        workers: int = 4,
+        latency_seconds: float = COMPARISON_LATENCY_SECONDS,
+    ) -> BatchedEfficiencyReport:
+        """Measure the batched query engine against the per-term path.
+
+        Both runs share one annotation, use the same worker count and
+        start from a cold cache over the same simulated remote resource.
+        The per-term path issues one round trip per distinct term per
+        chunk miss; the batched path deduplicates each chunk's terms and
+        answers them with one bulk round trip
+        (:meth:`~repro.resources.resilience.SimulatedLatencyResource.query_many`),
+        with single-flight coalescing deduplicating across concurrent
+        chunks.  The report also certifies the two contextualized
+        databases are identical.
+        """
+        substrates = self.builder.substrates
+        extractors = build_extractors(
+            [ExtractorName.NAMED_ENTITIES, ExtractorName.WIKIPEDIA],
+            wikipedia=substrates.wikipedia,
+        )
+        annotated = annotate_database(documents, extractors)
+
+        def remote_google() -> SimulatedLatencyResource:
+            return SimulatedLatencyResource(
+                build_resource(ResourceName.GOOGLE, substrates, self.config),
+                latency_seconds=latency_seconds,
+            )
+
+        per_term = remote_google()
+        start = time.perf_counter()
+        per_term_db = contextualize(
+            annotated,
+            [per_term],
+            ParallelConfig(workers=workers, batch_queries=False, prefetch=False),
+        )
+        per_term_s = time.perf_counter() - start
+
+        batched = remote_google()
+        start = time.perf_counter()
+        batched_db = contextualize(
+            annotated,
+            [batched],
+            ParallelConfig(workers=workers, batch_queries=True),
+        )
+        batched_s = time.perf_counter() - start
+
+        identical = (
+            per_term_db.context_terms == batched_db.context_terms
+            and per_term_db.expanded_sets == batched_db.expanded_sets
+        )
+        return BatchedEfficiencyReport(
+            documents=len(documents),
+            workers=workers,
+            latency_seconds=latency_seconds,
+            per_term_s=per_term_s,
+            batched_s=batched_s,
+            per_term_round_trips=per_term.simulated_calls,
+            batched_round_trips=batched.simulated_calls,
+            identical_output=identical,
         )

@@ -60,15 +60,26 @@ class SpanTimings:
 
 @dataclass(frozen=True)
 class ResourceStats:
-    """Exact counter snapshot for one resource's two-tier cache."""
+    """Exact counter snapshot for one resource's query engine.
+
+    ``coalesced_hits`` counts lookups answered by waiting on another
+    thread's in-flight query (the single-flight coalescer) — they paid a
+    wait (``coalesce_wait_seconds``) but not a backend round trip.
+    ``batch_queries`` counts bulk backend calls issued by the batched
+    path; each one answers many misses at once.
+    """
 
     memory_hits: int = 0
     persistent_hits: int = 0
     misses: int = 0
+    coalesced_hits: int = 0
+    coalesce_wait_seconds: float = 0.0
+    batch_queries: int = 0
 
     @property
     def hits(self) -> int:
-        return self.memory_hits + self.persistent_hits
+        """Lookups that avoided a backend query (any tier, coalesced)."""
+        return self.memory_hits + self.persistent_hits + self.coalesced_hits
 
     @property
     def queries(self) -> int:
@@ -76,16 +87,26 @@ class ResourceStats:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of queries answered from either cache tier."""
+        """Fraction of queries answered without a backend round trip."""
         queries = self.queries
         return self.hits / queries if queries else 0.0
+
+    @property
+    def memory_hit_rate(self) -> float:
+        """Fraction of queries answered by the in-process LRU tier."""
+        queries = self.queries
+        return self.memory_hits / queries if queries else 0.0
 
     def as_dict(self) -> dict[str, float]:
         return {
             "memory_hits": self.memory_hits,
             "persistent_hits": self.persistent_hits,
             "misses": self.misses,
+            "coalesced_hits": self.coalesced_hits,
+            "coalesce_wait_seconds": self.coalesce_wait_seconds,
+            "batch_queries": self.batch_queries,
             "hits": self.hits,
             "queries": self.queries,
             "hit_rate": self.hit_rate,
+            "memory_hit_rate": self.memory_hit_rate,
         }

@@ -98,12 +98,32 @@ class _InstrumentedChunk:
 def _run_jobs(
     jobs: list[tuple[Callable[[list[T]], R], list[T]]],
     config: ParallelConfig,
+    on_result: Callable[[R], None] | None = None,
 ) -> list[R]:
-    """Run ``(callable, chunk)`` jobs inline or pooled, submission order."""
+    """Run ``(callable, chunk)`` jobs inline or pooled, submission order.
+
+    ``on_result`` fires once per chunk **as it completes** (on a worker
+    thread for pooled runs, inline for serial runs) — the hook the
+    prefetch stage uses to start resolving a finished chunk's terms
+    while later chunks are still running.  It must be cheap, thread-safe
+    and side-effect-only: returned values are still merged in submission
+    order regardless of completion order.
+    """
     if not config.enabled or len(jobs) <= 1:
-        return [job(chunk) for job, chunk in jobs]
+        results_inline: list[R] = []
+        for job, chunk in jobs:
+            result = job(chunk)
+            if on_result is not None:
+                on_result(result)
+            results_inline.append(result)
+        return results_inline
     with _make_executor(config, len(jobs)) as pool:
-        futures = [pool.submit(job, chunk) for job, chunk in jobs]
+        futures = []
+        for job, chunk in jobs:
+            future = pool.submit(job, chunk)
+            if on_result is not None:
+                future.add_done_callback(_notify_on_success(on_result))
+            futures.append(future)
         results: list[R] = []
         try:
             for future in futures:
@@ -115,11 +135,25 @@ def _run_jobs(
     return results
 
 
+def _notify_on_success(
+    on_result: Callable[[R], None],
+) -> Callable[[object], None]:
+    """Done-callback adapter: forward successful results only."""
+
+    def _done(future) -> None:
+        if future.cancelled() or future.exception() is not None:
+            return
+        on_result(future.result())
+
+    return _done
+
+
 def map_chunks(
     fn: Callable[[list[T]], R],
     chunks: list[list[T]],
     config: ParallelConfig | None = None,
     obs: Observability | None = None,
+    on_result: Callable[[R], None] | None = None,
 ) -> list[R]:
     """Apply ``fn`` to every chunk, results in submission order.
 
@@ -134,16 +168,29 @@ def map_chunks(
     drains (see the module docstring).  The serial path uses the same
     instrumented wrapper, so accounting is identical at any worker
     count.
+
+    ``on_result`` receives each chunk's *result* (never the
+    instrumentation wrapper) as the chunk completes — see
+    :func:`_run_jobs` for the contract.
     """
     config = config or SERIAL
     if obs is None or not obs.active:
-        return _run_jobs([(fn, chunk) for chunk in chunks], config)
+        return _run_jobs(
+            [(fn, chunk) for chunk in chunks], config, on_result=on_result
+        )
     parent_span = obs.tracer.current()
     jobs = [
         (_InstrumentedChunk(fn, index), chunk)
         for index, chunk in enumerate(chunks)
     ]
-    outcomes: list[_ChunkOutcome] = _run_jobs(jobs, config)
+    on_outcome: Callable[[_ChunkOutcome], None] | None = None
+    if on_result is not None:
+        notify = on_result
+
+        def on_outcome(outcome: _ChunkOutcome) -> None:
+            notify(outcome.result)  # type: ignore[arg-type]
+
+    outcomes: list[_ChunkOutcome] = _run_jobs(jobs, config, on_result=on_outcome)
     results: list[R] = []
     for outcome in outcomes:
         if obs.metrics is not None:

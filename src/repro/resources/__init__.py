@@ -15,6 +15,7 @@ plus :class:`CompositeResource` which unions several resources (the
 """
 
 from .base import CacheStats, ExternalResource, ResourceName
+from .engine import ResourcePrefetcher, SingleFlight
 from .google import GoogleResource
 from .wordnet_hypernyms import WordNetHypernymResource
 from .wiki_graph import WikipediaGraphResource
@@ -33,6 +34,8 @@ __all__ = [
     "CacheStats",
     "ExternalResource",
     "ResourceName",
+    "ResourcePrefetcher",
+    "SingleFlight",
     "GoogleResource",
     "WordNetHypernymResource",
     "WikipediaGraphResource",

@@ -18,6 +18,22 @@ Caching is two-tier:
 Cached entries are stored as **immutable tuples** and every call returns
 a fresh list, so no caller can poison the cache by mutating an answer —
 neither the list it received nor the list ``_query`` originally returned.
+
+On a miss both the single-term and the batched path go through the
+**batched query engine**:
+
+* concurrent workers asking for the same fresh ``(namespace, term)``
+  are **single-flight coalesced** — exactly one performs the query,
+  the rest wait for its cached answer instead of re-paying the round
+  trip (see :class:`~repro.resources.engine.SingleFlight`);
+* :meth:`ExternalResource.context_terms_many` answers a whole term
+  batch at once: one lock pass over the LRU, one batched
+  :meth:`~repro.db.resource_cache.PersistentResourceCache.get_many`,
+  one bulk :meth:`ExternalResource.query_many` for the remaining
+  leaders, and one
+  :meth:`~repro.db.resource_cache.PersistentResourceCache.put_many`
+  write-back.  ``query_many`` defaults to looping :meth:`_query`;
+  resources with a natural bulk lookup override it.
 """
 
 from __future__ import annotations
@@ -27,15 +43,32 @@ import enum
 import threading
 import time
 from collections import OrderedDict
+from collections.abc import Sequence
 
 from ..db.resource_cache import PersistentResourceCache
+from ..errors import ResourceError
 from ..observability.context import current_metrics, current_span, use_span
 from ..observability.stats import ResourceStats
 from ..observability.tracing import Span
 from ..text.tokenizer import normalize_term
+from .engine import Flight, SingleFlight
 
 #: Default bound of the in-process LRU tier.
 DEFAULT_MEMORY_CACHE_SIZE = 65_536
+
+#: Histogram bounds for batch sizes (terms per bulk query).
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+)
 
 
 def validate_context_terms(raw: "list[str] | tuple[str, ...]") -> tuple[str, ...]:
@@ -94,7 +127,11 @@ class ExternalResource(abc.ABC):
         self._memory_hits = 0
         self._persistent_hits = 0
         self._misses = 0
+        self._coalesced_hits = 0
+        self._coalesce_wait_seconds = 0.0
+        self._batch_queries = 0
         self._no_persist = threading.local()
+        self._single_flight = SingleFlight()
 
     # -- the public query path ---------------------------------------------------
 
@@ -104,6 +141,155 @@ class ExternalResource(abc.ABC):
         if not key:
             return []
         metrics = current_metrics()
+        while True:
+            cached = self._lookup_tiers(key, metrics)
+            if cached is not None:
+                return list(cached)
+            # Miss on both tiers: claim the key.  The leader answers the
+            # query outside the lock (remote queries are slow); everyone
+            # else waits for the leader's cached answer instead of
+            # re-paying the round trip.
+            flight, leader = self._single_flight.claim(key)
+            if not leader:
+                waited = self._wait_for_flight(flight, metrics)
+                if waited is not None:
+                    return list(waited)
+                continue  # the leader failed; retry (possibly as leader)
+            try:
+                result = validate_context_terms(
+                    self._instrumented_query(term, key, metrics)
+                )
+                persist = not self._consume_no_persist()
+                with self._lock:
+                    self._misses += 1
+                    self._memory_put(key, result)
+                if (
+                    persist
+                    and self._persistent is not None
+                    and self._namespace is not None
+                ):
+                    self._persistent.put(self._namespace, key, result)
+            except BaseException:
+                self._single_flight.abandon(key, flight)
+                raise
+            self._single_flight.resolve(key, flight, result)
+            return list(result)
+
+    def context_terms_many(self, terms: Sequence[str]) -> list[list[str]]:
+        """Context terms for a term batch, aligned with the input order.
+
+        The batch is deduplicated on normalized form (the first surface
+        form seen for a key is the one queried, matching the single-term
+        path) and resolved in one engine pass per tier: one lock
+        acquisition over the LRU, one batched persistent read, one bulk
+        :meth:`query_many` for the keys this caller leads, one batched
+        persistent write-back.  Keys led by another thread are waited on
+        (coalesced), never re-queried.
+        """
+        metrics = current_metrics()
+        keys = [normalize_term(term) for term in terms]
+        surface: dict[str, str] = {}
+        for term, key in zip(terms, keys, strict=True):
+            if key and key not in surface:
+                surface[key] = term
+        resolved: dict[str, tuple[str, ...]] = {}
+        pending = list(surface)
+        while pending:
+            pending = self._resolve_batch(pending, surface, resolved, metrics)
+        return [list(resolved[key]) if key else [] for key in keys]
+
+    def _resolve_batch(
+        self,
+        keys: list[str],
+        surface: dict[str, str],
+        resolved: dict[str, tuple[str, ...]],
+        metrics,
+    ) -> list[str]:
+        """One engine pass over ``keys``; returns keys that must retry
+        (their leader failed after we started waiting on it)."""
+        label = self.metric_label()
+        missing: list[str] = []
+        with self._lock:
+            for key in keys:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._memory_hits += 1
+                    resolved[key] = cached
+                else:
+                    missing.append(key)
+        if metrics is not None and len(missing) != len(keys):
+            metrics.increment(
+                f"resource.{label}.memory_hits", len(keys) - len(missing)
+            )
+        if not missing:
+            return []
+        if self._persistent is not None and self._namespace is not None:
+            stored = self._persistent.get_many(self._namespace, missing)
+            if stored:
+                with self._lock:
+                    for key, value in stored.items():
+                        self._persistent_hits += 1
+                        self._memory_put(key, value)
+                resolved.update(stored)
+                if metrics is not None:
+                    metrics.increment(
+                        f"resource.{label}.persistent_hits", len(stored)
+                    )
+                missing = [key for key in missing if key not in stored]
+        if not missing:
+            return []
+        leaders: list[str] = []
+        claimed: dict[str, Flight] = {}
+        waiting: list[tuple[str, Flight]] = []
+        for key in missing:
+            flight, leader = self._single_flight.claim(key)
+            if leader:
+                leaders.append(key)
+                claimed[key] = flight
+            else:
+                waiting.append((key, flight))
+        if leaders:
+            try:
+                answers, no_persist = self._run_batch_query(
+                    [surface[key] for key in leaders], metrics
+                )
+                validated = [validate_context_terms(raw) for raw in answers]
+                persistable: dict[str, tuple[str, ...]] = {}
+                with self._lock:
+                    for key, value, skip in zip(
+                        leaders, validated, no_persist, strict=True
+                    ):
+                        self._misses += 1
+                        self._memory_put(key, value)
+                        if not skip:
+                            persistable[key] = value
+                if metrics is not None:
+                    metrics.increment(f"resource.{label}.misses", len(leaders))
+                if (
+                    persistable
+                    and self._persistent is not None
+                    and self._namespace is not None
+                ):
+                    self._persistent.put_many(self._namespace, persistable)
+            except BaseException:
+                for key in leaders:
+                    self._single_flight.abandon(key, claimed[key])
+                raise
+            for key, value in zip(leaders, validated, strict=True):
+                resolved[key] = value
+                self._single_flight.resolve(key, claimed[key], value)
+        retry: list[str] = []
+        for key, flight in waiting:
+            value = self._wait_for_flight(flight, metrics)
+            if value is None:
+                retry.append(key)
+            else:
+                resolved[key] = value
+        return retry
+
+    def _lookup_tiers(self, key: str, metrics) -> tuple[str, ...] | None:
+        """Answer from the LRU or persistent tier, or None on a miss."""
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
@@ -111,7 +297,7 @@ class ExternalResource(abc.ABC):
                 self._memory_hits += 1
                 if metrics is not None:
                     metrics.increment(f"resource.{self.metric_label()}.memory_hits")
-                return list(cached)
+                return cached
         if self._persistent is not None and self._namespace is not None:
             stored = self._persistent.get(self._namespace, key)
             if stored is not None:
@@ -122,19 +308,92 @@ class ExternalResource(abc.ABC):
                     metrics.increment(
                         f"resource.{self.metric_label()}.persistent_hits"
                     )
-                return list(stored)
-        # Miss on both tiers: answer the query outside the lock (remote
-        # queries are slow; two workers racing on the same fresh term
-        # both query, which is wasteful but deterministic — last write
-        # wins with an identical answer).
-        result = validate_context_terms(self._instrumented_query(term, key, metrics))
-        persist = not self._consume_no_persist()
+                return stored
+        return None
+
+    def _wait_for_flight(self, flight: Flight, metrics) -> tuple[str, ...] | None:
+        """Block on another thread's in-flight query.
+
+        Returns the leader's answer, or None when the leader failed —
+        the caller retries (and may become the new leader).  Wait time
+        and coalesce hits are counted so the engine's win is visible in
+        ``ResourceStats`` and the metrics registry.
+        """
+        start = time.perf_counter()
+        flight.event.wait()
+        waited = time.perf_counter() - start
+        result = flight.result
         with self._lock:
-            self._misses += 1
-            self._memory_put(key, result)
-        if persist and self._persistent is not None and self._namespace is not None:
-            self._persistent.put(self._namespace, key, result)
-        return list(result)
+            self._coalesce_wait_seconds += waited
+            if result is not None:
+                self._coalesced_hits += 1
+        if metrics is not None:
+            label = self.metric_label()
+            metrics.record_time(f"resource.{label}.coalesce_wait_seconds", waited)
+            if result is not None:
+                metrics.increment(f"resource.{label}.coalesced_hits")
+            else:
+                metrics.increment(f"resource.{label}.coalesce_retries")
+        return result
+
+    def _run_batch_query(
+        self, surfaces: list[str], metrics
+    ) -> tuple[list[list[str]], list[bool]]:
+        """Answer a batch of uncached queries, instrumented as one unit.
+
+        Returns the raw answers plus a per-term do-not-persist flag
+        (wrappers mark individual degraded answers via
+        :meth:`_mark_do_not_persist`).  Uses :meth:`query_many` when the
+        subclass overrides it (a true bulk lookup), else loops
+        :meth:`_query` so per-term wrapper semantics are preserved.
+        """
+        label = self.metric_label()
+        parent = current_span()
+        span: Span | None = None
+        if parent is not None:
+            span = Span.begin(f"resource:{label}:batch", terms=len(surfaces))
+        overridden = type(self).query_many is not ExternalResource.query_many
+        start = time.perf_counter()
+        try:
+            with use_span(span):
+                if overridden:
+                    answers = self.query_many(list(surfaces))
+                    flagged = self._consume_no_persist()
+                    no_persist = [flagged] * len(surfaces)
+                else:
+                    answers = []
+                    no_persist = []
+                    for surface_term in surfaces:
+                        answers.append(self._query(surface_term))
+                        no_persist.append(self._consume_no_persist())
+        except BaseException:
+            if span is not None:
+                span.finish(status="error")
+                parent.children.append(span)
+            if metrics is not None:
+                metrics.increment(f"resource.{label}.errors")
+            raise
+        elapsed = time.perf_counter() - start
+        if len(answers) != len(surfaces):
+            raise ResourceError(
+                f"{type(self).__name__}.query_many returned {len(answers)} "
+                f"answers for {len(surfaces)} terms"
+            )
+        if span is not None:
+            span.finish()
+            span.counters["terms"] = float(len(surfaces))
+            parent.children.append(span)
+        with self._lock:
+            self._batch_queries += 1
+        if metrics is not None:
+            metrics.increment(f"resource.{label}.batch_queries")
+            metrics.record_time(f"resource.{label}.batch_query_seconds", elapsed)
+            metrics.observe(
+                f"resource.{label}.batch_size",
+                float(len(surfaces)),
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+        return answers, no_persist
 
     def _instrumented_query(self, term: str, key: str, metrics) -> list[str]:
         """Answer an uncached query, recording latency and a call span.
@@ -180,6 +439,18 @@ class ExternalResource(abc.ABC):
     @abc.abstractmethod
     def _query(self, term: str) -> list[str]:
         """Answer one uncached query."""
+
+    def query_many(self, terms: list[str]) -> list[list[str]]:
+        """Answer a batch of uncached queries, aligned with the input.
+
+        The default loops :meth:`_query`; subclasses whose backend has a
+        natural bulk lookup (the Wikipedia graph/synonym substrates,
+        WordNet, or a remote API with a batch endpoint) override this so
+        a whole chunk's terms cost one backend pass instead of one round
+        trip each.  Implementations must return exactly one answer list
+        per input term, in order.
+        """
+        return [self._query(term) for term in terms]
 
     # -- memory tier -------------------------------------------------------------
 
@@ -250,6 +521,9 @@ class ExternalResource(abc.ABC):
                 memory_hits=self._memory_hits,
                 persistent_hits=self._persistent_hits,
                 misses=self._misses,
+                coalesced_hits=self._coalesced_hits,
+                coalesce_wait_seconds=self._coalesce_wait_seconds,
+                batch_queries=self._batch_queries,
             )
 
     def reset_cache_stats(self) -> None:
@@ -257,6 +531,9 @@ class ExternalResource(abc.ABC):
             self._memory_hits = 0
             self._persistent_hits = 0
             self._misses = 0
+            self._coalesced_hits = 0
+            self._coalesce_wait_seconds = 0.0
+            self._batch_queries = 0
 
     def clear_cache(self) -> None:
         """Drop all memoized results — both tiers.
@@ -275,9 +552,11 @@ class ExternalResource(abc.ABC):
         state = self.__dict__.copy()
         state["_lock"] = None
         state["_no_persist"] = None
+        state["_single_flight"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.Lock()
         self._no_persist = threading.local()
+        self._single_flight = SingleFlight()

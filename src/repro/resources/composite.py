@@ -36,6 +36,30 @@ class CompositeResource(ExternalResource):
                     merged.append(context_term)
         return merged
 
+    def query_many(self, terms: list[str]) -> list[list[str]]:
+        """Bulk union: one batched pass per member resource.
+
+        Each member answers the whole batch through its own engine
+        (LRU, batched persistent reads, single-flight, bulk backend
+        lookups); the per-term union preserves member order exactly as
+        :meth:`_query` does.
+        """
+        member_answers = [
+            resource.context_terms_many(terms) for resource in self._resources
+        ]
+        merged_all: list[list[str]] = []
+        for index in range(len(terms)):
+            merged: list[str] = []
+            seen: set[str] = set()
+            for answers in member_answers:
+                for context_term in answers[index]:
+                    key = normalize_term(context_term)
+                    if key and key not in seen:
+                        seen.add(key)
+                        merged.append(context_term)
+            merged_all.append(merged)
+        return merged_all
+
     def cache_namespace(self) -> str:
         # The union depends on which members are combined (and on their
         # order); encode the member namespaces so different combinations

@@ -162,6 +162,23 @@ class SimulatedLatencyResource(ExternalResource):
         time.sleep(self._latency_seconds)
         return self._inner.context_terms(term)
 
+    def query_many(self, terms: list[str]) -> list[list[str]]:
+        """Bulk lookup: a whole batch costs **one** simulated round trip.
+
+        This models a remote API with a batch endpoint (one HTTP request
+        answering many terms) — the quantitative case for the batched
+        query engine: per-term latency collapses from ``n * latency`` to
+        ``ceil(n / batch) * latency``.
+        """
+        self.simulated_calls += 1
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.increment(
+                f"resource.{self.metric_label()}.simulated_round_trips"
+            )
+        time.sleep(self._latency_seconds)
+        return self._inner.context_terms_many(terms)
+
     def cache_namespace(self) -> str:
         # Latency does not change answers; share the inner namespace so
         # a cache warmed through this wrapper serves the bare resource.

@@ -29,5 +29,12 @@ class WikipediaGraphResource(ExternalResource):
     def _query(self, term: str) -> list[str]:
         return [n.title for n in self._graph.neighbours(term, k=self._top_k)]
 
+    def query_many(self, terms: list[str]) -> list[list[str]]:
+        """Bulk lookup: one graph pass, shared per-page neighbour scoring."""
+        return [
+            [n.title for n in neighbours]
+            for neighbours in self._graph.neighbours_many(terms, k=self._top_k)
+        ]
+
     def cache_namespace(self) -> str:
         return f"WikipediaGraphResource(k={self._top_k})"

@@ -29,3 +29,19 @@ class WikipediaSynonymsResource(ExternalResource):
             for synonym in self._finder.synonyms(term)
             if normalize_term(synonym.phrase) != key
         ]
+
+    def query_many(self, terms: list[str]) -> list[list[str]]:
+        """Bulk lookup: variants of one entry expand once per batch."""
+        answers: list[list[str]] = []
+        for term, synonyms in zip(
+            terms, self._finder.synonyms_many(terms), strict=True
+        ):
+            key = normalize_term(term)
+            answers.append(
+                [
+                    synonym.phrase
+                    for synonym in synonyms
+                    if normalize_term(synonym.phrase) != key
+                ]
+            )
+        return answers

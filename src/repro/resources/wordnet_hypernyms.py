@@ -23,3 +23,7 @@ class WordNetHypernymResource(ExternalResource):
 
     def _query(self, term: str) -> list[str]:
         return self._lookup.hypernyms(term, max_depth=self._max_depth)
+
+    def query_many(self, terms: list[str]) -> list[list[str]]:
+        """Bulk lookup: hypernym chains are climbed once per batch."""
+        return self._lookup.hypernyms_many(terms, max_depth=self._max_depth)

@@ -56,9 +56,35 @@ class WikipediaGraph:
         title = self._db.resolve(term)
         if title is None:
             return []
+        return self._scored_neighbours(title, k)
+
+    def _scored_neighbours(self, title: str, k: int) -> list[Neighbour]:
         scored = [
             Neighbour(target, self._score(title, target))
             for target in self._db.out_links(title)
         ]
         scored.sort(key=lambda item: (-item.score, item.title))
         return scored[:k]
+
+    def neighbours_many(
+        self, terms: list[str], k: int = 50
+    ) -> list[list[Neighbour]]:
+        """Bulk :meth:`neighbours`, one answer list per input term.
+
+        Terms resolving to the same page share one scored-neighbour
+        computation, so a batch of surface variants costs one graph walk
+        per distinct page instead of one per term.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        by_title: dict[str, list[Neighbour]] = {}
+        answers: list[list[Neighbour]] = []
+        for term in terms:
+            title = self._db.resolve(term)
+            if title is None:
+                answers.append([])
+                continue
+            if title not in by_title:
+                by_title[title] = self._scored_neighbours(title, k)
+            answers.append(by_title[title])
+        return answers

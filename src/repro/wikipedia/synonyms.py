@@ -67,3 +67,21 @@ class SynonymFinder:
             seen.add(key)
             results.append(Synonym(phrase, "anchor", score))
         return results
+
+    def synonyms_many(self, terms: list[str]) -> list[list[Synonym]]:
+        """Bulk :meth:`synonyms`, one answer list per input term.
+
+        Terms resolving to the same entry (variants of one page) share a
+        single redirect/anchor expansion.
+        """
+        by_title: dict[str, list[Synonym]] = {}
+        answers: list[list[Synonym]] = []
+        for term in terms:
+            title = self._db.resolve(term)
+            if title is None:
+                answers.append([])
+                continue
+            if title not in by_title:
+                by_title[title] = self.synonyms(term)
+            answers.append(by_title[title])
+        return answers

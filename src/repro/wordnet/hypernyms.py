@@ -30,6 +30,32 @@ class HypernymLookup:
                     results.append(hypernym)
         return results
 
+    def hypernyms_many(
+        self, terms: list[str], max_depth: int | None = None
+    ) -> list[list[str]]:
+        """Bulk :meth:`hypernyms`, one chain list per input term.
+
+        Synset chains are memoized across the batch, so terms sharing
+        senses (or repeated terms) climb each chain once.
+        """
+        chains: dict[str, tuple[str, ...]] = {}
+        answers: list[list[str]] = []
+        for term in terms:
+            results: list[str] = []
+            seen: set[str] = set()
+            for synset in self._lexicon.synsets(term):
+                chain = chains.get(synset.key)
+                if chain is None:
+                    chain = chains[synset.key] = self._lexicon.chain(synset)
+                if max_depth is not None:
+                    chain = chain[:max_depth]
+                for hypernym in chain:
+                    if hypernym not in seen:
+                        seen.add(hypernym)
+                        results.append(hypernym)
+            answers.append(results)
+        return answers
+
     def covers(self, term: str) -> bool:
         """True when the lexicon has at least one sense for ``term``."""
         return bool(self._lexicon.synsets(term))
