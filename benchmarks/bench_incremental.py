@@ -1,0 +1,150 @@
+"""EXP-INC — incremental append vs full recompute on a news firehose.
+
+The incremental pipeline's claim is twofold: appending a day's worth of
+articles to an already-ingested archive must be much cheaper than
+re-running the whole pipeline on the union corpus, and it must change
+*nothing* about the output — the facet terms and hierarchies are
+byte-identical to a from-scratch run (the differential harness in
+``tests/test_incremental_equivalence.py`` certifies the contract; this
+benchmark prices it).
+
+Setup: the SNB corpus at the session scale, with the last
+``max(10, 1000 * scale)`` documents held out as the append batch — at
+reference scale that is the "+1k docs" scenario of a daily news feed
+landing on a 16k-document archive.  The benchmark times the single
+:meth:`IncrementalExtractor.append` of the held-out batch against a full
+:meth:`FacetExtractor.run` over the union, plus the checkpoint
+save/restore round trip that a supervised stream would pay per batch.
+
+Speedup scales with the archive/batch ratio: the append pays work
+proportional to the batch (stats, extraction, expansion of new and
+dirty documents) plus per-batch fixed costs (statistic tables, facet
+selection over the pretest set, hierarchy repair) that amortize only
+when the archive dwarfs the batch.  The reference-scale gate is >= 10x;
+the tiny CI smoke corpus (scale 0.05: 800 base + 50 appended) is gated
+at the relaxed floor, like the efficiency benchmark's smoke gate.
+
+The machine-readable payload goes to
+``benchmarks/results/incremental.json`` and is mirrored to
+``BENCH_incremental.json`` at the repo root (schema
+``repro.bench_incremental/1``, validated by
+``benchmarks/check_incremental_json.py``).
+"""
+
+import pathlib
+import time
+
+from repro.core.export import to_dict
+from repro.corpus import build_corpus
+from repro.corpus.datasets import DatasetName
+from repro.incremental import CheckpointStore, IncrementalExtractor, canonical_json
+
+#: Schema tag of the machine-readable payload (bump on layout changes).
+JSON_SCHEMA = "repro.bench_incremental/1"
+
+#: Repo-root mirror of the payload.
+ROOT_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+#: The acceptance floor at reference scale (the "+1k docs" scenario).
+FULL_SCALE_MIN_SPEEDUP = 10.0
+
+#: The floor on the tiny smoke corpus, where the 16:1 archive/batch
+#: ratio of the reference scenario shrinks to 16:1 * 0.05 and the
+#: per-batch fixed costs stop amortizing.
+SMOKE_MIN_SPEEDUP = 3.0
+
+
+def _result_bytes(facet_terms, hierarchies) -> bytes:
+    payload = {
+        "facet_terms": [
+            [c.term, c.df_original, c.df_contextualized, c.score.hex()]
+            for c in facet_terms
+        ],
+        "hierarchies": to_dict(hierarchies, include_docs=True),
+    }
+    return canonical_json(payload).encode("utf-8")
+
+
+def test_incremental_append(
+    benchmark, config, builder, save_result, save_json, tmp_path
+):
+    corpus = build_corpus(DatasetName.SNB, config)
+    documents = corpus.documents
+    append_size = max(10, int(1000 * config.scale))
+    append_size = min(append_size, len(documents) // 2)
+    base, delta = documents[:-append_size], documents[-append_size:]
+
+    extractor = builder.build_incremental()
+    extractor.append(base, batch_id="archive")
+    report = benchmark.pedantic(
+        lambda: extractor.append(delta, batch_id="daily-feed"),
+        rounds=1,
+        iterations=1,
+    )
+    incremental_s = report.seconds
+
+    start = time.perf_counter()
+    full = builder.build().run(documents)
+    full_s = time.perf_counter() - start
+
+    incremental_bytes = _result_bytes(
+        extractor.facet_terms, extractor.hierarchies
+    )
+    identical = incremental_bytes == _result_bytes(
+        full.facet_terms, full.hierarchies
+    )
+    speedup = full_s / incremental_s if incremental_s > 0 else float("inf")
+
+    # The durability tax a supervised stream pays per batch: one
+    # checkpoint save plus the restore a crashed run would perform.
+    store = CheckpointStore(tmp_path / "run")
+    start = time.perf_counter()
+    store.save(extractor.state.to_payload(), sequence=len(extractor.batches_done))
+    checkpoint_save_s = time.perf_counter() - start
+    start = time.perf_counter()
+    restored = IncrementalExtractor.restore(builder.build(), store)
+    checkpoint_restore_s = time.perf_counter() - start
+    assert restored.batches_done == extractor.batches_done
+    assert _result_bytes(restored.facet_terms, restored.hierarchies) == (
+        incremental_bytes
+    )
+
+    lines = [
+        "EXP-INC: incremental append vs full recompute (SNB)",
+        f"  archive {len(base)} docs, appended batch {len(delta)} docs",
+        f"  incremental append: {incremental_s:.3f}s "
+        f"({report.dirty_documents} dirty docs, "
+        f"{report.touched_terms} touched terms)",
+        f"  full recompute:     {full_s:.3f}s",
+        f"  speedup:            {speedup:.1f}x (byte-identical: {identical})",
+        f"  checkpoint save {checkpoint_save_s:.3f}s / "
+        f"restore {checkpoint_restore_s:.3f}s",
+    ]
+    save_result("incremental", "\n".join(lines))
+    save_json(
+        "incremental",
+        {
+            "schema": JSON_SCHEMA,
+            "scale": config.scale,
+            "base_documents": len(base),
+            "appended_documents": len(delta),
+            "dirty_documents": report.dirty_documents,
+            "touched_terms": report.touched_terms,
+            "incremental_s": incremental_s,
+            "full_s": full_s,
+            "speedup": speedup,
+            "identical_output": identical,
+            "checkpoint_save_s": checkpoint_save_s,
+            "checkpoint_restore_s": checkpoint_restore_s,
+            "facet_terms": len(extractor.facet_terms),
+        },
+        extra_path=ROOT_JSON,
+    )
+
+    assert identical, "incremental append diverged from full recompute"
+    floor = (
+        FULL_SCALE_MIN_SPEEDUP if config.scale >= 1.0 else SMOKE_MIN_SPEEDUP
+    )
+    assert speedup >= floor, (
+        f"incremental speedup {speedup:.1f}x below {floor:.0f}x floor"
+    )

@@ -1,0 +1,106 @@
+"""Validate the machine-readable incremental benchmark payload.
+
+CI's bench-smoke job runs ``bench_incremental.py`` on a tiny corpus and
+then calls this script against the ``BENCH_incremental.json`` it wrote:
+the payload must match schema ``repro.bench_incremental/1``, the append
+must be byte-identical to the full recompute, and the speedup must
+clear the floor.  The default floor is the reference-scale gate (10x,
+the "+1k docs on a 16k archive" scenario); the smoke job passes a
+relaxed ``--min-speedup`` because its 800-document archive cannot
+amortize the per-batch fixed costs.  Keeping the gate in a script (not
+inside the benchmark) means any consumer of the JSON — CI, a regression
+dashboard, a local run — applies the same contract.
+
+Usage::
+
+    python benchmarks/check_incremental_json.py [path] [--min-speedup X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+EXPECTED_SCHEMA = "repro.bench_incremental/1"
+
+#: The reference-scale acceptance floor for append vs full recompute.
+DEFAULT_MIN_SPEEDUP = 10.0
+
+#: Numeric keys every payload must carry.
+REQUIRED_NUMBERS = (
+    "scale",
+    "base_documents",
+    "appended_documents",
+    "incremental_s",
+    "full_s",
+    "speedup",
+    "checkpoint_save_s",
+    "checkpoint_restore_s",
+    "facet_terms",
+)
+
+
+def validate(payload: dict, min_speedup: float) -> list[str]:
+    """Return every contract violation found (empty list = valid)."""
+    problems: list[str] = []
+    schema = payload.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        problems.append(f"schema is {schema!r}, expected {EXPECTED_SCHEMA!r}")
+    for key in REQUIRED_NUMBERS:
+        if not isinstance(payload.get(key), (int, float)):
+            problems.append(f"{key} missing or non-numeric")
+    if payload.get("identical_output") is not True:
+        problems.append("identical_output is not true")
+    speedup = payload.get("speedup")
+    if isinstance(speedup, (int, float)) and speedup < min_speedup:
+        problems.append(
+            f"speedup {speedup:.2f} below minimum {min_speedup:.2f}"
+        )
+    appended = payload.get("appended_documents")
+    if isinstance(appended, (int, float)) and appended < 1:
+        problems.append("appended_documents must be >= 1")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_incremental.json",
+        help="payload to validate (default: BENCH_incremental.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="minimum append-vs-recompute speedup (default: %(default)s)",
+    )
+    options = parser.parse_args(argv)
+    path = pathlib.Path(options.path)
+    if not path.is_file():
+        print(f"FAIL: {path} does not exist", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"FAIL: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate(payload, options.min_speedup)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {path} matches {EXPECTED_SCHEMA}; append of "
+        f"{payload['appended_documents']} docs onto "
+        f"{payload['base_documents']} ran {payload['speedup']:.1f}x faster "
+        "than full recompute, output byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,11 @@ Commands
     workers and runs; the output is bit-for-bit identical either way.
     ``--trace-out PATH`` writes a JSONL trace of nested spans and
     ``--metrics`` prints the metrics registry after the run.
+``stream``
+    Incrementally ingest ``*.jsonl`` batch files from a directory with
+    checkpoint/resume (``--run-dir`` holds the snapshots); results are
+    byte-for-byte identical to ``extract`` on the union corpus.
+    ``--make-batches N`` first splits a generated corpus into N files.
 ``trace FILE``
     Pretty-print a JSONL trace produced by ``extract --trace-out``.
 ``browse``
@@ -130,6 +135,82 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="show at most N children per span (default: all)",
+    )
+
+    stream = sub.add_parser(
+        "stream",
+        help="incrementally ingest batch files with checkpoint/resume",
+    )
+    stream.add_argument(
+        "--input",
+        required=True,
+        metavar="DIR",
+        help="directory of *.jsonl batch files (lexicographic order)",
+    )
+    stream.add_argument(
+        "--run-dir",
+        required=True,
+        metavar="DIR",
+        help="checkpoint directory for this stream (snapshots + manifest)",
+    )
+    stream.add_argument(
+        "--make-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="first split the --dataset corpus into N batch files in --input",
+    )
+    stream.add_argument(
+        "--dataset",
+        default="SNYT",
+        choices=["SNYT", "SNB", "MNYT"],
+        help="corpus used with --make-batches",
+    )
+    stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint after every N ingested batches (default: 1)",
+    )
+    stream.add_argument(
+        "--keep",
+        type=int,
+        default=3,
+        metavar="N",
+        help="snapshots retained in the run directory (default: 3)",
+    )
+    stream.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore existing checkpoints and re-ingest everything",
+    )
+    stream.add_argument(
+        "--top", type=int, default=20, help="facet terms to print"
+    )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size (default: REPRO_WORKERS or 1 = serial)",
+    )
+    stream.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="documents per work chunk (default: derived)",
+    )
+    stream.add_argument(
+        "--backend",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker pool backend",
+    )
+    stream.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persistent SQLite resource-cache file",
     )
 
     sub.add_parser("browse", help="demonstrate the faceted interface")
@@ -278,6 +359,39 @@ def _format_resource_stats(stats: dict[str, ResourceStats]) -> str:
     return "\n".join(lines)
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .builder import FacetPipelineBuilder
+    from .corpus import build_corpus
+    from .incremental import StreamSupervisor, make_batch_files
+
+    config = _config(args)
+    if args.make_batches is not None:
+        corpus = build_corpus(args.dataset, config)
+        paths = make_batch_files(args.input, corpus.documents, args.make_batches)
+        print(f"wrote {len(paths)} batch files to {args.input}")
+    supervisor = StreamSupervisor(
+        FacetPipelineBuilder(config).build(),
+        args.run_dir,
+        checkpoint_every=args.checkpoint_every,
+        keep_snapshots=args.keep,
+        resume=not args.no_resume,
+    )
+    report = supervisor.run(args.input)
+    extractor = supervisor.extractor
+    print(report.format_summary())
+    print(
+        f"corpus: {extractor.document_count} documents, "
+        f"{len(extractor.facet_terms)} facet terms, "
+        f"{len(extractor.hierarchies)} facets"
+    )
+    for candidate in extractor.facet_terms[: args.top]:
+        print(
+            f"{candidate.term:<32} df {candidate.df_original:>5} -> "
+            f"{candidate.df_contextualized:>5}  score {candidate.score:10.1f}"
+        )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .observability import load_trace, render_spans
 
@@ -323,6 +437,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "extract":
         return _cmd_extract(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "browse":

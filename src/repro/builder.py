@@ -159,3 +159,32 @@ class FacetPipelineBuilder:
             cache_fingerprint=self.config.cache_fingerprint(),
             observability=self._observability,
         )
+
+    def build_incremental(self, checkpoint_dir: str | None = None):
+        """Materialize an incremental extractor over a fresh pipeline.
+
+        Checkpointing follows ``config.incremental``: when a checkpoint
+        directory is configured (or passed here, which wins), snapshots
+        are written on the configured cadence and — unless
+        ``config.incremental.resume`` is off — the newest valid one is
+        restored before the first append.
+        """
+        from .incremental import CheckpointStore, IncrementalExtractor
+
+        settings = self.config.incremental
+        directory = (
+            checkpoint_dir if checkpoint_dir is not None else settings.checkpoint_dir
+        )
+        pipeline = self.build()
+        if directory is None:
+            return IncrementalExtractor(
+                pipeline, checkpoint_every=settings.checkpoint_every
+            )
+        store = CheckpointStore(directory, keep_snapshots=settings.keep_snapshots)
+        if settings.resume:
+            return IncrementalExtractor.restore(
+                pipeline, store, checkpoint_every=settings.checkpoint_every
+            )
+        return IncrementalExtractor(
+            pipeline, checkpoint=store, checkpoint_every=settings.checkpoint_every
+        )

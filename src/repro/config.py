@@ -156,6 +156,41 @@ class ParallelConfig:
 
 
 @dataclass(frozen=True, kw_only=True)
+class IncrementalConfig:
+    """Settings for the incremental (streaming) extraction path.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Run directory for versioned on-disk snapshots; None disables
+        checkpointing (the in-memory incremental state still works).
+    checkpoint_every:
+        Checkpoint after every N ingested batches.
+    keep_snapshots:
+        Snapshots retained in the run directory; older ones are pruned
+        after each successful write.
+    resume:
+        Load the latest good snapshot from ``checkpoint_dir`` on
+        start-up instead of beginning from an empty corpus.
+    """
+
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    keep_snapshots: int = 3
+    resume: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.keep_snapshots < 1:
+            raise ConfigError(
+                f"keep_snapshots must be >= 1, got {self.keep_snapshots}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
 class ReproConfig:
     """Top-level configuration for experiments.
 
@@ -177,6 +212,9 @@ class ReproConfig:
     parallel:
         Batch-execution settings (worker count, chunk size, shared
         cache path); the default is serial with no persistent cache.
+    incremental:
+        Streaming-extraction settings (checkpoint directory, cadence,
+        retention); the default keeps everything in memory.
     """
 
     seed: int = 20080407
@@ -184,6 +222,7 @@ class ReproConfig:
     wiki_graph_top_k: int = PAPER_WIKI_GRAPH_TOP_K
     annotators_per_story: int = PAPER_ANNOTATORS_PER_STORY
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    incremental: IncrementalConfig = field(default_factory=IncrementalConfig)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

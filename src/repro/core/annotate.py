@@ -8,7 +8,7 @@ compares against the contextualized database.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -61,20 +61,34 @@ def _stats_chunk(documents: list[Document]) -> list[tuple[str, list[str]]]:
     return out
 
 
+def merge_important(outputs: Iterable[list[str]]) -> list[str]:
+    """Union per-extractor term lists into ``I(d)``, first-seen order.
+
+    Deduplication is on the normalized form; the first surface form
+    wins.  Shared by the batch annotation pass and the incremental
+    pipeline (which re-merges cached per-extractor outputs), so the two
+    paths cannot diverge.
+    """
+    merged: list[str] = []
+    seen: set[str] = set()
+    for terms in outputs:
+        for term in terms:
+            key = normalize_term(term)
+            if key and key not in seen:
+                seen.add(key)
+                merged.append(term)
+    return merged
+
+
 def _extract_chunk(
     extractors: list[TermExtractor], documents: list[Document]
 ) -> list[tuple[str, list[str]]]:
     """Per-chunk worker for the extraction pass: ``I(d)`` per doc."""
     out: list[tuple[str, list[str]]] = []
     for document in documents:
-        merged: list[str] = []
-        seen: set[str] = set()
-        for extractor in extractors:
-            for term in extractor.extract(document):
-                key = normalize_term(term)
-                if key and key not in seen:
-                    seen.add(key)
-                    merged.append(term)
+        merged = merge_important(
+            extractor.extract(document) for extractor in extractors
+        )
         out.append((document.doc_id, merged))
     return out
 

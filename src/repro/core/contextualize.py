@@ -123,6 +123,19 @@ def _expand_chunk_batched(
     return out
 
 
+def expand_items(
+    resources: list[ExternalResource],
+    items: list[tuple[str, list[str]]],
+) -> list[tuple[str, list[str], list[str]]]:
+    """Public batched expansion of ``(doc_id, I(d))`` work items.
+
+    The incremental pipeline expands only new/dirty documents through
+    this entry point — the same worker the batch pipeline runs per
+    chunk, so both produce identical ``(C(d), seen-key)`` payloads.
+    """
+    return _expand_chunk_batched(resources, items)
+
+
 def contextualize(
     annotated: AnnotatedDatabase,
     resources: list[ExternalResource],

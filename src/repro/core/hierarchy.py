@@ -104,10 +104,7 @@ def build_facet_hierarchies(
     """
     if min_docs < 1:
         raise HierarchyError(f"min_docs must be >= 1, got {min_docs}")
-    if not 0 < max_coverage <= 1:
-        raise HierarchyError(f"max_coverage must be in (0, 1], got {max_coverage}")
     terms = [normalize_term(c.term) for c in candidates]
-    max_parent_df = int(max_coverage * max(len(database.annotated.documents), 1))
     doc_sets: dict[str, set[str]] = {}
     for term in terms:
         docs = {
@@ -117,6 +114,39 @@ def build_facet_hierarchies(
         }
         if len(docs) >= min_docs:
             doc_sets[term] = docs
+    return build_hierarchies_from_doc_sets(
+        terms,
+        doc_sets,
+        len(database.annotated.documents),
+        threshold=threshold,
+        max_df_ratio=max_df_ratio,
+        max_coverage=max_coverage,
+        edge_validator=edge_validator,
+    )
+
+
+def build_hierarchies_from_doc_sets(
+    terms: list[str],
+    doc_sets: dict[str, set[str]],
+    document_count: int,
+    threshold: float = 0.8,
+    max_df_ratio: float | None = DEFAULT_MAX_DF_RATIO,
+    max_coverage: float = DEFAULT_MAX_COVERAGE,
+    edge_validator: Callable[[str, str], bool] | None = None,
+    overlap: Callable[[str, str], int] | None = None,
+) -> list[FacetHierarchy]:
+    """Build facet trees from precomputed per-term document sets.
+
+    The shared back half of :func:`build_facet_hierarchies`: the batch
+    pipeline scans ``expanded_sets`` to produce ``doc_sets``, while the
+    incremental pipeline reads them straight from its postings index —
+    both then run this exact code, so the trees cannot diverge.
+    ``overlap`` optionally replaces the set-intersection co-occurrence
+    counts (see :func:`repro.core.subsumption.build_subsumption_hierarchy`).
+    """
+    if not 0 < max_coverage <= 1:
+        raise HierarchyError(f"max_coverage must be in (0, 1], got {max_coverage}")
+    max_parent_df = int(max_coverage * max(document_count, 1))
     usable = [t for t in terms if t in doc_sets]
     subsumption = build_subsumption_hierarchy(
         usable,
@@ -125,6 +155,7 @@ def build_facet_hierarchies(
         max_df_ratio=max_df_ratio,
         max_parent_df=max_parent_df,
         edge_validator=edge_validator,
+        overlap=overlap,
     )
     hierarchies = hierarchies_from_subsumption(subsumption, doc_sets)
     metrics = current_metrics()

@@ -61,9 +61,12 @@ def save_expansions(database: ContextualizedDatabase, path: str) -> None:
             connection.executemany(
                 "INSERT INTO original_terms VALUES (?,?)",
                 [
+                    # Sorted: term_sets holds sets, and iterating them
+                    # directly would make row order (and therefore the
+                    # database bytes) vary run to run.
                     (doc_id, term)
                     for doc_id, terms in annotated.term_sets.items()
-                    for term in terms
+                    for term in sorted(terms)
                 ],
             )
             connection.executemany(

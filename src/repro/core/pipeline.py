@@ -185,6 +185,46 @@ class FacetExtractor:
         """The batch-execution settings this pipeline runs with."""
         return self._parallel
 
+    @property
+    def extractors(self) -> list[TermExtractor]:
+        """The Step-1 extractors (shared list — do not mutate)."""
+        return self._extractors
+
+    @property
+    def resources(self) -> list[ExternalResource]:
+        """The Step-2 resources (shared list — do not mutate)."""
+        return self._resources
+
+    @property
+    def top_k(self) -> int:
+        """Facet terms kept after the Figure 3 ranking."""
+        return self._top_k
+
+    @property
+    def statistic(self) -> str:
+        """Ranking statistic (``log-likelihood`` or ``chi-square``)."""
+        return self._statistic
+
+    @property
+    def require_both_shifts(self) -> bool:
+        """Whether candidates need both shifts positive."""
+        return self._require_both_shifts
+
+    @property
+    def subsumption_threshold(self) -> float:
+        """``P(x | y)`` cut-off used for hierarchy construction."""
+        return self._subsumption_threshold
+
+    @property
+    def build_hierarchies(self) -> bool:
+        """Whether hierarchy construction runs after selection."""
+        return self._build_hierarchies
+
+    @property
+    def edge_validator(self) -> Callable[[str, str], bool] | None:
+        """Independent-evidence check for subsumption edges, if any."""
+        return self._edge_validator
+
     def _start_prefetcher(self) -> ResourcePrefetcher | None:
         """Build the cache warm-up stage when the configuration allows it.
 

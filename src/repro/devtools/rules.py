@@ -36,6 +36,7 @@ PAR001    process-pool payloads must not close over unpicklables
 OBS001    spans/tracers are built via the no-op-safe bundle only
 CACHE001  cache writes must store immutable values
 API001    public API functions carry complete type annotations
+CKPT001   incremental-state writes go through the atomic helper
 FLOW001   resource responses validated before cache writes (taint)
 FLOW002   no silent exception swallow in resource/db paths
 RACE001   no unguarded shared-state mutation on worker paths
@@ -507,6 +508,83 @@ class PublicApiAnnotationRule(Rule):
         if args.kwarg is not None and args.kwarg.annotation is None:
             missing.append(f"**{args.kwarg.arg}")
         return missing
+
+
+# ---------------------------------------------------------------------------
+# CKPT001 — checkpoint writes must be atomic
+# ---------------------------------------------------------------------------
+
+
+class AtomicCheckpointWriteRule(Rule):
+    """CKPT001: a crash during a plain ``open(path, "w")`` write leaves a
+    half-written file that a resume would read as the latest state.  All
+    file writes under :mod:`repro.incremental` must therefore go through
+    :func:`repro.incremental.checkpoint.atomic_write_text` /
+    ``atomic_write_json`` (temp file + fsync + ``os.replace``); the
+    checkpoint module itself, which implements that helper, is the only
+    exemption."""
+
+    rule_id = "CKPT001"
+    severity = Severity.ERROR
+    summary = "incremental-state writes must use the atomic write helper"
+    hint = (
+        "write through atomic_write_text/atomic_write_json "
+        "(repro.incremental.checkpoint): temp file + fsync + os.replace"
+    )
+    scopes = ("repro.incremental",)
+    excludes = ("repro.incremental.checkpoint",)
+
+    #: ``open`` mode characters that create or truncate the target.
+    _WRITE_MODES = ("w", "a", "x", "+")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._open_mode(node)
+                if mode is not None and any(
+                    ch in mode for ch in self._WRITE_MODES
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"open(..., {mode!r}) writes in place; a crash "
+                        "mid-write leaves a torn file for resume to read",
+                    )
+            elif isinstance(func, ast.Attribute) and func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                qualified = ctx.resolve(func)
+                if qualified in (
+                    "repro.incremental.checkpoint.atomic_write_text",
+                    "repro.incremental.checkpoint.atomic_write_json",
+                ):  # pragma: no cover - defensive; helpers are functions
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{func.attr}(...) writes in place; a crash mid-write "
+                    "leaves a torn file for resume to read",
+                )
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        """The literal mode of an ``open`` call (None = default read)."""
+        mode: ast.AST | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return None
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        # Dynamic mode expression: assume the worst.
+        return "w"
 
 
 # Register the flow-aware rules (FLOW001/FLOW002/RACE001/DET002); the

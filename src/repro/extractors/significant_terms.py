@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections.abc import Callable
 
 from ..corpus.document import Document
 from ..text.phrases import candidate_phrases
@@ -58,6 +59,7 @@ class SignificantTermsExtractor(TermExtractor):
         if max_terms <= 0:
             raise ValueError(f"max_terms must be positive, got {max_terms}")
         self._background = background
+        self._adopted_background = False
         self._max_terms = max_terms
         self._simulate_latency = simulate_latency
         self._latency_seconds = latency_seconds
@@ -66,6 +68,23 @@ class SignificantTermsExtractor(TermExtractor):
         """Adopt corpus statistics unless an explicit background was set."""
         if self._background is None:
             self._background = vocabulary
+            self._adopted_background = True
+
+    @property
+    def background(self) -> Vocabulary | None:
+        """The background corpus currently scoring idf (None = flat idf)."""
+        return self._background
+
+    @property
+    def background_adopted(self) -> bool:
+        """True when the background came from the annotated corpus itself.
+
+        An adopted background makes extraction corpus-dependent: adding
+        documents changes idf, which can reorder every document's
+        terms.  The incremental pipeline checks this flag to decide
+        whether cached outputs stay valid across appends.
+        """
+        return self._adopted_background
 
     def _idf(self, term: str) -> float:
         if self._background is None or self._background.document_count == 0:
@@ -74,9 +93,14 @@ class SignificantTermsExtractor(TermExtractor):
         n = self._background.document_count
         return math.log((n + 1) / (df + 1)) + 1.0
 
-    def extract(self, document: Document) -> list[str]:
-        if self._simulate_latency:
-            time.sleep(self._latency_seconds)
+    def candidate_counts(self, document: Document) -> list[tuple[str, int]]:
+        """Candidate ``(term, tf)`` pairs of one document, scoring input.
+
+        This is the tokenization half of :meth:`extract` — pure in the
+        document, so callers (the incremental pipeline) may cache it and
+        re-run only :meth:`score_candidates` when the background corpus
+        statistics change.
+        """
         counts: dict[str, int] = {}
         words = [w for w in word_tokens(document.text) if not is_stopword(w)]
         for word in words:
@@ -85,12 +109,32 @@ class SignificantTermsExtractor(TermExtractor):
             document.text, max_words=3, include_unigrams=False
         ):
             counts[phrase] = counts.get(phrase, 0) + 1
+        return list(counts.items())
+
+    def score_candidates(
+        self,
+        candidates: list[tuple[str, int]],
+        idf: "Callable[[str], float] | None" = None,
+    ) -> list[str]:
+        """Rank candidate counts by tf·idf and return the top terms.
+
+        The scoring half of :meth:`extract`; ``idf`` defaults to the
+        extractor's own background statistics.  Both halves together are
+        exactly :meth:`extract`, so re-scoring cached candidates against
+        an updated background reproduces a fresh extraction bit for bit.
+        """
+        idf_of = self._idf if idf is None else idf
         scored = [
             # Weight phrases up slightly: services like Yahoo's favour
             # multi-word key phrases over bare words.
-            (term, tf * self._idf(term) * (1.3 if " " in term else 1.0))
-            for term, tf in counts.items()
+            (term, tf * idf_of(term) * (1.3 if " " in term else 1.0))
+            for term, tf in candidates
             if len(term) > 2
         ]
         scored.sort(key=lambda item: (-item[1], item[0]))
         return [term for term, _ in scored[: self._max_terms]]
+
+    def extract(self, document: Document) -> list[str]:
+        if self._simulate_latency:
+            time.sleep(self._latency_seconds)
+        return self.score_candidates(self.candidate_counts(document))

@@ -47,6 +47,45 @@ class Vocabulary:
         self._df.update(set(term_list))
         self._ranks = None
 
+    def remove_document(self, terms: Iterable[str]) -> None:
+        """Unregister one document previously added with the same terms.
+
+        The exact inverse of :meth:`add_document`: term/document
+        frequencies drop by the same amounts and entries reaching zero
+        are deleted, so a vocabulary that has a document removed is
+        indistinguishable from one that never saw it.  The incremental
+        pipeline uses this to repair the contextualized statistics when
+        a document's expanded term set changes.
+        """
+        term_list = [term for term in terms if term]
+        if self._documents < 1:
+            raise ValueError("remove_document on an empty vocabulary")
+        counts = Counter(term_list)
+        for term, count in counts.items():
+            have = self._df.get(term, 0)
+            if have < 1 or self._tf.get(term, 0) < count:
+                raise ValueError(
+                    f"remove_document: term {term!r} was never added "
+                    "with these frequencies"
+                )
+        self._documents -= 1
+        for term, count in counts.items():
+            self._tf[term] -= count
+            if self._tf[term] == 0:
+                del self._tf[term]
+            self._df[term] -= 1
+            if self._df[term] == 0:
+                del self._df[term]
+        self._ranks = None
+
+    def copy(self) -> "Vocabulary":
+        """An independent snapshot of the statistics."""
+        clone = Vocabulary()
+        clone._tf = Counter(self._tf)
+        clone._df = Counter(self._df)
+        clone._documents = self._documents
+        return clone
+
     # -- size accessors -------------------------------------------------------
 
     @property

@@ -103,6 +103,34 @@ class TestCli:
         assert main(["trace", str(empty)]) == 1
         assert "empty trace" in capsys.readouterr().err
 
+    def test_stream_ingests_then_skips_on_rerun(self, capsys, tmp_path):
+        batches = str(tmp_path / "batches")
+        run_dir = str(tmp_path / "run")
+        args = [
+            "--scale",
+            "0.05",
+            "stream",
+            "--input",
+            batches,
+            "--run-dir",
+            run_dir,
+            "--dataset",
+            "SNYT",
+            "--top",
+            "5",
+        ]
+        assert main([*args, "--make-batches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cold start" in out
+        assert "ingested 2 batches" in out
+        assert "score" in out
+        # Same command again: everything is checkpointed, nothing re-runs.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resumed with" in out
+        assert "ingested 0 batches" in out
+        assert "skipped 2" in out
+
 
 def _run_cli(*args: str, cwd: str | None = None) -> subprocess.CompletedProcess:
     """Invoke ``python -m repro`` the way a user would."""

@@ -26,7 +26,15 @@ from repro.devtools.imports import ImportTracker
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-EXPECTED_RULES = {"DET001", "DET002", "PAR001", "OBS001", "CACHE001", "API001"}
+EXPECTED_RULES = {
+    "DET001",
+    "DET002",
+    "PAR001",
+    "OBS001",
+    "CACHE001",
+    "API001",
+    "CKPT001",
+}
 
 
 def check(source: str, module: str) -> list:
@@ -445,6 +453,72 @@ def test_api001_fully_annotated_is_clean():
 def test_api001_out_of_scope_module_is_ignored():
     findings = check("def f(x):\n    return x\n", "repro.harness.tables")
     assert findings == []
+
+
+# -- CKPT001 ----------------------------------------------------------------------
+
+
+def test_ckpt001_flags_plain_write_mode_open():
+    findings = check(
+        """
+        def save(path, text):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        """,
+        "repro.incremental.state",
+    )
+    assert rule_ids(findings) == {"CKPT001"}
+    assert findings[0].severity is Severity.ERROR
+    assert "torn file" in findings[0].message
+
+
+def test_ckpt001_flags_path_write_text_and_dynamic_mode():
+    findings = check(
+        """
+        def save(path, payload, mode):
+            path.write_text(payload)
+            open(path, mode)
+        """,
+        "repro.incremental.supervisor",
+    )
+    assert rule_ids(findings) == {"CKPT001"}
+    assert len(findings) == 2
+
+
+def test_ckpt001_read_mode_and_atomic_helper_are_clean():
+    findings = check(
+        """
+        from .checkpoint import atomic_write_json
+
+        def roundtrip(path, payload):
+            atomic_write_json(path, payload)
+            with open(path, encoding="utf-8") as handle:
+                return handle.read()
+        """,
+        "repro.incremental.state",
+    )
+    assert findings == []
+
+
+def test_ckpt001_suppressed_by_noqa():
+    findings = check(
+        """
+        def save(path, text):
+            path.write_text(text)  # repro: noqa[CKPT001]
+        """,
+        "repro.incremental.state",
+    )
+    assert findings == []
+
+
+def test_ckpt001_checkpoint_module_and_out_of_scope_are_exempt():
+    snippet = """
+        def save(path, text):
+            with open(path, "w") as handle:
+                handle.write(text)
+        """
+    assert "CKPT001" not in rule_ids(check(snippet, "repro.incremental.checkpoint"))
+    assert "CKPT001" not in rule_ids(check(snippet, "repro.core.persistence"))
 
 
 # -- analyzer machinery -----------------------------------------------------------

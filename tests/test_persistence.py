@@ -71,3 +71,67 @@ class TestExpansionPersistence:
         path.write_text("not a database")
         with pytest.raises(StorageError):
             load_expansions(pipeline_result.documents[:2], str(path))
+
+
+class TestByteDeterminism:
+    """DET002 extended to SQLite artifacts: equal state, equal bytes.
+
+    ``term_sets`` holds Python sets, whose iteration order depends on
+    how the set was built (table size, insertion history) — not just on
+    its contents.  ``save_expansions`` must therefore sort before
+    inserting, or logically identical databases serialize differently.
+    """
+
+    @staticmethod
+    def _database_with(terms: set[str]):
+        from repro.core.annotate import AnnotatedDatabase
+        from repro.core.contextualize import ContextualizedDatabase
+        from repro.corpus.document import Document
+        from repro.text.vocabulary import Vocabulary
+
+        doc = Document(doc_id="d1", title="t", body="b")
+        vocab = Vocabulary()
+        vocab.add_document(terms)
+        annotated = AnnotatedDatabase(
+            documents=[doc],
+            important_terms={"d1": sorted(terms)},
+            vocabulary=vocab,
+            term_sets={"d1": terms},
+        )
+        return ContextualizedDatabase(
+            annotated=annotated,
+            context_terms={"d1": []},
+            expanded_sets={"d1": set(terms)},
+            vocabulary=vocab,
+        )
+
+    def test_equal_sets_built_differently_save_identical_bytes(self, tmp_path):
+        import filecmp
+
+        terms = {"alpha", "kiwi", "mango", "zebra"}
+        # Same contents, different hash-table history: grow the set past
+        # a resize, then shrink it back.  Iterating the two sets can
+        # yield different orders even though they compare equal.
+        grown = set()
+        for filler in [f"filler-{i:03d}" for i in range(64)]:
+            grown.add(filler)
+        grown.update(terms)
+        for filler in [f"filler-{i:03d}" for i in range(64)]:
+            grown.discard(filler)
+        assert grown == terms
+
+        first = tmp_path / "first.sqlite"
+        second = tmp_path / "second.sqlite"
+        save_expansions(self._database_with(terms), str(first))
+        save_expansions(self._database_with(grown), str(second))
+        assert filecmp.cmp(first, second, shallow=False)
+
+    def test_round_trip_twice_is_byte_stable(self, pipeline_result, tmp_path):
+        import filecmp
+
+        first = tmp_path / "first.sqlite"
+        second = tmp_path / "second.sqlite"
+        save_expansions(pipeline_result.contextualized, str(first))
+        restored = load_expansions(pipeline_result.documents, str(first))
+        save_expansions(restored, str(second))
+        assert filecmp.cmp(first, second, shallow=False)
