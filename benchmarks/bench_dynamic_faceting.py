@@ -8,6 +8,7 @@ facets for a query's result set must take well under a second.
 
 import time
 
+from repro.core.interface import FacetedInterface
 from repro.corpus.datasets import DatasetName
 from repro.corpus import build_corpus
 from repro.core.dynamic import DynamicFaceter
@@ -20,7 +21,7 @@ def test_dynamic_faceting_latency(benchmark, config, builder, save_result):
     faceter = DynamicFaceter(
         result.contextualized, edge_validator=builder.edge_evidence
     )
-    interface = result.interface()
+    interface = FacetedInterface.from_result(result)
     queries = ("summit treaty", "vaccine outbreak", "playoffs season")
 
     def run():

@@ -1,0 +1,151 @@
+"""EXP-SRV — faceted-browsing service latency under concurrent load.
+
+The paper's deployment story ("compute term and context extraction
+offline ... the faceted interface is then ready at query time") implies
+a serving tier: this benchmark builds the read-only ``repro.index/1``
+artifact once, starts the stdlib HTTP bridge over :class:`FacetApp`,
+and drives it with >= 8 concurrent keep-alive clients issuing a
+realistic request mix (facet roots, children listings, multi-facet
+drilldowns, keyword drilldowns, document fetches).  Reported numbers:
+p50/p99 per-request latency and aggregate requests/second.
+
+Besides the human-readable table, the benchmark writes a
+machine-readable payload to ``benchmarks/results/serving.json`` and
+mirrors it to ``BENCH_serving.json`` at the repo root (schema
+``repro.bench_serving/1``, validated in CI by
+``benchmarks/check_serving_json.py``).
+"""
+
+import http.client
+import pathlib
+import threading
+import time
+
+from repro.core.interface import FacetedInterface
+from repro.corpus.datasets import DatasetName
+from repro.corpus import build_corpus
+from repro.serving import FacetApp, FacetIndex, run_in_thread
+
+#: Concurrent simulated clients (the acceptance floor is 8).
+CLIENTS = 8
+
+#: Requests issued by each client over one keep-alive connection.
+REQUESTS_PER_CLIENT = 30
+
+#: Schema tag of the machine-readable payload (bump on layout changes).
+JSON_SCHEMA = "repro.bench_serving/1"
+
+#: Repo-root mirror of the serving payload.
+ROOT_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending-sorted, non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def _request_mix(interface):
+    """A deterministic cycle of paths exercising every read endpoint."""
+    names = interface.facet_names()
+    doc = interface.dice([])[0]
+    mix = ["/facets"]
+    mix += [f"/facets/{name}/children" for name in names[:3]]
+    mix += [f"/drilldown?facet={name}&limit=10" for name in names[:2]]
+    if len(names) >= 2:
+        mix.append(f"/drilldown?facet={names[0]}&facet={names[1]}")
+    mix += ["/drilldown?q=minister&limit=10", f"/documents/{doc.doc_id}"]
+    return mix
+
+
+def _client_worker(host, port, paths, count, latencies, failures, barrier):
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        barrier.wait()
+        for i in range(count):
+            path = paths[i % len(paths)]
+            start = time.perf_counter()
+            connection.request("GET", path)
+            response = connection.getresponse()
+            response.read()
+            latencies.append(time.perf_counter() - start)
+            if response.status != 200:
+                failures.append((path, response.status))
+    finally:
+        connection.close()
+
+
+def test_serving_load(benchmark, config, builder, save_result, save_json, tmp_path):
+    corpus = build_corpus(DatasetName.SNYT, config)
+    result = builder.build().run(corpus.documents)
+    interface = FacetedInterface.from_result(result)
+    artifact_path = str(tmp_path / "facets.idx")
+
+    with FacetIndex.build(result, path=artifact_path) as index:
+        paths = _request_mix(interface)
+        app = FacetApp(index)
+
+        def run():
+            latencies: list[float] = []
+            failures: list[tuple[str, int]] = []
+            with run_in_thread(app) as (host, port):
+                barrier = threading.Barrier(CLIENTS + 1)
+                threads = [
+                    threading.Thread(
+                        target=_client_worker,
+                        args=(host, port, paths, REQUESTS_PER_CLIENT,
+                              latencies, failures, barrier),
+                    )
+                    for _ in range(CLIENTS)
+                ]
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+                started = time.perf_counter()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - started
+            return latencies, failures, elapsed
+
+        latencies, failures, elapsed = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        manifest_counts = {
+            "documents": index.document_count,
+            "facets": index.facet_count,
+            "nodes": index.node_count,
+        }
+        checksum = index.checksum
+
+    assert failures == []
+    assert len(latencies) == CLIENTS * REQUESTS_PER_CLIENT
+    ordered = sorted(latencies)
+    p50_ms = _percentile(ordered, 0.50) * 1000.0
+    p99_ms = _percentile(ordered, 0.99) * 1000.0
+    rps = len(latencies) / elapsed
+
+    save_result(
+        "serving",
+        f"{CLIENTS} clients x {REQUESTS_PER_CLIENT} requests over "
+        f"{manifest_counts['documents']} docs / "
+        f"{manifest_counts['nodes']} facet nodes:\n"
+        f"  p50 {p50_ms:.1f} ms   p99 {p99_ms:.1f} ms   {rps:.0f} req/s",
+    )
+    save_json(
+        "serving",
+        {
+            "schema": JSON_SCHEMA,
+            "scale": config.scale,
+            "clients": CLIENTS,
+            "requests": len(latencies),
+            "errors": len(failures),
+            "p50_ms": p50_ms,
+            "p99_ms": p99_ms,
+            "rps": rps,
+            "elapsed_s": elapsed,
+            "artifact": {**manifest_counts, "checksum": checksum},
+        },
+        extra_path=ROOT_JSON,
+    )
+    # The interface must feel interactive even under 8-way concurrency.
+    assert p99_ms < 5000.0

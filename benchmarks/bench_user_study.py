@@ -5,6 +5,7 @@ to the facet hierarchies; task time drops (~25%); satisfaction holds
 around 2.5/3.
 """
 
+from repro.core.interface import FacetedInterface
 from repro.corpus.datasets import DatasetName
 from repro.corpus import build_corpus
 from repro.eval.user_study import UserStudy
@@ -13,7 +14,7 @@ from repro.eval.user_study import UserStudy
 def test_user_study(benchmark, config, builder, save_result):
     corpus = build_corpus(DatasetName.SNYT, config)
     result = builder.with_top_k(400).build().run(corpus.documents)
-    interface = result.interface()
+    interface = FacetedInterface.from_result(result)
     study = UserStudy(interface, builder.world, config)
     out = benchmark.pedantic(study.run, rounds=1, iterations=1)
 

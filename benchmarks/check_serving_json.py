@@ -1,0 +1,125 @@
+"""Validate the machine-readable serving benchmark payload.
+
+CI's bench-smoke job runs ``bench_serving.py`` against a tiny corpus and
+then calls this script on the ``BENCH_serving.json`` it wrote: the
+payload must match schema ``repro.bench_serving/1``, report latency
+percentiles from at least 8 concurrent clients with zero failed
+requests, and clear a minimum aggregate throughput.  Keeping the gate in
+a script (not inside the benchmark) means any consumer of the JSON —
+CI, a regression dashboard, a local run — applies the same contract.
+
+Usage::
+
+    python benchmarks/check_serving_json.py [path] [--min-rps X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+EXPECTED_SCHEMA = "repro.bench_serving/1"
+
+#: The service must answer at least this many requests/second in
+#: aggregate (deliberately modest: CI runners are slow and shared).
+DEFAULT_MIN_RPS = 20.0
+
+#: The acceptance floor on simulated concurrent clients.
+MIN_CLIENTS = 8
+
+#: Required numeric top-level keys.
+REQUIRED_NUMERIC = (
+    "clients",
+    "requests",
+    "errors",
+    "p50_ms",
+    "p99_ms",
+    "rps",
+    "elapsed_s",
+)
+
+#: Required numeric keys in the ``artifact`` section.
+ARTIFACT_NUMERIC = ("documents", "facets", "nodes")
+
+
+def validate(payload: dict, min_rps: float) -> list[str]:
+    """Return every contract violation found (empty list = valid)."""
+    problems: list[str] = []
+    schema = payload.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        problems.append(f"schema is {schema!r}, expected {EXPECTED_SCHEMA!r}")
+    for key in REQUIRED_NUMERIC:
+        if not isinstance(payload.get(key), (int, float)):
+            problems.append(f"{key} missing or non-numeric")
+    artifact = payload.get("artifact")
+    if not isinstance(artifact, dict):
+        problems.append("missing section 'artifact'")
+    else:
+        for key in ARTIFACT_NUMERIC:
+            if not isinstance(artifact.get(key), (int, float)):
+                problems.append(f"artifact.{key} missing or non-numeric")
+        if not isinstance(artifact.get("checksum"), str):
+            problems.append("artifact.checksum missing or not a string")
+    if problems:
+        return problems
+    if payload["clients"] < MIN_CLIENTS:
+        problems.append(
+            f"clients {payload['clients']} below minimum {MIN_CLIENTS}"
+        )
+    if payload["errors"] != 0:
+        problems.append(f"{payload['errors']} requests failed")
+    if payload["requests"] < payload["clients"]:
+        problems.append("fewer requests than clients — load loop did not run")
+    if payload["p99_ms"] < payload["p50_ms"]:
+        problems.append(
+            f"p99 {payload['p99_ms']:.1f} ms below p50 "
+            f"{payload['p50_ms']:.1f} ms — percentiles are inconsistent"
+        )
+    if payload["rps"] < min_rps:
+        problems.append(
+            f"rps {payload['rps']:.1f} below minimum {min_rps:.1f}"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_serving.json",
+        help="payload to validate (default: BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--min-rps",
+        type=float,
+        default=DEFAULT_MIN_RPS,
+        help="minimum aggregate requests/second (default: %(default)s)",
+    )
+    options = parser.parse_args(argv)
+    path = pathlib.Path(options.path)
+    if not path.is_file():
+        print(f"FAIL: {path} does not exist", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"FAIL: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate(payload, options.min_rps)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {path} matches {EXPECTED_SCHEMA}; {payload['clients']} clients, "
+        f"{payload['requests']} requests, p50 {payload['p50_ms']:.1f} ms, "
+        f"p99 {payload['p99_ms']:.1f} ms, {payload['rps']:.0f} req/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro import FacetPipelineBuilder
 from repro.config import ReproConfig
+from repro.core.interface import FacetedInterface
 from repro.corpus import build_snyt
 
 
@@ -20,7 +21,7 @@ def main() -> None:
     corpus = build_snyt(config)
     builder = FacetPipelineBuilder(config)
     result = builder.with_top_k(300).build().run(corpus.documents)
-    interface = result.interface()
+    interface = FacetedInterface.from_result(result)
 
     print("=== Facet sidebar (top-level counts) ===")
     for entry in interface.top_level_counts()[:10]:

@@ -24,9 +24,9 @@ paper-versus-measured record of every table and figure.
 
 from __future__ import annotations
 
-from .api import run
+from .api import open_index, run, serve
 from .builder import FacetPipelineBuilder
-from .config import DEFAULT_CONFIG, ParallelConfig, ReproConfig
+from .config import DEFAULT_CONFIG, ParallelConfig, ReproConfig, ServingConfig
 from .core.interface import FacetedInterface
 from .core.pipeline import FacetExtractionResult, FacetExtractor
 from .observability import (
@@ -37,11 +37,12 @@ from .observability import (
     Tracer,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ReproConfig",
     "ParallelConfig",
+    "ServingConfig",
     "DEFAULT_CONFIG",
     "FacetExtractor",
     "FacetExtractionResult",
@@ -52,6 +53,8 @@ __all__ = [
     "ResourceStats",
     "SpanTimings",
     "Tracer",
+    "open_index",
     "run",
+    "serve",
     "__version__",
 ]

@@ -22,6 +22,13 @@ Commands
     Pretty-print a JSONL trace produced by ``extract --trace-out``.
 ``browse``
     Demonstrate the faceted interface (search, drill-down, dice).
+``index build --output PATH`` / ``index inspect PATH [--verify]``
+    Compile a pipeline run into the read-only serving artifact
+    (schema ``repro.index/1``) or print/verify an artifact's manifest.
+``serve INDEX [--host H] [--port P]``
+    Serve the faceted-browsing HTTP API over an artifact; prints
+    ``serving on http://host:port`` once bound (``--port 0`` = any
+    free port).
 ``lint [PATH...]``
     Run the project-invariant static analyzer (determinism,
     thread-safety, cache hygiene; see :mod:`repro.devtools`) and exit
@@ -214,6 +221,58 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("browse", help="demonstrate the faceted interface")
+
+    index = sub.add_parser(
+        "index", help="build or inspect read-only serving index artifacts"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help="run the pipeline and compile the result into an artifact",
+    )
+    index_build.add_argument(
+        "--dataset", default="SNYT", choices=["SNYT", "SNB", "MNYT"]
+    )
+    index_build.add_argument(
+        "--output", required=True, metavar="PATH", help="artifact file to write"
+    )
+    index_build.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size for the pipeline run",
+    )
+    index_inspect = index_sub.add_parser(
+        "inspect", help="print an artifact's manifest"
+    )
+    index_inspect.add_argument("path", metavar="INDEX", help="artifact file")
+    index_inspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute content checksums and fail on mismatch",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve the faceted-browsing HTTP API over an artifact"
+    )
+    serve.add_argument("path", metavar="INDEX", help="artifact file to serve")
+    serve.add_argument("--host", default=None, help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=None, help="bind port (0 = any free port)"
+    )
+    serve.add_argument(
+        "--limit", type=int, default=None, help="default rows per response"
+    )
+    serve.add_argument(
+        "--max-limit", type=int, default=None, help="hard row cap per response"
+    )
+    serve.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock budget (exceeded -> 503)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -414,8 +473,10 @@ def _cmd_browse(args: argparse.Namespace) -> int:
 
     config = _config(args)
     corpus = build_snyt(config)
+    from .core.interface import FacetedInterface
+
     result = FacetPipelineBuilder(config).build().run(corpus.documents)
-    interface = result.interface()
+    interface = FacetedInterface.from_result(result)
     print("top-level facets:")
     for entry in interface.top_level_counts()[:10]:
         print(f"  {entry.term:<30} {entry.count:>5} docs")
@@ -425,6 +486,60 @@ def _cmd_browse(args: argparse.Namespace) -> int:
         print(f"\ndrill-down into {facet.name!r}:")
         for child in interface.children(facet.name)[:6]:
             print(f"  {facet.name} > {child.term:<24} {child.count:>5} docs")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .serving import FacetIndex
+
+    if args.index_command == "build":
+        from .builder import FacetPipelineBuilder
+        from .corpus import build_corpus
+
+        config = _config(args)
+        corpus = build_corpus(args.dataset, config)
+        log.info(
+            "index.build_start", dataset=corpus.name, documents=len(corpus)
+        )
+        result = FacetPipelineBuilder(config).build().run(corpus.documents)
+        with FacetIndex.build(result, path=args.output) as built:
+            print(
+                f"wrote {args.output}: {built.document_count} documents, "
+                f"{built.facet_count} facets, {built.node_count} nodes"
+            )
+            print(f"checksum {built.checksum}")
+        return 0
+
+    with FacetIndex.open(args.path) as index:
+        for key, value in sorted(index.manifest.items()):
+            print(f"{key:<20} {value}")
+        if args.verify:
+            if not index.verify():
+                print("checksum mismatch: artifact is corrupt", file=sys.stderr)
+                return 1
+            print("checksums verified")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .api import serve
+    from .config import ServingConfig
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("host", args.host),
+            ("port", args.port),
+            ("default_limit", args.limit),
+            ("max_limit", args.max_limit),
+            ("time_budget_seconds", args.time_budget),
+        )
+        if value is not None
+    }
+    config = dataclasses.replace(ServingConfig(), **overrides)
+    serve(args.path, config=config)
     return 0
 
 
@@ -443,6 +558,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "browse":
         return _cmd_browse(args)
+    if args.command == "index":
+        return _cmd_index(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         from .devtools.cli import run_lint
 

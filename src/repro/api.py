@@ -21,12 +21,19 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import dataclasses
+from typing import TYPE_CHECKING
+
 from .builder import FacetPipelineBuilder
-from .config import ParallelConfig, ReproConfig
+from .config import ParallelConfig, ReproConfig, ServingConfig
 from .corpus.document import Corpus, Document
+from .core.interface import FacetedInterface
 from .core.pipeline import FacetExtractionResult
 from .db.store import DocumentStore
 from .observability import Observability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .serving import FacetIndex
 
 #: Keywords routed to :class:`ReproConfig`.
 _CONFIG_KEYS = frozenset(
@@ -103,7 +110,7 @@ def run(
     -------
     FacetExtractionResult
         With :attr:`~FacetExtractionResult.store` populated when the
-        input was a :class:`Corpus`, so ``result.interface()`` reuses
+        input was a :class:`Corpus`, so :meth:`FacetedInterface.from_result` reuses
         the run's document store.
     """
     unknown = set(config_kwargs) - _CONFIG_KEYS - _PARALLEL_KEYS
@@ -149,3 +156,52 @@ def run(
     if observability is not None:
         builder.with_observability(observability)
     return builder.build().run(documents, store=store)
+
+
+def open_index(path: str) -> "FacetIndex":
+    """Open a serving artifact built with ``repro index build``.
+
+    Returns a read-only :class:`~repro.serving.FacetIndex` answering the
+    same query surface as :class:`~repro.core.interface.FacetedInterface`
+    — the one-shot mirror of ``FacetIndex.open(path)``.
+    """
+    from .serving import FacetIndex
+
+    return FacetIndex.open(path)
+
+
+def serve(
+    target: "FacetIndex | FacetedInterface | FacetExtractionResult | str",
+    *,
+    config: ServingConfig | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    observability: Observability | None = None,
+) -> None:
+    """Serve the faceted-browsing HTTP API over ``target`` (blocking).
+
+    ``target`` may be an opened :class:`~repro.serving.FacetIndex`, a
+    path to an artifact file, an in-memory
+    :class:`~repro.core.interface.FacetedInterface`, or a raw
+    :class:`FacetExtractionResult` (wrapped on the fly) — the one-shot
+    mirror of mounting :class:`~repro.serving.FacetApp` on a server.
+    Prints ``serving on http://host:port`` once the socket is bound;
+    ``port=0`` binds a free port.
+    """
+    from .serving import FacetApp, serve_blocking
+
+    browser: object = target
+    if isinstance(target, str):
+        browser = open_index(target)
+    elif isinstance(target, FacetExtractionResult):
+        browser = FacetedInterface.from_result(target)
+    serving_config = config if config is not None else ServingConfig()
+    overrides: dict[str, object] = {}
+    if host is not None:
+        overrides["host"] = host
+    if port is not None:
+        overrides["port"] = port
+    if overrides:
+        serving_config = dataclasses.replace(serving_config, **overrides)
+    app = FacetApp(browser, config=serving_config, observability=observability)
+    serve_blocking(app, serving_config.host, serving_config.port)

@@ -191,6 +191,57 @@ class IncrementalConfig:
 
 
 @dataclass(frozen=True, kw_only=True)
+class ServingConfig:
+    """Settings for the faceted-browsing HTTP service.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address.  Port ``0`` asks the OS for a free port (the bound
+        port is printed and available on the running server object).
+    default_limit:
+        Documents returned when a request does not pass ``limit``.
+    max_limit:
+        Hard row cap; requests asking for more are rejected with 400.
+    time_budget_seconds:
+        Per-request wall-clock budget; queries still running when it
+        expires are answered with 503.
+    cache_max_age:
+        ``Cache-Control: max-age`` seconds on data responses (every data
+        response also carries an ETag derived from the artifact
+        checksum, so conditional requests revalidate cheaply).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8125
+    default_limit: int = 10
+    max_limit: int = 200
+    time_budget_seconds: float = 5.0
+    cache_max_age: int = 60
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.default_limit < 1:
+            raise ConfigError(
+                f"default_limit must be >= 1, got {self.default_limit}"
+            )
+        if self.max_limit < self.default_limit:
+            raise ConfigError(
+                f"max_limit must be >= default_limit, got {self.max_limit}"
+            )
+        if self.time_budget_seconds <= 0:
+            raise ConfigError(
+                "time_budget_seconds must be positive, got "
+                f"{self.time_budget_seconds}"
+            )
+        if self.cache_max_age < 0:
+            raise ConfigError(
+                f"cache_max_age must be >= 0, got {self.cache_max_age}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
 class ReproConfig:
     """Top-level configuration for experiments.
 

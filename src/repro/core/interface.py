@@ -6,11 +6,23 @@ hierarchies with keyword search: users drill down facet nodes (slice),
 combine constraints across facets (dice), and intersect with BM25
 keyword results — the interaction pattern measured in the user study
 (Section V-E).
+
+Two implementations share this query surface:
+
+* :class:`FacetedInterface` (here) answers from in-memory objects —
+  the right backend inside a pipeline run or a notebook;
+* :class:`repro.serving.FacetIndex` answers the same queries from a
+  read-only SQLite artifact built once with ``FacetIndex.build`` and
+  opened in O(1), which is what the HTTP service serves from.
+
+Both return identical values for identical queries (certified by the
+artifact round-trip tests), so callers can swap backends freely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..corpus.document import Document
 from ..db.inverted_index import InvertedIndex
@@ -20,10 +32,13 @@ from ..errors import HierarchyError
 from ..text.tokenizer import normalize_term
 from .hierarchy import FacetHierarchy, FacetNode
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pipeline import FacetExtractionResult
+
 
 @dataclass(frozen=True)
 class FacetCount:
-    """A facet node with its document count (for display)."""
+    """A facet node with its document count and tree depth (for display)."""
 
     term: str
     count: int
@@ -31,10 +46,18 @@ class FacetCount:
 
 
 class FacetedInterface:
-    """Browse a document collection through extracted facet hierarchies."""
+    """Browse a document collection through extracted facet hierarchies.
+
+    Construction is keyword-only: ``FacetedInterface(store=..., facets=...)``
+    with an optional prebuilt inverted ``index`` (built from the store's
+    documents when omitted).  For the common cases use
+    :meth:`from_result` (wrap a pipeline run) or
+    :meth:`repro.serving.FacetIndex.open` (serve a prebuilt artifact).
+    """
 
     def __init__(
         self,
+        *,
         store: DocumentStore,
         facets: list[FacetHierarchy],
         index: InvertedIndex | None = None,
@@ -47,9 +70,39 @@ class FacetedInterface:
         self._index = index
         self._searcher = BM25Searcher(index)
         self._nodes: dict[str, FacetNode] = {}
+        self._depths: dict[str, int] = {}
         for facet in self._facets:
-            for node in facet.root.walk():
-                self._nodes.setdefault(normalize_term(node.term), node)
+            for node, depth in _walk_with_depth(facet.root):
+                key = normalize_term(node.term)
+                if key not in self._nodes:
+                    self._nodes[key] = node
+                    self._depths[key] = depth
+
+    @classmethod
+    def from_result(
+        cls,
+        result: "FacetExtractionResult",
+        *,
+        store: DocumentStore | None = None,
+    ) -> "FacetedInterface":
+        """The in-memory interface over a pipeline run.
+
+        Reuses, in order of preference: an explicitly passed store, the
+        store the run was fed from (``result.store``), or a store built
+        on first call and cached on the result — repeated calls never
+        silently rebuild document storage or the inverted index.
+        """
+        if store is None:
+            store = result.store
+        if store is None:
+            if result._built_store is None:
+                result._built_store = DocumentStore(result.documents)
+            store = result._built_store
+        if result._built_index is None:
+            index = InvertedIndex()
+            index.add_documents(result.documents)
+            result._built_index = index
+        return cls(store=store, facets=result.hierarchies, index=result._built_index)
 
     # -- facet navigation --------------------------------------------------------
 
@@ -71,11 +124,19 @@ class FacetedInterface:
     def has_node(self, term: str) -> bool:
         return normalize_term(term) in self._nodes
 
+    def depth(self, term: str) -> int:
+        """Tree depth of a facet node (roots are depth 0)."""
+        key = normalize_term(term)
+        if key not in self._depths:
+            raise HierarchyError(f"no facet node for term: {term!r}")
+        return self._depths[key]
+
     def children(self, term: str) -> list[FacetCount]:
         """Child nodes of a facet node, with counts (drill-down view)."""
         node = self.node(term)
+        child_depth = self.depth(term) + 1
         return [
-            FacetCount(child.term, child.count, depth=0)
+            FacetCount(child.term, child.count, depth=child_depth)
             for child in node.children
         ]
 
@@ -85,6 +146,17 @@ class FacetedInterface:
             FacetCount(facet.root.term, facet.root.count, depth=0)
             for facet in self._facets
         ]
+
+    # -- documents ----------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        """Number of documents in the collection."""
+        return len(self._store)
+
+    def document(self, doc_id: str) -> Document:
+        """Fetch one document by id (:class:`StorageError` when unknown)."""
+        return self._store.get(doc_id)
 
     # -- OLAP-style selection ------------------------------------------------------
 
@@ -168,3 +240,10 @@ class FacetedInterface:
                 counts.append(FacetCount(facet.root.term, overlap, depth=0))
         counts.sort(key=lambda fc: (-fc.count, fc.term))
         return counts[:max_facets]
+
+
+def _walk_with_depth(root: FacetNode, depth: int = 0):
+    """Pre-order traversal yielding ``(node, depth)`` pairs."""
+    yield root, depth
+    for child in root.children:
+        yield from _walk_with_depth(child, depth + 1)

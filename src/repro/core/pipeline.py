@@ -86,24 +86,23 @@ class FacetExtractionResult:
         return [candidate.term for candidate in self.facet_terms]
 
     def interface(self, store: DocumentStore | None = None) -> FacetedInterface:
-        """Build the faceted browsing interface over the result.
+        """Deprecated: build the faceted browsing interface over the result.
 
-        Reuses, in order of preference: an explicitly passed store, the
-        store the run was fed from (:attr:`store`), or a store built on
-        first call and cached — repeated calls never silently rebuild
-        document storage or the inverted index.
+        .. deprecated:: 1.3
+           The interface moved to an explicit build/open lifecycle.  Use
+           :meth:`FacetedInterface.from_result` for in-memory browsing, or
+           compile a serving artifact with
+           :meth:`repro.serving.FacetIndex.build` and reopen it in O(1)
+           with :meth:`repro.serving.FacetIndex.open`.
         """
-        if store is None:
-            store = self.store
-        if store is None:
-            if self._built_store is None:
-                self._built_store = DocumentStore(self.documents)
-            store = self._built_store
-        if self._built_index is None:
-            index = InvertedIndex()
-            index.add_documents(self.documents)
-            self._built_index = index
-        return FacetedInterface(store, self.hierarchies, index=self._built_index)
+        warnings.warn(
+            "FacetExtractionResult.interface() is deprecated; use "
+            "FacetedInterface.from_result(result) for in-memory browsing "
+            "or repro.serving.FacetIndex.build()/.open() for serving",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return FacetedInterface.from_result(self, store=store)
 
 
 class FacetExtractor:

@@ -98,3 +98,24 @@ class InvertedIndex:
 
     def __contains__(self, term: str) -> bool:
         return term in self._postings
+
+    # -- bulk export (artifact compilation) ----------------------------------------
+
+    def iter_postings(self) -> Iterable[tuple[str, str, int]]:
+        """Every ``(term, doc_id, tf)`` posting, in insertion order.
+
+        The bulk-export path :meth:`repro.serving.FacetIndex.build` uses
+        to compile the serving artifact without re-tokenizing documents.
+        """
+        for term, entries in self._postings.items():
+            for doc_id, tf in entries.items():
+                yield term, doc_id, tf
+
+    def document_lengths(self) -> dict[str, int]:
+        """Word count per document id (stopwords excluded); a copy."""
+        return dict(self._doc_lengths)
+
+    @property
+    def total_document_length(self) -> int:
+        """Sum of all document lengths (for exact avgdl reconstruction)."""
+        return sum(self._doc_lengths.values())

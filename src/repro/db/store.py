@@ -41,6 +41,55 @@ def _unpack(packed: str | None) -> tuple[str, ...]:
     return tuple(packed.split(_FIELD_SEP))
 
 
+#: Column order shared by every SQLite document table (store + artifact).
+DOCUMENT_COLUMNS = (
+    "doc_id",
+    "title",
+    "body",
+    "source",
+    "published",
+    "gold_topic",
+    "gold_entities",
+    "gold_facets",
+    "gold_leaked",
+)
+
+
+def document_to_row(doc: Document) -> tuple:
+    """Flatten a document (gold annotation included) into a SQLite row."""
+    return (
+        doc.doc_id,
+        doc.title,
+        doc.body,
+        doc.source,
+        doc.published.isoformat(),
+        doc.gold.topic if doc.gold else None,
+        _pack(doc.gold.entity_names) if doc.gold else None,
+        _pack(doc.gold.facet_terms) if doc.gold else None,
+        _pack(doc.gold.leaked_terms) if doc.gold else None,
+    )
+
+
+def document_from_row(row: tuple) -> Document:
+    """Rebuild a document from a :data:`DOCUMENT_COLUMNS` row."""
+    gold = None
+    if row[5] is not None:
+        gold = GoldAnnotation(
+            topic=row[5],
+            entity_names=_unpack(row[6]),
+            facet_terms=_unpack(row[7]),
+            leaked_terms=_unpack(row[8]),
+        )
+    return Document(
+        doc_id=row[0],
+        title=row[1],
+        body=row[2],
+        source=row[3],
+        published=date.fromisoformat(row[4]),
+        gold=gold,
+    )
+
+
 class DocumentStore:
     """An ordered collection of documents with id lookup."""
 
@@ -89,20 +138,7 @@ class DocumentStore:
                 connection.execute("DELETE FROM documents")
                 connection.executemany(
                     "INSERT INTO documents VALUES (?,?,?,?,?,?,?,?,?)",
-                    [
-                        (
-                            doc.doc_id,
-                            doc.title,
-                            doc.body,
-                            doc.source,
-                            doc.published.isoformat(),
-                            doc.gold.topic if doc.gold else None,
-                            _pack(doc.gold.entity_names) if doc.gold else None,
-                            _pack(doc.gold.facet_terms) if doc.gold else None,
-                            _pack(doc.gold.leaked_terms) if doc.gold else None,
-                        )
-                        for doc in self._documents
-                    ],
+                    [document_to_row(doc) for doc in self._documents],
                 )
         finally:
             connection.close()
@@ -123,22 +159,5 @@ class DocumentStore:
             connection.close()
         store = cls()
         for row in rows:
-            gold = None
-            if row[5] is not None:
-                gold = GoldAnnotation(
-                    topic=row[5],
-                    entity_names=_unpack(row[6]),
-                    facet_terms=_unpack(row[7]),
-                    leaked_terms=_unpack(row[8]),
-                )
-            store.add(
-                Document(
-                    doc_id=row[0],
-                    title=row[1],
-                    body=row[2],
-                    source=row[3],
-                    published=date.fromisoformat(row[4]),
-                    gold=gold,
-                )
-            )
+            store.add(document_from_row(row))
         return store

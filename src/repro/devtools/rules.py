@@ -40,6 +40,7 @@ CKPT001   incremental-state writes go through the atomic helper
 FLOW001   resource responses validated before cache writes (taint)
 FLOW002   no silent exception swallow in resource/db paths
 RACE001   no unguarded shared-state mutation on worker paths
+SRV001    no blocking I/O inside async view handlers
 ========  ==========================================================
 """
 
@@ -585,6 +586,77 @@ class AtomicCheckpointWriteRule(Rule):
             return mode.value
         # Dynamic mode expression: assume the worst.
         return "w"
+
+
+# ---------------------------------------------------------------------------
+# SRV001 — no blocking I/O inside async view handlers
+# ---------------------------------------------------------------------------
+
+#: Calls that stall the serving event loop when made from a coroutine.
+_SRV001_BLOCKING = {
+    "time.sleep": "sleeps on the event loop",
+    "sqlite3.connect": "opens a database connection on the event loop",
+    "urllib.request.urlopen": "does synchronous network I/O",
+    "socket.create_connection": "does synchronous network I/O",
+}
+
+
+class NonBlockingAsyncViewRule(Rule):
+    """SRV001: every request to the serving layer shares one event loop,
+    so a single blocking call inside an ``async def`` view stalls all
+    concurrent requests.  Backend queries must be dispatched through
+    ``loop.run_in_executor`` under ``asyncio.wait_for`` (the
+    :class:`repro.serving.app.FacetApp` pattern); per-request
+    ``sqlite3.connect`` belongs in :class:`FacetIndex`'s thread-local
+    connection pool, never in a view.  Synchronous helper functions are
+    exempt — they already run on executor threads."""
+
+    rule_id = "SRV001"
+    severity = Severity.ERROR
+    summary = "no blocking I/O inside async view handlers"
+    hint = (
+        "run blocking work on the executor: await asyncio.wait_for("
+        "loop.run_in_executor(None, fn), timeout); open SQLite "
+        "connections inside FacetIndex's thread-local pool"
+    )
+    scopes = ("repro.serving",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node)
+
+    def _check_coroutine(
+        self, ctx: ModuleContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in self._walk_same_context(func):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve(node.func)
+            reason = _SRV001_BLOCKING.get(qualified or "")
+            if reason is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{qualified}() inside async view "
+                    f"{func.name!r} {reason}, stalling every in-flight "
+                    "request",
+                )
+
+    @classmethod
+    def _walk_same_context(cls, root: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``root``'s body without descending into nested defs.
+
+        Nested ``async def``s are visited by the outer scan; nested sync
+        ``def``s run on executor threads, where blocking is the point.
+        """
+        for child in ast.iter_child_nodes(root):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield child
+            yield from cls._walk_same_context(child)
 
 
 # Register the flow-aware rules (FLOW001/FLOW002/RACE001/DET002); the

@@ -12,6 +12,7 @@ from typing import Any, Callable
 
 from ..builder import FacetPipelineBuilder
 from ..config import ReproConfig
+from ..core.interface import FacetedInterface
 from ..corpus.datasets import DatasetName, build_corpus
 from ..eval.efficiency import EfficiencyStudy
 from ..eval.goldset import build_gold_set
@@ -54,7 +55,7 @@ def _user_study(config: ReproConfig):
     builder = FacetPipelineBuilder(config)
     corpus = build_corpus(DatasetName.SNYT, config)
     result = builder.with_top_k(400).build().run(corpus.documents)
-    interface = result.interface()
+    interface = FacetedInterface.from_result(result)
     return UserStudy(interface, builder.world, config).run()
 
 

@@ -1,0 +1,43 @@
+"""repro.serving — the faceted-browsing HTTP service.
+
+Turns a pipeline run into something you can deploy: a read-only index
+artifact plus a small async HTTP service over it.
+
+* :class:`FacetIndex` — build/open lifecycle over the versioned SQLite
+  artifact (schema :data:`SCHEMA_VERSION`); answers the exact query
+  surface of :class:`~repro.core.interface.FacetedInterface`.
+* :class:`FacetApp` — stdlib ASGI application serving ``/facets``,
+  ``/facets/{term}/children``, ``/drilldown``, ``/documents/{id}``,
+  and ``/healthz`` as JSON or minimal HTML.
+* :class:`FacetServer` / :func:`run_in_thread` — the asyncio HTTP/1.1
+  bridge the ``repro serve`` command uses.
+
+Quickstart::
+
+    import repro
+    from repro.serving import FacetIndex, FacetApp
+
+    result = repro.run(corpus)
+    index = FacetIndex.build(result, path="facets.idx")
+    app = FacetApp(index)           # mount on any ASGI server, or:
+    repro.serve(index)              # stdlib server, blocking
+"""
+
+from __future__ import annotations
+
+from .app import FacetApp
+from .artifact import SCHEMA_VERSION, FacetIndex
+from .server import FacetServer, ServerError, run_in_thread, serve_blocking
+from .testing import AsgiClient, Response
+
+__all__ = [
+    "AsgiClient",
+    "FacetApp",
+    "FacetIndex",
+    "FacetServer",
+    "Response",
+    "SCHEMA_VERSION",
+    "ServerError",
+    "run_in_thread",
+    "serve_blocking",
+]

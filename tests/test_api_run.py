@@ -119,33 +119,42 @@ class TestRunConfigRouting:
 class TestInterfaceReuse:
     def test_interface_reuses_run_store(self, small_config, small_corpus):
         result = repro.run(small_corpus, config=small_config)
-        interface = result.interface()
+        interface = repro.FacetedInterface.from_result(result)
         assert interface._store is result.store
 
     def test_interface_caches_built_store(self, small_config, small_corpus):
         result = repro.run(
             list(small_corpus.documents), config=small_config
         )
-        first = result.interface()
-        second = result.interface()
+        first = repro.FacetedInterface.from_result(result)
+        second = repro.FacetedInterface.from_result(result)
         assert first._store is second._store
         assert first._store is not None
 
     def test_interface_explicit_store_wins(self, small_config, small_corpus):
         result = repro.run(small_corpus, config=small_config)
         mine = DocumentStore(list(small_corpus.documents))
-        interface = result.interface(store=mine)
+        interface = repro.FacetedInterface.from_result(result, store=mine)
         assert interface._store is mine
 
     def test_interface_index_cached_across_calls(
         self, small_config, small_corpus
     ):
         result = repro.run(small_corpus, config=small_config)
-        result.interface()
+        repro.FacetedInterface.from_result(result)
         index = result._built_index
         assert index is not None
-        result.interface()
+        repro.FacetedInterface.from_result(result)
         assert result._built_index is index
+
+    def test_interface_method_is_deprecated_shim(
+        self, small_config, small_corpus
+    ):
+        result = repro.run(small_corpus, config=small_config)
+        with pytest.warns(DeprecationWarning, match="from_result"):
+            interface = result.interface()
+        assert interface._store is result.store
+        assert result._built_index is not None
 
 
 class TestPublicSurface:
@@ -154,4 +163,4 @@ class TestPublicSurface:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"

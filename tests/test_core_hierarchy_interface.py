@@ -125,7 +125,7 @@ class TestInterface:
     def interface(self, small_world):
         documents, contextualized, candidates = small_world
         facets = build_facet_hierarchies(candidates, contextualized)
-        return FacetedInterface(DocumentStore(documents), facets)
+        return FacetedInterface(store=DocumentStore(documents), facets=facets)
 
     def test_top_level_counts(self, interface):
         counts = {c.term: c.count for c in interface.top_level_counts()}
@@ -168,13 +168,31 @@ class TestInterface:
         kids = interface.children("europe")
         assert any(c.term == "france" for c in kids)
 
+    def test_children_report_true_depth(self, interface):
+        """Regression: children() used to hardcode depth=0 on every child."""
+        for child in interface.children("europe"):
+            assert child.depth == 1
+        grandchildren = [
+            grandchild
+            for child in interface.children("europe")
+            for grandchild in interface.children(child.term)
+        ]
+        for grandchild in grandchildren:
+            assert grandchild.depth == 2
+
+    def test_depth_lookup(self, interface):
+        assert interface.depth("europe") == 0
+        assert interface.depth("france") == 1
+        with pytest.raises(HierarchyError):
+            interface.depth("mars")
+
 
 class TestInterfaceExtensions:
     @pytest.fixture()
     def interface(self, small_world):
         documents, contextualized, candidates = small_world
         facets = build_facet_hierarchies(candidates, contextualized)
-        return FacetedInterface(DocumentStore(documents), facets)
+        return FacetedInterface(store=DocumentStore(documents), facets=facets)
 
     def test_union_or_semantics(self, interface):
         docs = interface.union(["france", "japan"])

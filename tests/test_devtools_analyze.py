@@ -34,6 +34,7 @@ EXPECTED_RULES = {
     "CACHE001",
     "API001",
     "CKPT001",
+    "SRV001",
 }
 
 
@@ -519,6 +520,87 @@ def test_ckpt001_checkpoint_module_and_out_of_scope_are_exempt():
         """
     assert "CKPT001" not in rule_ids(check(snippet, "repro.incremental.checkpoint"))
     assert "CKPT001" not in rule_ids(check(snippet, "repro.core.persistence"))
+
+
+# -- SRV001 -----------------------------------------------------------------------
+
+
+def test_srv001_flags_blocking_calls_in_async_views():
+    findings = check(
+        """
+        import sqlite3
+        import time
+
+        async def view(request):
+            time.sleep(0.1)
+            connection = sqlite3.connect("index.db")
+            return connection
+        """,
+        "repro.serving.app",
+    )
+    assert rule_ids(findings) == {"SRV001"}
+    assert len(findings) == 2
+    assert findings[0].severity is Severity.ERROR
+    assert "event loop" in findings[0].message
+
+
+def test_srv001_executor_dispatch_and_sync_helpers_are_clean():
+    findings = check(
+        """
+        import asyncio
+        import sqlite3
+        import time
+
+        def query(path):
+            # sync helper: runs on an executor thread, blocking is fine
+            connection = sqlite3.connect(path)
+            time.sleep(0)
+            return connection
+
+        async def view(request):
+            loop = asyncio.get_running_loop()
+            return await asyncio.wait_for(
+                loop.run_in_executor(None, query, "index.db"), timeout=5.0
+            )
+        """,
+        "repro.serving.app",
+    )
+    assert findings == []
+
+
+def test_srv001_nested_sync_def_inside_async_view_is_exempt():
+    findings = check(
+        """
+        import sqlite3
+
+        async def view(request):
+            def connect():
+                return sqlite3.connect("index.db")
+            return connect
+        """,
+        "repro.serving.app",
+    )
+    assert findings == []
+
+
+def test_srv001_suppressed_by_noqa_and_scoped_to_serving():
+    suppressed = check(
+        """
+        import time
+
+        async def view(request):
+            time.sleep(0.1)  # repro: noqa[SRV001]
+        """,
+        "repro.serving.app",
+    )
+    assert suppressed == []
+    snippet = """
+        import time
+
+        async def worker():
+            time.sleep(0.1)
+        """
+    assert "SRV001" not in rule_ids(check(snippet, "repro.parallel.pool"))
 
 
 # -- analyzer machinery -----------------------------------------------------------

@@ -7,6 +7,7 @@ import time
 import pytest
 
 from repro.core.dynamic import DynamicFaceter
+from repro.core.interface import FacetedInterface
 
 
 @pytest.fixture(scope="module")
@@ -61,7 +62,7 @@ class TestDynamicFaceter:
         assert elapsed < 1.0
 
     def test_facets_for_query(self, faceter, pipeline_result):
-        interface = pipeline_result.interface()
+        interface = FacetedInterface.from_result(pipeline_result)
         facets = faceter.facets_for_query(interface, "summit treaty", limit=40)
         assert isinstance(facets, list)
 

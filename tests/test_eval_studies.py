@@ -12,6 +12,7 @@ from repro.eval.efficiency import EfficiencyStudy
 from repro.eval.precision import JudgedTerm, PrecisionStudy
 from repro.eval.recall import RecallStudy
 from repro.eval.user_study import SessionLog, UserStudy, UserStudyResult
+from repro.core.interface import FacetedInterface
 
 
 class TestRecallStudy:
@@ -93,7 +94,7 @@ class TestUserStudy:
 
     def test_runs_on_real_interface(self, builder, snyt, config):
         result = builder.build().run(snyt.documents)
-        interface = result.interface()
+        interface = FacetedInterface.from_result(result)
         study = UserStudy(interface, builder.world, config, users=2, repetitions=2)
         out = study.run()
         assert len(out.sessions) == 4

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.pipeline import FacetExtractor
 from repro.eval.metrics import term_set_recall
+from repro.core.interface import FacetedInterface
 
 
 class TestFullPipeline:
@@ -45,7 +46,7 @@ class TestFullPipeline:
         assert recall > 0.25
 
     def test_interface_built_from_result(self, pipeline_result):
-        interface = pipeline_result.interface()
+        interface = FacetedInterface.from_result(pipeline_result)
         assert interface.facet_names()
         top = interface.top_level_counts()
         assert top[0].count > 0

@@ -9,6 +9,7 @@ from repro.db.inverted_index import InvertedIndex
 from repro.db.search import BM25Searcher
 from repro.text.tokenizer import normalize_term
 from repro.text.vocabulary import Vocabulary
+from repro.core.interface import FacetedInterface
 
 _WORDS = st.sampled_from(
     "storm market rally coast flood trade summit treaty vote game".split()
@@ -59,7 +60,7 @@ def test_vocabulary_totals_consistent(docs):
 
 class TestInterfaceInvariants:
     def test_dice_subset_of_each_slice(self, pipeline_result):
-        interface = pipeline_result.interface()
+        interface = FacetedInterface.from_result(pipeline_result)
         names = [f.name for f in interface.facets if f.root.count > 3][:3]
         if len(names) < 2:
             return
@@ -79,7 +80,7 @@ class TestInterfaceInvariants:
                     assert child.doc_ids <= node.doc_ids
 
     def test_facet_counts_never_exceed_subset(self, pipeline_result):
-        interface = pipeline_result.interface()
+        interface = FacetedInterface.from_result(pipeline_result)
         subset = {doc.doc_id for doc in pipeline_result.documents[:20]}
         for entry in interface.facet_counts_for(subset):
             assert entry.count <= len(subset)

@@ -1,0 +1,296 @@
+"""Tests for the ASGI service (repro.serving.app/server/testing).
+
+Views are driven in-process through :class:`AsgiClient` (the real
+scope/receive/send path — routing, executor dispatch, timeouts, ETags)
+plus one socket-level test of the stdlib HTTP bridge.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.config import ServingConfig
+from repro.core.interface import FacetedInterface
+from repro.errors import ConfigError
+from repro.serving import AsgiClient, FacetApp, FacetIndex, run_in_thread
+from repro.serving.renderers import PAYLOAD_SCHEMA, canonical_json, drilldown_payload
+
+
+@pytest.fixture(scope="module")
+def interface(pipeline_result) -> FacetedInterface:
+    return FacetedInterface.from_result(pipeline_result)
+
+
+@pytest.fixture(scope="module")
+def index(pipeline_result, tmp_path_factory) -> FacetIndex:
+    path = str(tmp_path_factory.mktemp("serving-app") / "facets.idx")
+    built = FacetIndex.build(pipeline_result, path=path)
+    yield built
+    built.close()
+
+
+@pytest.fixture(scope="module")
+def client(index) -> AsgiClient:
+    return AsgiClient(FacetApp(index))
+
+
+class TestRoutes:
+    def test_facets_ok(self, client, interface):
+        response = client.get("/facets")
+        assert response.status == 200
+        assert response.header("content-type").startswith("application/json")
+        payload = response.json()
+        assert payload["schema"] == PAYLOAD_SCHEMA
+        assert payload["document_count"] == interface.document_count
+        assert len(payload["facets"]) == len(interface.facet_names())
+        first = payload["facets"][0]
+        assert set(first) == {"term", "count", "depth"}
+
+    def test_root_aliases_facets(self, client):
+        assert client.get("/").json() == client.get("/facets").json()
+
+    def test_children(self, client, interface):
+        term = interface.facet_names()[0]
+        payload = client.get(f"/facets/{term}/children").json()
+        assert payload["term"] == term
+        assert payload["depth"] == 0
+        assert payload["breadcrumb"] == [term]
+        for child in payload["children"]:
+            assert child["depth"] == 1
+
+    def test_document(self, client, interface):
+        doc = interface.dice([])[0]
+        payload = client.get(f"/documents/{doc.doc_id}").json()
+        assert payload["doc_id"] == doc.doc_id
+        assert payload["body"] == doc.body
+
+    def test_healthz(self, client, index):
+        response = client.get("/healthz")
+        assert response.status == 200
+        assert response.header("cache-control") == "no-store"
+        payload = response.json()
+        assert payload["status"] == "ok"
+        assert payload["checksum"] == index.checksum
+
+    def test_head_has_headers_but_no_body(self, client):
+        response = client.head("/facets")
+        assert response.status == 200
+        assert response.body == b""
+        assert int(response.header("content-length")) > 0
+
+    def test_html_renderer(self, client, interface):
+        response = client.get("/facets?format=html")
+        assert response.status == 200
+        assert response.header("content-type").startswith("text/html")
+        assert interface.facet_names()[0] in response.text
+
+    def test_accept_header_selects_html(self, client):
+        response = client.get("/facets", headers={"Accept": "text/html"})
+        assert response.header("content-type").startswith("text/html")
+
+
+class TestDrilldown:
+    def test_drilldown_json_schema(self, client, interface):
+        term = interface.facet_names()[0]
+        payload = client.get(f"/drilldown?facet={term}&limit=5").json()
+        assert payload["query"] == {"terms": [term], "q": "", "limit": 5}
+        assert payload["total"] == len(interface.dice([term]))
+        assert len(payload["documents"]) <= 5
+        assert payload["facet_counts"]
+
+    def test_drilldown_http_matches_interface_bytes(self, client, interface):
+        """The acceptance criterion: HTTP body == in-memory answer, byte-level."""
+        term = interface.facet_names()[0]
+        response = client.get(f"/drilldown?facet={term}&limit=7")
+        expected = canonical_json(
+            drilldown_payload(interface, terms=[term], query=None, limit=7)
+        )
+        assert response.body == expected
+
+    def test_drilldown_with_query_matches_interface_bytes(
+        self, client, interface
+    ):
+        response = client.get("/drilldown?q=minister&limit=5")
+        expected = canonical_json(
+            drilldown_payload(interface, terms=[], query="minister", limit=5)
+        )
+        assert response.body == expected
+
+    def test_multi_facet_dice(self, client, interface):
+        names = interface.facet_names()[:2]
+        url = "/drilldown?" + "&".join(f"facet={name}" for name in names)
+        payload = client.get(url).json()
+        assert payload["total"] == len(interface.dice(names))
+
+
+class TestErrors:
+    def test_unknown_route_404(self, client):
+        response = client.get("/nope")
+        assert response.status == 404
+        error = response.json()["error"]
+        assert error["status"] == 404
+        assert "/nope" in error["message"]
+
+    def test_unknown_facet_404(self, client):
+        response = client.get("/facets/zz-missing/children")
+        assert response.status == 404
+        assert "zz-missing" in response.json()["error"]["message"]
+
+    def test_unknown_document_404(self, client):
+        assert client.get("/documents/zz-missing").status == 404
+
+    def test_bad_limit_400(self, client):
+        response = client.get("/drilldown?limit=banana")
+        assert response.status == 400
+        assert "limit" in response.json()["error"]["message"]
+
+    def test_limit_above_cap_400(self, client):
+        response = client.get("/drilldown?limit=100000")
+        assert response.status == 400
+        assert response.json()["error"]["status"] == 400
+
+    def test_limit_zero_400(self, client):
+        assert client.get("/drilldown?limit=0").status == 400
+
+    def test_method_not_allowed_405(self, client):
+        assert client.request("POST", "/facets").status == 405
+
+    def test_errors_are_not_cached(self, client):
+        response = client.get("/nope")
+        assert response.header("cache-control") == "no-store"
+
+
+class TestCaching:
+    def test_etag_present_and_stable(self, client):
+        first = client.get("/facets")
+        second = client.get("/facets")
+        assert first.header("etag") == second.header("etag")
+        assert first.header("cache-control").startswith("public, max-age=")
+
+    def test_etag_varies_by_url(self, client):
+        assert client.get("/facets").header("etag") != client.get(
+            "/drilldown"
+        ).header("etag")
+
+    def test_if_none_match_304(self, client):
+        etag = client.get("/facets").header("etag")
+        response = client.get("/facets", headers={"If-None-Match": etag})
+        assert response.status == 304
+        assert response.body == b""
+        assert response.header("etag") == etag
+
+    def test_if_none_match_star_304(self, client):
+        assert (
+            client.get("/facets", headers={"If-None-Match": "*"}).status == 304
+        )
+
+    def test_stale_etag_revalidates(self, client):
+        response = client.get("/facets", headers={"If-None-Match": '"stale"'})
+        assert response.status == 200
+
+    def test_no_etag_without_checksum(self, interface):
+        memory_client = AsgiClient(FacetApp(interface))
+        response = memory_client.get("/facets")
+        assert response.status == 200
+        assert response.header("etag") is None
+        assert response.header("cache-control") == "no-cache"
+
+
+class _SlowBrowser:
+    """Delegates to an interface but stalls, to trip the time budget."""
+
+    def __init__(self, inner: FacetedInterface, delay: float) -> None:
+        self._inner = inner
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def top_level_counts(self):
+        time.sleep(self._delay)
+        return self._inner.top_level_counts()
+
+
+class TestLimitsAndTimeouts:
+    def test_time_budget_exceeded_503(self, interface):
+        config = ServingConfig(time_budget_seconds=0.05)
+        slow_client = AsgiClient(
+            FacetApp(_SlowBrowser(interface, delay=0.5), config=config)
+        )
+        response = slow_client.get("/facets")
+        assert response.status == 503
+        assert "time budget" in response.json()["error"]["message"]
+
+    def test_healthz_ignores_time_budget(self, interface):
+        config = ServingConfig(time_budget_seconds=0.05)
+        slow_client = AsgiClient(
+            FacetApp(_SlowBrowser(interface, delay=0.5), config=config)
+        )
+        assert slow_client.get("/healthz").status == 200
+
+    def test_default_limit_applied(self, client, interface):
+        payload = client.get("/drilldown").json()
+        assert payload["query"]["limit"] == ServingConfig().default_limit
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(port=70000)
+        with pytest.raises(ConfigError):
+            ServingConfig(default_limit=0)
+        with pytest.raises(ConfigError):
+            ServingConfig(max_limit=5, default_limit=10)
+        with pytest.raises(ConfigError):
+            ServingConfig(time_budget_seconds=0)
+
+
+class TestObservability:
+    def test_requests_traced_and_counted(self, index):
+        from repro.observability import Observability
+
+        obs = Observability.enabled()
+        traced_client = AsgiClient(FacetApp(index, observability=obs))
+        traced_client.get("/facets")
+        traced_client.get("/nope")
+        spans = [span for span in obs.tracer.roots]
+        assert [span.name for span in spans] == ["serving.request"] * 2
+        assert spans[0].tags["path"] == "/facets"
+        assert spans[0].tags["status"] == 200
+        assert spans[1].tags["status"] == 404
+        assert obs.metrics.counter_value("serving.requests") == 2
+        assert obs.metrics.counter_value("serving.status.200") == 1
+        assert obs.metrics.counter_value("serving.status.404") == 1
+
+
+class TestHttpBridge:
+    def test_socket_roundtrip_keepalive_and_etag(self, index):
+        app = FacetApp(index)
+        with run_in_thread(app) as (host, port):
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.request("GET", "/facets")
+            first = connection.getresponse()
+            body = first.read()
+            assert first.status == 200
+            etag = first.getheader("ETag")
+            assert etag
+            assert json.loads(body)["schema"] == PAYLOAD_SCHEMA
+            # keep-alive: second request on the same connection, with 304
+            connection.request(
+                "GET", "/facets", headers={"If-None-Match": etag}
+            )
+            second = connection.getresponse()
+            second.read()
+            assert second.status == 304
+            connection.close()
+
+    def test_bad_request_line_rejected(self, index):
+        app = FacetApp(index)
+        with run_in_thread(app) as (host, port):
+            import socket
+
+            with socket.create_connection((host, port), timeout=10) as raw:
+                raw.sendall(b"GARBAGE\r\n\r\n")
+                assert raw.recv(1024).startswith(b"HTTP/1.1 400")

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.interface import FacetedInterface
 from repro.eval.user_study import (
     FACET_AFFINITY_BASE,
     FACET_AFFINITY_CAP,
@@ -16,7 +17,7 @@ from repro.eval.user_study import (
 class TestAffinity:
     def test_grows_with_repetition(self, builder, snyt, config):
         result = builder.build().run(snyt.documents)
-        study = UserStudy(result.interface(), builder.world, config)
+        study = UserStudy(FacetedInterface.from_result(result), builder.world, config)
         values = [study._facet_affinity(r) for r in range(5)]
         assert values == sorted(values)
         assert values[0] == FACET_AFFINITY_BASE
@@ -59,7 +60,7 @@ class TestTasks:
     @pytest.fixture(scope="class")
     def study(self, builder, snyt, config):
         result = builder.build().run(snyt.documents)
-        return UserStudy(result.interface(), builder.world, config)
+        return UserStudy(FacetedInterface.from_result(result), builder.world, config)
 
     def test_task_stable_across_repetitions(self, study):
         q1, on1, f1, v1 = study._pick_task(0)
@@ -89,7 +90,7 @@ class TestMemory:
     def test_memory_learned_after_completion(self, builder, snyt, config):
         result = builder.build().run(snyt.documents)
         study = UserStudy(
-            result.interface(), builder.world, config, users=1, repetitions=2
+            FacetedInterface.from_result(result), builder.world, config, users=1, repetitions=2
         )
         out = study.run()
         completed = [s for s in out.sessions if s.completed]
