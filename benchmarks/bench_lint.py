@@ -11,15 +11,21 @@ same findings and (b) is at least 5x faster.
 import time
 from pathlib import Path
 
-from repro.devtools import AnalysisStats, Analyzer, LintCache
+from repro.devtools import AnalysisStats, Analyzer, LintCache, render_sarif
 
 #: Warm runs must beat cold runs by at least this factor.
 MIN_SPEEDUP = 5.0
+
+#: The concurrency/lifecycle tier must be part of the cold/warm
+#: comparison — a cache bug that silently drops a project-tier rule
+#: would otherwise still pass the equality assertion.
+REQUIRED_RULES = {"ASYNC001", "ASYNC002", "ASYNC003", "LEAK001", "RACE002"}
 
 
 def test_lint_cold_vs_warm(benchmark, tmp_path, save_result, save_json):
     src = Path(__file__).resolve().parent.parent / "src" / "repro"
     analyzer = Analyzer()
+    assert REQUIRED_RULES <= {rule.rule_id for rule in analyzer.rules}
 
     def cold_run():
         cache = LintCache(tmp_path / "cache", analyzer.signature)
@@ -74,3 +80,7 @@ def test_lint_cold_vs_warm(benchmark, tmp_path, save_result, save_json):
     assert warm_stats.files_from_cache == warm_stats.files_total
     assert warm_stats.project_from_cache is True
     assert speedup >= MIN_SPEEDUP
+
+    # SARIF output (codeFlows included) must be byte-identical across
+    # runs — the property the CI `cmp` step gates on.
+    assert render_sarif(cold_findings) == render_sarif(warm_findings)

@@ -34,10 +34,16 @@ Layout
     Declarative source → sanitizer → sink propagation
     (:class:`TaintSpec`), one level inter-procedural via call-graph
     summaries.
-:mod:`~repro.devtools.rules` / :mod:`~repro.devtools.flow_rules`
+:mod:`~repro.devtools.lifecycle`
+    Path-sensitive must-close analysis: acquire/close/escape lattice
+    over the CFG with exception edges (:class:`LifecycleAnalysis`).
+:mod:`~repro.devtools.rules` / :mod:`~repro.devtools.flow_rules` /
+:mod:`~repro.devtools.concurrency_rules`
     The self-registering :class:`Rule` base class, the syntactic rules
-    (DET001/PAR001/OBS001/CACHE001/API001) and the flow rules
-    (FLOW001/FLOW002/RACE001 and the data-flow DET002).
+    (DET001/PAR001/OBS001/CACHE001/API001), the flow rules
+    (FLOW001/FLOW002/RACE001 and the data-flow DET002), and the
+    concurrency/lifecycle rules (ASYNC001-003/LEAK001/RACE002) built on
+    the kind-aware call graph.
 :mod:`~repro.devtools.analyzer`
     :class:`Analyzer`: module rules per file, project rules per
     program, suppression filtering, timing stats.
@@ -69,10 +75,11 @@ from .cache import LintCache
 from .cfg import CFG
 from .context import ModuleContext
 from .dataflow import ReachingDefinitions
-from .findings import Finding, Fix, Severity
+from .findings import Finding, Fix, Severity, TraceStep
 from .fixer import apply_fixes
 from .imports import ImportTracker
-from .project import ProjectModel
+from .lifecycle import LifecycleAnalysis, ResourceSpec
+from .project import CallEdge, ProjectModel
 from .reporting import render_json, render_text
 from .rules import Rule, all_rules, expand_rule_patterns
 from .sarif import render_sarif
@@ -82,17 +89,21 @@ __all__ = [
     "AnalysisStats",
     "Analyzer",
     "CFG",
+    "CallEdge",
     "Finding",
     "Fix",
     "ImportTracker",
+    "LifecycleAnalysis",
     "LintCache",
     "ModuleContext",
     "ProjectModel",
     "ReachingDefinitions",
+    "ResourceSpec",
     "Rule",
     "Severity",
     "TaintEngine",
     "TaintSpec",
+    "TraceStep",
     "all_rules",
     "apply_baseline",
     "apply_fixes",

@@ -34,7 +34,7 @@ __all__ = ["LintCache", "engine_signature", "ENGINE_VERSION"]
 
 #: Bump when analysis semantics change in a way the ruleset id list
 #: cannot capture (e.g. a rule's logic is rewritten under the same id).
-ENGINE_VERSION = "4"
+ENGINE_VERSION = "5"
 
 #: Schema version of the cache file itself.
 _CACHE_SCHEMA = 1

@@ -13,9 +13,10 @@ The graph is deliberately statement-granular and conservative:
   split blocks and wire branch/loop/back edges;
 * ``return``/``raise`` edges go to the synthetic **exit** block,
   ``break``/``continue`` to the innermost loop's after/header blocks;
-* a ``try`` body may raise anywhere, so the try-entry block is wired to
-  every handler — the standard over-approximation that keeps the
-  analysis sound for reaching definitions;
+* a ``try`` body may raise anywhere, so every block the body creates is
+  wired to every handler (and to the ``finally`` suite) — the standard
+  over-approximation that keeps the analysis sound for reaching
+  definitions and the must-close lattice alike;
 * nested function/class definitions are treated as opaque single
   statements (their bodies are separate CFGs built on demand).
 
@@ -60,6 +61,9 @@ class CFG:
         self.exit_id = self._new_block().block_id
         #: (break targets, continue targets) stack during construction.
         self._loops: list[tuple[int, int]] = []
+        #: entry blocks of pending ``finally`` suites; ``return``/``raise``
+        #: inside a try-with-finally route through the innermost one.
+        self._finals: list[int] = []
 
     # -- construction ----------------------------------------------------------
 
@@ -109,7 +113,9 @@ class CFG:
             return self._build(stmt.body, current)
         if isinstance(stmt, (ast.Return, ast.Raise)):
             self.blocks[current].statements.append(stmt)
-            self._edge(current, self.exit_id)
+            # A pending finally runs before the function actually exits.
+            target = self._finals[-1] if self._finals else self.exit_id
+            self._edge(current, target)
             return None
         if isinstance(stmt, ast.Break):
             self.blocks[current].statements.append(stmt)
@@ -179,21 +185,30 @@ class CFG:
         return after
 
     def _build_try(self, stmt: ast.Try, current: int) -> "int | None":
+        final_entry: "int | None" = None
+        if stmt.finalbody:
+            # Created up front so return/raise inside the region can be
+            # routed through it while the body and handlers are built.
+            final_entry = self._new_block().block_id
+            self._finals.append(final_entry)
         body_entry = self._new_block().block_id
         self._edge(current, body_entry)
-        # Any statement in the body may raise: conservatively wire the
-        # try entry (state before the body) and the body exit to every
-        # handler.
+        # Any statement in the body may raise: conservatively wire *every*
+        # block the body creates (entry, mid-body branches, and the body
+        # exit) to every handler, so state acquired part-way through the
+        # body reaches the exception paths.
         handler_entries: list[int] = []
         for handler in stmt.handlers:
-            entry = self._new_block().block_id
-            self._edge(body_entry, entry)
-            handler_entries.append(entry)
+            handler_entries.append(self._new_block().block_id)
+        first_body_block = len(self.blocks)
         body_exit = self._build(stmt.body, body_entry)
-        exits: list[int] = []
-        if body_exit is not None:
-            for entry in handler_entries:
+        raising = [body_entry, *range(first_body_block, len(self.blocks))]
+        for entry in handler_entries:
+            for src in raising:
+                self._edge(src, entry)
+            if body_exit is not None:
                 self._edge(body_exit, entry)
+        exits: list[int] = []
         for handler, entry in zip(stmt.handlers, handler_entries):
             handler_exit = self._build(handler.body, entry)
             if handler_exit is not None:
@@ -203,13 +218,19 @@ class CFG:
         if body_exit is not None:
             exits.append(body_exit)
         if stmt.finalbody:
-            final_entry = self._new_block().block_id
+            self._finals.pop()
             for exit_block in exits:
                 self._edge(exit_block, final_entry)
-            if not exits:
-                # finally still runs on the exceptional path
-                self._edge(body_entry, final_entry)
-            return self._build(stmt.finalbody, final_entry)
+            # The exceptional path (unmatched exception type, or a raise
+            # mid-body with no handlers) still runs the finally suite.
+            for src in raising:
+                self._edge(src, final_entry)
+            final_exit = self._build(stmt.finalbody, final_entry)
+            if final_exit is not None:
+                # Abnormal entries (return, propagating raise) continue
+                # from the finally straight to the function exit.
+                self._edge(final_exit, self.exit_id)
+            return final_exit
         if not exits:
             return None
         after = self._new_block().block_id

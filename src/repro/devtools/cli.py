@@ -33,12 +33,16 @@ exit codes:
 #: Rule-id prefix → what the family is about (for --list-rules).
 _FAMILIES = {
     "API": "public API hygiene",
+    "ASYNC": "asyncio/event-loop safety",
     "CACHE": "cache hygiene",
+    "CKPT": "checkpoint durability",
     "DET": "determinism",
     "FLOW": "data-flow (taint) invariants",
+    "LEAK": "resource lifecycle (must-close)",
     "OBS": "observability",
     "PAR": "parallelism",
     "RACE": "shared-state safety",
+    "SRV": "serving/event-loop hygiene",
 }
 
 

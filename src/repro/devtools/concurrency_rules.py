@@ -1,0 +1,685 @@
+"""Concurrency- and lifecycle-aware rules (the PR-8 engine layer).
+
+========  ==============================================================
+ASYNC001  blocking call *transitively* reachable from an async view
+          without an executor/thread hop — the interprocedural form of
+          syntactic SRV001, which only sees the call written directly
+          inside the coroutine
+ASYNC002  coroutine called but the returned awaitable is discarded —
+          the body never runs, the classic missing-``await``
+ASYNC003  ``await`` while holding a synchronous ``threading.Lock`` —
+          the lock blocks every other loop task until resumption
+LEAK001   acquired resource (connection/file/socket/executor/temp
+          file) not closed on some CFG path, exception edges included;
+          ``--fix`` wraps the acquisition in ``with``/``closing``
+RACE002   shared mutable instance attribute reached from both the
+          asyncio event loop and worker-thread call paths without a
+          lock — RACE001 generalized beyond module globals
+========  ==============================================================
+
+ASYNC001/ASYNC002/RACE002 need the kind-aware call graph
+(:class:`~repro.devtools.project.ProjectModel.call_edges`) and register
+as **project rules**; ASYNC003 and LEAK001 are per-module and stay
+cacheable per file.  The interprocedural rules attach a
+:class:`~repro.devtools.findings.TraceStep` chain so SARIF consumers
+render the whole path (``codeFlows``), not just the endpoint.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import replace
+from typing import ClassVar
+
+from .context import ModuleContext
+from .findings import Finding, Fix, Severity, TraceStep
+from .lifecycle import Leak, LifecycleAnalysis
+from .project import EDGE_DIRECT, FunctionInfo, ProjectModel
+from .rules import _SRV001_BLOCKING, NonBlockingAsyncViewRule, Rule
+
+# ---------------------------------------------------------------------------
+# ASYNC001 — blocking call transitively reachable from a coroutine
+# ---------------------------------------------------------------------------
+
+#: Blocking calls the event loop must never make — SRV001's syntactic
+#: set plus the process-spawning and shell waits an executor hop makes
+#: harmless.  ``open`` is deliberately absent: flagging every config
+#: read at startup would drown the real findings.
+_ASYNC001_BLOCKING: dict[str, str] = {
+    **_SRV001_BLOCKING,
+    "subprocess.run": "waits on a child process",
+    "subprocess.call": "waits on a child process",
+    "subprocess.check_call": "waits on a child process",
+    "subprocess.check_output": "waits on a child process",
+    "os.system": "waits on a shell",
+    "urllib.request.urlretrieve": "does synchronous network I/O",
+}
+
+
+def _short(qualname: str) -> str:
+    """Last two dotted components — readable in one-line messages."""
+    return ".".join(qualname.rsplit(".", 2)[-2:])
+
+
+class TransitiveBlockingCallRule(Rule):
+    """ASYNC001: one event loop serves every request; a blocking call
+    stalls them all no matter how many synchronous helpers deep it
+    hides.  This rule walks the kind-aware call graph from every
+    ``async def``, following only *direct* edges — an executor or
+    thread dispatch (``run_in_executor``/``to_thread``/``submit``/
+    ``threading.Thread``/``run_in_thread``) legitimately moves the work
+    off-loop and ends the traversal.  SRV001 remains as the fast
+    syntactic tier for calls written directly inside serving views."""
+
+    rule_id = "ASYNC001"
+    severity = Severity.ERROR
+    summary = "no blocking call transitively reachable from a coroutine"
+    hint = (
+        "dispatch the blocking helper through the executor: await "
+        "asyncio.wait_for(loop.run_in_executor(None, fn), timeout) — or "
+        "make the whole chain async"
+    )
+    requires_project: ClassVar[bool] = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        roots = project.async_functions()
+        if not roots:
+            return
+        paths = project.reachable_via(roots, kinds=(EDGE_DIRECT,))
+        reported: set[tuple[str, int, int]] = set()
+        for qualname in sorted(paths):
+            info = project.functions[qualname]
+            if not self.applies_to(info.module):
+                continue
+            ctx = project.context_for(info)
+            for node in NonBlockingAsyncViewRule._walk_same_context(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = ctx.resolve(node.func)
+                reason = _ASYNC001_BLOCKING.get(qualified or "")
+                if reason is None:
+                    continue
+                key = (ctx.path, node.lineno, node.col_offset)
+                if key in reported:
+                    continue
+                reported.add(key)
+                chain = paths[qualname]
+                yield replace(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"{qualified}() {reason}; it runs on the event loop "
+                        f"because coroutine {_short(chain[0])!r} reaches it "
+                        f"via {' -> '.join(_short(q) for q in chain)} with "
+                        "no executor hop",
+                    ),
+                    trace=self._trace(project, chain, ctx.path, node, qualified),
+                )
+
+    @staticmethod
+    def _trace(
+        project: ProjectModel,
+        chain: "tuple[str, ...]",
+        blocking_path: str,
+        blocking_node: ast.Call,
+        qualified: "str | None",
+    ) -> "tuple[TraceStep, ...]":
+        steps: list[TraceStep] = []
+        root_info = project.functions[chain[0]]
+        steps.append(
+            TraceStep(
+                path=project.context_for(root_info).path,
+                line=root_info.node.lineno,
+                message=f"coroutine {_short(chain[0])} runs on the event loop",
+            )
+        )
+        for caller, callee in zip(chain, chain[1:]):
+            edge_line = next(
+                (
+                    edge.line
+                    for edge in project.call_edges(caller)
+                    if edge.callee == callee and edge.kind == EDGE_DIRECT
+                ),
+                project.functions[caller].node.lineno,
+            )
+            steps.append(
+                TraceStep(
+                    path=project.context_for(project.functions[caller]).path,
+                    line=edge_line,
+                    message=f"{_short(caller)} calls {_short(callee)}",
+                )
+            )
+        steps.append(
+            TraceStep(
+                path=blocking_path,
+                line=blocking_node.lineno,
+                message=f"{qualified}() blocks the event loop",
+            )
+        )
+        return tuple(steps)
+
+
+# ---------------------------------------------------------------------------
+# ASYNC002 — coroutine called but never awaited or scheduled
+# ---------------------------------------------------------------------------
+
+
+class UnawaitedCoroutineRule(Rule):
+    """ASYNC002: calling an ``async def`` builds a coroutine object; if
+    the result is discarded as a bare expression statement the body
+    never executes and CPython only complains — at best — with a
+    runtime "never awaited" warning nobody reads in production logs.
+    Awaiting, assigning, returning, or handing the coroutine to a
+    scheduler (``create_task``/``gather``/...) all count as consumed;
+    only the provably-dropped case is flagged, keeping false positives
+    at zero."""
+
+    rule_id = "ASYNC002"
+    severity = Severity.ERROR
+    summary = "coroutine result must be awaited or scheduled, not dropped"
+    hint = (
+        "await it, or hand it to the loop: asyncio.create_task(coro()) / "
+        "asyncio.gather(...) — a bare call never runs the body"
+    )
+    requires_project: ClassVar[bool] = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for qualname in sorted(project.functions):
+            info = project.functions[qualname]
+            if not self.applies_to(info.module):
+                continue
+            ctx = project.context_for(info)
+            for node in NonBlockingAsyncViewRule._walk_same_context(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = project.resolve_call(info, node)
+                if resolved is None or not resolved.is_async:
+                    continue
+                parent = ctx.parent(node)
+                if isinstance(parent, ast.Expr):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"coroutine {_short(resolved.qualname)}() is called "
+                        "but its result is discarded — the body never runs",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# ASYNC003 — await while holding a synchronous lock
+# ---------------------------------------------------------------------------
+
+
+class AwaitUnderSyncLockRule(Rule):
+    """ASYNC003: a ``with self._lock:`` block inside a coroutine holds a
+    *thread* lock across any ``await`` in its body; every other task
+    that touches the same lock then blocks the loop thread itself — the
+    one-line recipe for a convoyed or deadlocked server.  Either keep
+    the critical section await-free, or switch to ``asyncio.Lock`` with
+    ``async with``."""
+
+    rule_id = "ASYNC003"
+    severity = Severity.ERROR
+    summary = "no await while holding a synchronous threading lock"
+    hint = (
+        "move the await outside the critical section, or use "
+        "asyncio.Lock with 'async with' — threading locks must never "
+        "span a suspension point"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node)
+
+    def _check_coroutine(
+        self, ctx: ModuleContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in NonBlockingAsyncViewRule._walk_same_context(func):
+            # ast.AsyncWith is a separate type: 'async with' (an
+            # asyncio.Lock) is exactly the correct pattern and passes.
+            if not isinstance(node, ast.With):
+                continue
+            lock_expr = self._lock_item(node)
+            if lock_expr is None:
+                continue
+            for inner in NonBlockingAsyncViewRule._walk_same_context(node):
+                if isinstance(inner, ast.Await):
+                    yield self.finding(
+                        ctx,
+                        inner,
+                        f"await inside 'with {lock_expr}:' holds a "
+                        "synchronous lock across a suspension point in "
+                        f"coroutine {func.name!r}",
+                    )
+                    break
+
+    @staticmethod
+    def _lock_item(node: ast.With) -> "str | None":
+        for item in node.items:
+            try:
+                rendered = ast.unparse(item.context_expr)
+            except Exception:  # pragma: no cover - unparse edge case
+                continue
+            if "lock" in rendered.lower():
+                return rendered
+        return None
+
+
+# ---------------------------------------------------------------------------
+# LEAK001 — resource not closed on every path
+# ---------------------------------------------------------------------------
+
+
+class ResourceLeakRule(Rule):
+    """LEAK001: the must-close analysis
+    (:mod:`repro.devtools.lifecycle`).  A connection, socket, executor,
+    or temp file acquired in a function must be released on *every* CFG
+    path out of it — including the exception edges — unless ownership
+    escapes (returned, stored on ``self``, passed along).  Under
+    sustained serving traffic an exception-path leak is a slow
+    file-descriptor exhaustion that no test catches and every incident
+    review finds."""
+
+    rule_id = "LEAK001"
+    severity = Severity.ERROR
+    summary = "acquired resources must be closed on every path"
+    hint = (
+        "wrap the acquisition in 'with' (or contextlib.closing for "
+        "sqlite3), or close it in a 'finally:' — exception paths leak "
+        "it otherwise"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scopes: list[tuple[ast.AST | None, list[ast.stmt]]] = [
+            (None, ctx.tree.body)
+        ]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node, node.body))
+        for scope_root, body in scopes:
+            analysis = LifecycleAnalysis(body, ctx.resolve)
+            for leak in analysis.leaks():
+                yield self._render(ctx, scope_root, leak)
+
+    def _render(
+        self, ctx: ModuleContext, scope_root: "ast.AST | None", leak: Leak
+    ) -> Finding:
+        site = leak.site
+        if leak.closed_somewhere:
+            detail = (
+                "is closed on some paths but leaks on others (an "
+                "exception or early return skips the close)"
+            )
+        else:
+            detail = "is never closed on any path"
+        finding = self.finding(
+            ctx,
+            site.node,
+            f"{site.spec.label} acquired here {detail}",
+        )
+        fix = self._wrap_fix(ctx, scope_root, leak)
+        if fix is not None:
+            finding = replace(finding, fix=fix)
+        return finding
+
+    def _wrap_fix(
+        self, ctx: ModuleContext, scope_root: "ast.AST | None", leak: Leak
+    ) -> "Fix | None":
+        """Rewrite ``name = ACQ(...)`` + rest-of-suite into a ``with``.
+
+        Only offered for the simple single-name binding whose name is
+        never used after the suite (the rewrite closes at suite exit).
+        """
+        site = leak.site
+        stmt = site.stmt
+        if (
+            site.name is None
+            or not isinstance(stmt, ast.Assign)
+            or stmt.value is not site.node
+        ):
+            return None
+        suite = self._enclosing_suite(ctx, stmt)
+        if suite is None:
+            return None
+        index = next(
+            (i for i, candidate in enumerate(suite) if candidate is stmt), None
+        )
+        if index is None or index + 1 >= len(suite):
+            return None
+        following = suite[index + 1 :]
+        last = following[-1]
+        end_line = getattr(last, "end_lineno", None)
+        end_col = getattr(last, "end_col_offset", None)
+        stmt_end = getattr(stmt, "end_lineno", None)
+        if end_line is None or end_col is None or stmt_end is None:
+            return None  # pragma: no cover - real statements carry spans
+        if self._used_after(ctx, scope_root, site.name, end_line):
+            return None
+        acquire_src = ast.get_source_segment(ctx.source, site.node)
+        if acquire_src is None:
+            return None  # pragma: no cover - real calls carry spans
+        header = self._header(ctx, site, acquire_src)
+        if header is None:
+            return None
+        body_lines = []
+        for raw in ctx.lines[stmt_end : end_line - 1]:
+            body_lines.append(f"    {raw}" if raw.strip() else raw)
+        last_line = ctx.lines[end_line - 1][:end_col]
+        body_lines.append(f"    {last_line}" if last_line.strip() else last_line)
+        return Fix(
+            start_line=stmt.lineno,
+            start_col=stmt.col_offset,
+            end_line=end_line,
+            end_col=end_col,
+            replacement=header + "\n" + "\n".join(body_lines),
+        )
+
+    @staticmethod
+    def _header(
+        ctx: ModuleContext, site, acquire_src: str
+    ) -> "str | None":
+        if site.spec.with_closes:
+            return f"with {acquire_src} as {site.name}:"
+        # sqlite3: `with conn:` is a transaction, not a close — wrap in
+        # contextlib.closing, but only when the module can name it.
+        wrapper = None
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "contextlib":
+                if any(alias.name == "closing" for alias in stmt.names):
+                    wrapper = "closing"
+                    break
+            if isinstance(stmt, ast.Import) and any(
+                alias.name == "contextlib" for alias in stmt.names
+            ):
+                wrapper = "contextlib.closing"
+        if wrapper is None:
+            return None
+        return f"with {wrapper}({acquire_src}) as {site.name}:"
+
+    @staticmethod
+    def _enclosing_suite(
+        ctx: ModuleContext, stmt: ast.stmt
+    ) -> "list[ast.stmt] | None":
+        parent = ctx.parent(stmt)
+        if parent is None:
+            return None
+        for attr in ("body", "orelse", "finalbody"):
+            suite = getattr(parent, attr, None)
+            if isinstance(suite, list) and any(s is stmt for s in suite):
+                return suite
+        return None
+
+    @staticmethod
+    def _used_after(
+        ctx: ModuleContext,
+        scope_root: "ast.AST | None",
+        name: str,
+        end_line: int,
+    ) -> bool:
+        root = scope_root if scope_root is not None else ctx.tree
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and getattr(node, "lineno", 0) > end_line
+            ):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RACE002 — shared attribute reached from loop and worker-thread paths
+# ---------------------------------------------------------------------------
+
+#: Method calls that mutate their receiver in place (RACE001's set).
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+class LoopThreadSharedAttrRule(Rule):
+    """RACE002: the serving stack runs coroutines on the loop thread
+    and query builders on executor threads; an instance attribute
+    holding a list/dict/set that one side mutates while the other reads
+    is a data race no asyncio guarantee covers (only *loop-internal*
+    state is single-threaded).  RACE001 finds this for module globals;
+    this rule walks both call-path sides of the kind-aware call graph
+    and flags unlocked mutations of shared ``self.*`` containers."""
+
+    rule_id = "RACE002"
+    severity = Severity.ERROR
+    summary = "no unlocked shared-attribute mutation across loop/thread paths"
+    hint = (
+        "hold the object's lock around the mutation (with self._lock:), "
+        "or confine the container to one side of the executor boundary"
+    )
+    excludes = ("repro.devtools",)
+    requires_project: ClassVar[bool] = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        loop_paths = project.reachable_via(
+            project.async_functions(), kinds=(EDGE_DIRECT,)
+        )
+        thread_paths = project.reachable_via(
+            sorted(project.dispatch_targets()), kinds=(EDGE_DIRECT,)
+        )
+        if not loop_paths or not thread_paths:
+            return
+        for class_qualname in sorted(project.classes):
+            cls_info = project.classes[class_qualname]
+            if not self.applies_to(cls_info.module):
+                continue
+            mutable_attrs = self._mutable_attrs(cls_info)
+            if not mutable_attrs:
+                continue
+            yield from self._check_class(
+                project, cls_info, mutable_attrs, loop_paths, thread_paths
+            )
+
+    @staticmethod
+    def _mutable_attrs(cls_info) -> "dict[str, str]":
+        """attr name → kind for ``self.x = <mutable>`` in ``__init__``."""
+        from .rules import _mutable_kind
+
+        init = cls_info.methods.get("__init__")
+        if init is None:
+            return {}
+        attrs: dict[str, str] = {}
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            kind = _mutable_kind(node.value)
+            if kind is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs[target.attr] = kind
+        return attrs
+
+    def _check_class(
+        self,
+        project: ProjectModel,
+        cls_info,
+        mutable_attrs: "dict[str, str]",
+        loop_paths: "dict[str, tuple[str, ...]]",
+        thread_paths: "dict[str, tuple[str, ...]]",
+    ) -> Iterator[Finding]:
+        # attr → side → list of (method info, node, is_mutation, locked)
+        accesses: dict[str, dict[str, list]] = {}
+        for name in sorted(cls_info.methods):
+            if name == "__init__":
+                continue
+            info = cls_info.methods[name]
+            sides = []
+            if info.qualname in loop_paths:
+                sides.append("loop")
+            if info.qualname in thread_paths:
+                sides.append("thread")
+            if not sides:
+                continue
+            ctx = project.context_for(info)
+            for node, is_mutation in self._attr_accesses(
+                info, mutable_attrs
+            ):
+                locked = self._under_lock(ctx, node)
+                attr = self._attr_name(node)
+                for side in sides:
+                    accesses.setdefault(attr, {}).setdefault(side, []).append(
+                        (info, node, is_mutation, locked)
+                    )
+        for attr in sorted(accesses):
+            by_side = accesses[attr]
+            if "loop" not in by_side or "thread" not in by_side:
+                continue
+            reported: set[tuple[str, int]] = set()
+            for side, other in (("loop", "thread"), ("thread", "loop")):
+                for info, node, is_mutation, locked in by_side[side]:
+                    if not is_mutation or locked:
+                        continue
+                    ctx = project.context_for(info)
+                    key = (ctx.path, node.lineno)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    root_path = (
+                        loop_paths if side == "loop" else thread_paths
+                    )[info.qualname]
+                    other_info = by_side[other][0][0]
+                    other_root = (
+                        loop_paths if other == "loop" else thread_paths
+                    )[other_info.qualname]
+                    yield replace(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"{mutable_attrs[attr]} self.{attr} is mutated "
+                            f"without a lock on the {side} path (via "
+                            f"{_short(root_path[0])}) while the {other} path "
+                            f"(via {_short(other_root[0])}) also reaches it",
+                        ),
+                        trace=self._trace(
+                            project, root_path, other_root, other_info
+                        ),
+                    )
+
+    @staticmethod
+    def _trace(
+        project: ProjectModel,
+        path_a: "tuple[str, ...]",
+        path_b: "tuple[str, ...]",
+        other_info: FunctionInfo,
+    ) -> "tuple[TraceStep, ...]":
+        steps: list[TraceStep] = []
+        for label, chain in (("this side", path_a), ("other side", path_b)):
+            for qualname in chain:
+                info = project.functions[qualname]
+                steps.append(
+                    TraceStep(
+                        path=project.context_for(info).path,
+                        line=info.node.lineno,
+                        message=f"{label}: {_short(qualname)}",
+                    )
+                )
+        return tuple(steps)
+
+    @staticmethod
+    def _attr_name(node: ast.AST) -> str:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Call):
+            return node.func.value.attr  # type: ignore[union-attr]
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            target = node.targets[0] if isinstance(node, ast.Assign) else node.target
+            if isinstance(target, ast.Subscript):
+                return target.value.attr  # type: ignore[union-attr]
+            return target.attr  # type: ignore[union-attr]
+        raise AssertionError(f"unexpected access node {node!r}")
+
+    @classmethod
+    def _attr_accesses(
+        cls, info: FunctionInfo, mutable_attrs: "dict[str, str]"
+    ) -> "list[tuple[ast.AST, bool]]":
+        """(node, is_mutation) for every ``self.<attr>`` touch."""
+
+        def is_self_attr(node: ast.AST) -> bool:
+            return (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in mutable_attrs
+            )
+
+        out: list[tuple[ast.AST, bool]] = []
+        mutation_nodes: set[int] = set()
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+                and is_self_attr(node.func.value)
+            ):
+                out.append((node, True))
+                mutation_nodes.add(id(node.func.value))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and is_self_attr(
+                        target.value
+                    ):
+                        out.append((node, True))
+                        mutation_nodes.add(id(target.value))
+                        break
+                    if is_self_attr(target):
+                        out.append((node, True))
+                        mutation_nodes.add(id(target))
+                        break
+        for node in ast.walk(info.node):
+            if is_self_attr(node) and id(node) not in mutation_nodes:
+                out.append((node, False))
+        return out
+
+    @staticmethod
+    def _under_lock(ctx: ModuleContext, node: ast.AST) -> bool:
+        current = ctx.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.With, ast.AsyncWith)):
+                for item in current.items:
+                    try:
+                        rendered = ast.unparse(item.context_expr)
+                    except Exception:  # pragma: no cover
+                        continue
+                    if "lock" in rendered.lower():
+                        return True
+            current = ctx.parent(current)
+        return False

@@ -30,6 +30,7 @@ __all__ = [
     "assigned_names",
     "pruned_walk",
     "solve_forward",
+    "solve_forward_env",
 ]
 
 #: Node types whose subtrees are separate scopes for most analyses.
@@ -104,6 +105,46 @@ def solve_forward(
                 out_sets[block_id] = outgoing
                 changed = True
     return in_sets, out_sets
+
+
+def solve_forward_env(
+    cfg: CFG,
+    transfer,
+    join,
+    initial,
+) -> "tuple[dict[int, object], dict[int, object]]":
+    """Forward fixed point for arbitrary (non-set) abstract domains.
+
+    ``transfer(block_id, in_state) -> out_state`` interprets one block;
+    ``join(states) -> state`` merges the predecessors' out-states (it is
+    given a non-empty list); ``initial`` is the entry in-state *and* the
+    bottom state for blocks with no predecessors.  States must be
+    hashable-free value objects compared with ``==``; the solver
+    iterates in reverse postorder until nothing changes.  Used by the
+    must-close lattice in :mod:`repro.devtools.lifecycle`.
+    """
+    order = cfg.reverse_postorder()
+    in_states: dict[int, object] = {b: initial for b in cfg.blocks}
+    out_states: dict[int, object] = {
+        b: transfer(b, initial) for b in cfg.blocks
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block_id in order:
+            preds = cfg.blocks[block_id].predecessors
+            if preds:
+                incoming = join([out_states[p] for p in preds])
+            else:
+                incoming = initial
+            if incoming == in_states[block_id]:
+                continue
+            in_states[block_id] = incoming
+            outgoing = transfer(block_id, incoming)
+            if outgoing != out_states[block_id]:
+                out_states[block_id] = outgoing
+            changed = True
+    return in_states, out_states
 
 
 # -- definition extraction ----------------------------------------------------------

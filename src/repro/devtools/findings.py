@@ -66,6 +66,32 @@ class Fix:
 
 
 @dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One hop of an interprocedural finding's explanation path.
+
+    Interprocedural rules (ASYNC001, RACE002) report *where* the bad
+    call chain starts, but the chain itself is what makes the finding
+    believable; each step names one location along it.  Rendered as a
+    SARIF ``codeFlow`` by :mod:`repro.devtools.sarif`.
+    """
+
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "TraceStep":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            message=str(payload["message"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class Finding:
     """One rule violation at one source location."""
 
@@ -77,6 +103,7 @@ class Finding:
     message: str
     hint: str = ""
     fix: "Fix | None" = None
+    trace: "tuple[TraceStep, ...]" = ()
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
@@ -103,11 +130,14 @@ class Finding:
         }
         if self.fix is not None:
             payload["fix"] = self.fix.to_dict()
+        if self.trace:
+            payload["trace"] = [step.to_dict() for step in self.trace]
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "Finding":
         fix = payload.get("fix")
+        trace = payload.get("trace")
         return cls(
             path=str(payload["path"]),
             line=int(payload["line"]),  # type: ignore[arg-type]
@@ -117,4 +147,7 @@ class Finding:
             message=str(payload["message"]),
             hint=str(payload.get("hint", "")),
             fix=Fix.from_dict(fix) if isinstance(fix, dict) else None,
+            trace=tuple(TraceStep.from_dict(step) for step in trace)
+            if isinstance(trace, list)
+            else (),
         )

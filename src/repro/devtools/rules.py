@@ -27,7 +27,8 @@ Rules come in two flavours:
   cross-module taint questions live there.
 
 Current ruleset (syntactic rules here; flow rules in
-:mod:`repro.devtools.flow_rules`):
+:mod:`repro.devtools.flow_rules`, concurrency/lifecycle rules in
+:mod:`repro.devtools.concurrency_rules`):
 
 ========  ==========================================================
 DET001    no wall clocks / unseeded randomness in core stages
@@ -40,7 +41,12 @@ CKPT001   incremental-state writes go through the atomic helper
 FLOW001   resource responses validated before cache writes (taint)
 FLOW002   no silent exception swallow in resource/db paths
 RACE001   no unguarded shared-state mutation on worker paths
-SRV001    no blocking I/O inside async view handlers
+SRV001    no blocking I/O inside async view handlers (syntactic)
+ASYNC001  no blocking call transitively reachable from a coroutine
+ASYNC002  coroutine results must be awaited or scheduled
+ASYNC003  no await while holding a synchronous threading lock
+LEAK001   acquired resources must be closed on every path
+RACE002   no unlocked shared-attribute mutation across loop/thread
 ========  ==========================================================
 """
 
@@ -659,6 +665,7 @@ class NonBlockingAsyncViewRule(Rule):
             yield from cls._walk_same_context(child)
 
 
-# Register the flow-aware rules (FLOW001/FLOW002/RACE001/DET002); the
-# import is for its registration side effect.
-from . import flow_rules  # noqa: E402,F401
+# Register the flow-aware rules (FLOW001/FLOW002/RACE001/DET002) and
+# the concurrency/lifecycle rules (ASYNC001-003/LEAK001/RACE002); the
+# imports are for their registration side effects.
+from . import concurrency_rules, flow_rules  # noqa: E402,F401

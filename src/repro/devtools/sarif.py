@@ -72,27 +72,55 @@ def render_sarif(
         message = finding.message
         if finding.hint:
             message = f"{message}. Hint: {finding.hint}"
-        results.append(
-            {
-                "ruleId": finding.rule_id,
-                "ruleIndex": index_of[finding.rule_id],
-                "level": _LEVELS[finding.severity],
-                "message": {"text": message},
-                "locations": [
-                    {
-                        "physicalLocation": {
-                            "artifactLocation": {
-                                "uri": finding.path.replace("\\", "/"),
-                            },
-                            "region": {
-                                "startLine": finding.line,
-                                "startColumn": finding.col,
-                            },
-                        }
+        result = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": index_of[finding.rule_id],
+            "level": _LEVELS[finding.severity],
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
                     }
-                ],
-            }
-        )
+                }
+            ],
+        }
+        if finding.trace:
+            # Interprocedural findings carry their call/flow path; SARIF
+            # renders it as one codeFlow with a single threadFlow.
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": {
+                                        "physicalLocation": {
+                                            "artifactLocation": {
+                                                "uri": step.path.replace(
+                                                    "\\", "/"
+                                                ),
+                                            },
+                                            "region": {
+                                                "startLine": step.line,
+                                            },
+                                        },
+                                        "message": {"text": step.message},
+                                    }
+                                }
+                                for step in finding.trace
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
     document = {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,

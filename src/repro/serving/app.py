@@ -17,17 +17,21 @@ over any *browser* backend — normally a read-only
 Responses are JSON by default; ``?format=html`` (or an ``Accept``
 header preferring ``text/html``) selects the minimal HTML renderer.
 Every view is async but never blocks the event loop: backend queries
-run on the default executor under ``asyncio.wait_for`` with the
-configured per-request time budget (exceeded → 503), row counts are
-clamped to ``max_limit`` (exceeded → 400), and data responses carry an
-ETag derived from the artifact checksum plus ``Cache-Control`` so
-conditional requests short-circuit to 304 without touching the backend.
+(including the ``/healthz`` probe) run on an executor the app owns
+under ``asyncio.wait_for`` with the configured per-request time budget
+(exceeded → 503), row counts are clamped to ``max_limit`` (exceeded →
+400), and data responses carry an ETag derived from the artifact
+checksum plus ``Cache-Control`` so conditional requests short-circuit
+to 304 without touching the backend.  :meth:`FacetApp.close` shuts the
+executor down; the server teardown paths call it so ``repro serve``
+exits without leaking worker threads.
 """
 
 from __future__ import annotations
 
 import asyncio
 import hashlib
+from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from urllib.parse import parse_qs, unquote
 
@@ -67,6 +71,31 @@ class FacetApp:
         self._config = config if config is not None else ServingConfig()
         self._obs = observability if observability is not None else DISABLED
         self._checksum: str | None = getattr(browser, "checksum", None)
+        # Owned rather than the loop's default executor so teardown is
+        # deterministic: close() joins these threads instead of leaving
+        # them to interpreter exit.
+        self._executor = ThreadPoolExecutor(
+            max_workers=8, thread_name_prefix="repro-serving-query"
+        )
+        self._closed = False
+
+    def close(self) -> None:
+        """Shut down the query executor (idempotent).
+
+        In-flight queries are abandoned to their threads; queued ones
+        are cancelled.  Called by the server teardown paths
+        (``serve_blocking`` and ``run_in_thread``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "FacetApp":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- ASGI entry point ----------------------------------------------------------
 
@@ -156,7 +185,7 @@ class FacetApp:
 
         try:
             payload = await asyncio.wait_for(
-                asyncio.get_running_loop().run_in_executor(None, builder),
+                asyncio.get_running_loop().run_in_executor(self._executor, builder),
                 timeout=self._config.time_budget_seconds,
             )
         except asyncio.TimeoutError:
@@ -221,11 +250,19 @@ class FacetApp:
         return None, None
 
     async def _healthz(self) -> tuple[int, bytes, list[tuple[str, str]]]:
+        def probe() -> tuple[int, int]:
+            # Artifact backends answer these from SQLite, so the probe
+            # belongs on the executor with every other backend query.
+            return self._browser.document_count, len(self._browser.facet_names())
+
+        document_count, facet_count = await asyncio.get_running_loop().run_in_executor(
+            self._executor, probe
+        )
         payload = {
             "schema": renderers.PAYLOAD_SCHEMA,
             "status": "ok",
-            "document_count": self._browser.document_count,
-            "facet_count": len(self._browser.facet_names()),
+            "document_count": document_count,
+            "facet_count": facet_count,
         }
         if self._checksum is not None:
             payload["checksum"] = self._checksum

@@ -129,6 +129,10 @@ class FacetIndex:
         self._path = path
         self._manifest = manifest
         self._lock = threading.Lock()
+        # Separate from _lock: query methods hold _lock around lazy cache
+        # fills whose SQL may open this thread's first connection, so the
+        # registry needs its own (non-reentrant-safe) lock.
+        self._conn_lock = threading.Lock()
         self._local = threading.local()
         self._connections: list[sqlite3.Connection] = []
         self._closed = False
@@ -341,8 +345,17 @@ class FacetIndex:
         return opened
 
     def _adopt_connection(self, connection: sqlite3.Connection) -> None:
+        # Executor threads race each other (and close()) to register the
+        # connections they open; the lock keeps the registry consistent
+        # so close() can reach every connection ever opened, and a
+        # connection adopted after close() is closed immediately instead
+        # of leaking.
+        with self._conn_lock:
+            if self._closed:
+                connection.close()
+                raise StorageError(f"index at {self._path!r} is closed")
+            self._connections.append(connection)
         self._local.connection = connection
-        self._connections.append(connection)
 
     def _connection(self) -> sqlite3.Connection:
         if self._closed:
@@ -357,7 +370,7 @@ class FacetIndex:
 
     def close(self) -> None:
         """Close every connection this index opened (all threads)."""
-        with self._lock:
+        with self._conn_lock:
             if self._closed:
                 return
             self._closed = True

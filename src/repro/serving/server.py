@@ -226,6 +226,18 @@ async def _serve_forever(app, host: str, port: int) -> None:
         await server.serve_forever()
     except asyncio.CancelledError:  # pragma: no cover - shutdown path
         pass
+    finally:
+        # Ctrl-C cancels the task; the listening socket and the app's
+        # query executor still close deterministically before the loop
+        # is torn down.
+        await server.stop()
+        _close_app(app)
+
+
+def _close_app(app) -> None:
+    close = getattr(app, "close", None)
+    if callable(close):
+        close()
 
 
 @contextlib.contextmanager
@@ -257,6 +269,7 @@ def run_in_thread(app, host: str = "127.0.0.1", port: int = 0) -> Iterator[tuple
         for task in pending:
             task.cancel()
         await asyncio.gather(*pending, return_exceptions=True)
+        _close_app(app)
 
     thread = threading.Thread(target=runner, name="repro-serving", daemon=True)
     thread.start()

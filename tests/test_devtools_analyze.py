@@ -482,8 +482,10 @@ def test_ckpt001_flags_path_write_text_and_dynamic_mode():
         """,
         "repro.incremental.supervisor",
     )
-    assert rule_ids(findings) == {"CKPT001"}
-    assert len(findings) == 2
+    # The discarded ``open(path, mode)`` handle is also a genuine leak,
+    # so LEAK001 fires alongside the two torn-write findings.
+    assert rule_ids(findings) == {"CKPT001", "LEAK001"}
+    assert len([f for f in findings if f.rule_id == "CKPT001"]) == 2
 
 
 def test_ckpt001_read_mode_and_atomic_helper_are_clean():
@@ -538,10 +540,13 @@ def test_srv001_flags_blocking_calls_in_async_views():
         """,
         "repro.serving.app",
     )
-    assert rule_ids(findings) == {"SRV001"}
-    assert len(findings) == 2
-    assert findings[0].severity is Severity.ERROR
-    assert "event loop" in findings[0].message
+    # ASYNC001 (the transitive tier) also covers the depth-0 case, so
+    # both rules fire on a blocking call made directly in the view.
+    assert rule_ids(findings) == {"ASYNC001", "SRV001"}
+    srv = [f for f in findings if f.rule_id == "SRV001"]
+    assert len(srv) == 2
+    assert srv[0].severity is Severity.ERROR
+    assert "event loop" in srv[0].message
 
 
 def test_srv001_executor_dispatch_and_sync_helpers_are_clean():
@@ -589,7 +594,7 @@ def test_srv001_suppressed_by_noqa_and_scoped_to_serving():
         import time
 
         async def view(request):
-            time.sleep(0.1)  # repro: noqa[SRV001]
+            time.sleep(0.1)  # repro: noqa[SRV001,ASYNC001]
         """,
         "repro.serving.app",
     )

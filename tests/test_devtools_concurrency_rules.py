@@ -1,0 +1,360 @@
+"""Tests for the concurrency/lifecycle rules (ASYNC*/LEAK001/RACE002).
+
+Each rule gets a triggering fixture, a clean fixture, and a
+``# repro: noqa`` suppression; ASYNC001 additionally proves the
+acceptance criterion — a blocking call two frames below a coroutine
+that the syntactic SRV001 cannot see — and LEAK001's ``--fix`` rewrite
+is checked for idempotency (applying it removes the finding).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools import Analyzer
+from repro.devtools.fixer import fix_source
+
+
+def check(source: str, module: str = "repro.serving.app") -> list:
+    return Analyzer().analyze_source(
+        textwrap.dedent(source),
+        path=f"{module.replace('.', '/')}.py",
+        module=module,
+    )
+
+
+def rule_ids(findings: list) -> set[str]:
+    return {finding.rule_id for finding in findings}
+
+
+# -- ASYNC001 ---------------------------------------------------------------------
+
+TWO_DEEP_BLOCKING = """
+    import time
+
+    async def view(request):
+        return handler(request)
+
+    def handler(request):
+        return helper(request)
+
+    def helper(request):
+        time.sleep(0.2)
+        return request
+"""
+
+
+def test_async001_catches_blocking_call_two_frames_deep():
+    findings = check(TWO_DEEP_BLOCKING)
+    assert rule_ids(findings) == {"ASYNC001"}
+    finding = findings[0]
+    assert "time.sleep" in finding.message
+    assert "view" in finding.message
+
+
+def test_async001_finds_what_the_syntactic_srv001_misses():
+    # The acceptance fixture: SRV001 only looks inside ``async def``
+    # bodies, so the transitive call is invisible to it.
+    findings = check(TWO_DEEP_BLOCKING)
+    assert "SRV001" not in rule_ids(findings)
+    assert "ASYNC001" in rule_ids(findings)
+
+
+def test_async001_trace_walks_the_call_chain():
+    findings = check(TWO_DEEP_BLOCKING)
+    trace = findings[0].trace
+    # coroutine root -> view calls handler -> handler calls helper ->
+    # the blocking call itself.
+    assert len(trace) == 4
+    assert "event loop" in trace[0].message
+    assert "blocks" in trace[-1].message
+    payload = findings[0].to_dict()
+    assert len(payload["trace"]) == 4
+
+
+def test_async001_executor_hop_is_clean():
+    findings = check(
+        """
+        import asyncio
+        import time
+
+        async def view(request):
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(None, handler, request)
+
+        def handler(request):
+            time.sleep(0.2)
+            return request
+        """
+    )
+    assert "ASYNC001" not in rule_ids(findings)
+
+
+def test_async001_suppressed_by_noqa():
+    findings = check(
+        """
+        import time
+
+        async def view(request):
+            return handler(request)
+
+        def handler(request):
+            time.sleep(0.2)  # repro: noqa[ASYNC001]
+            return request
+        """
+    )
+    assert "ASYNC001" not in rule_ids(findings)
+
+
+# -- ASYNC002 ---------------------------------------------------------------------
+
+
+def test_async002_flags_a_dropped_coroutine_call():
+    findings = check(
+        """
+        async def job():
+            return 1
+
+        async def view(request):
+            job()
+            return request
+        """
+    )
+    assert rule_ids(findings) == {"ASYNC002"}
+
+
+def test_async002_awaited_and_scheduled_calls_are_clean():
+    findings = check(
+        """
+        import asyncio
+
+        async def job():
+            return 1
+
+        async def view(request):
+            await job()
+            task = asyncio.create_task(job())
+            return await task
+        """
+    )
+    assert "ASYNC002" not in rule_ids(findings)
+
+
+def test_async002_suppressed_by_noqa():
+    findings = check(
+        """
+        async def job():
+            return 1
+
+        async def view(request):
+            job()  # repro: noqa[ASYNC002]
+            return request
+        """
+    )
+    assert "ASYNC002" not in rule_ids(findings)
+
+
+# -- ASYNC003 ---------------------------------------------------------------------
+
+
+def test_async003_flags_await_under_a_sync_lock():
+    findings = check(
+        """
+        async def view(self, request):
+            with self._lock:
+                await self.refresh()
+            return request
+        """
+    )
+    assert rule_ids(findings) == {"ASYNC003"}
+
+
+def test_async003_lock_released_before_await_is_clean():
+    findings = check(
+        """
+        async def view(self, request):
+            with self._lock:
+                snapshot = dict(self._cache)
+            await self.refresh(snapshot)
+            return request
+        """
+    )
+    assert "ASYNC003" not in rule_ids(findings)
+
+
+def test_async003_async_lock_is_clean():
+    findings = check(
+        """
+        async def view(self, request):
+            async with self._lock:
+                await self.refresh()
+            return request
+        """
+    )
+    assert "ASYNC003" not in rule_ids(findings)
+
+
+def test_async003_suppressed_by_noqa():
+    findings = check(
+        """
+        async def view(self, request):
+            with self._lock:
+                await self.refresh()  # repro: noqa[ASYNC003]
+            return request
+        """
+    )
+    assert "ASYNC003" not in rule_ids(findings)
+
+
+# -- LEAK001 ----------------------------------------------------------------------
+
+EXCEPTION_PATH_LEAK = """
+    import sqlite3
+    from contextlib import closing
+
+    def load(path):
+        conn = sqlite3.connect(path)
+        try:
+            rows = conn.execute("SELECT 1").fetchall()
+        except sqlite3.Error:
+            return []
+        conn.close()
+        return rows
+"""
+
+
+def test_leak001_flags_the_exception_path_leak():
+    # The swallow-and-return handler also trips FLOW002; this test only
+    # pins down the lifecycle finding.
+    findings = [
+        f
+        for f in check(EXCEPTION_PATH_LEAK, module="repro.db.store")
+        if f.rule_id == "LEAK001"
+    ]
+    assert len(findings) == 1
+    assert "some paths" in findings[0].message
+
+
+def test_leak001_fix_wraps_in_closing_and_is_idempotent():
+    source = textwrap.dedent(EXCEPTION_PATH_LEAK)
+    findings = check(EXCEPTION_PATH_LEAK, module="repro.db.store")
+    fixed, applied, skipped = fix_source(source, findings)
+    assert applied == 1 and skipped == 0
+    assert "with closing(sqlite3.connect(path)) as conn:" in fixed
+    ast.parse(fixed)  # the rewrite must stay valid Python
+    refixed = Analyzer().analyze_source(
+        fixed, path="repro/db/store.py", module="repro.db.store"
+    )
+    assert "LEAK001" not in rule_ids(refixed)
+    again, applied_again, _ = fix_source(fixed, refixed)
+    assert applied_again == 0 and again == fixed
+
+
+def test_leak001_closed_on_every_path_is_clean():
+    findings = check(
+        """
+        import sqlite3
+
+        def load(path):
+            conn = sqlite3.connect(path)
+            try:
+                return conn.execute("SELECT 1").fetchall()
+            finally:
+                conn.close()
+        """,
+        module="repro.db.store",
+    )
+    assert "LEAK001" not in rule_ids(findings)
+
+
+def test_leak001_suppressed_by_noqa():
+    findings = check(
+        """
+        import sqlite3
+
+        def load(path):
+            conn = sqlite3.connect(path)  # repro: noqa[LEAK001]
+            return conn
+        """,
+        module="repro.db.store",
+    )
+    assert "LEAK001" not in rule_ids(findings)
+
+
+# -- RACE002 ----------------------------------------------------------------------
+
+LOOP_THREAD_RACE = """
+    import threading
+
+    class Index:
+        def __init__(self):
+            self._pending = []
+            self._lock = threading.Lock()
+
+        def start(self):
+            thread = threading.Thread(target=self._worker)
+            thread.start()
+
+        def _worker(self):
+            self._pending.append("job")
+
+        async def view(self, request):
+            return len(self._pending)
+"""
+
+
+def test_race002_flags_unlocked_shared_attribute():
+    findings = check(LOOP_THREAD_RACE)
+    assert "RACE002" in rule_ids(findings)
+    finding = next(f for f in findings if f.rule_id == "RACE002")
+    assert "_pending" in finding.message
+    assert len(finding.trace) >= 2
+
+
+def test_race002_locked_mutation_is_clean():
+    findings = check(
+        """
+        import threading
+
+        class Index:
+            def __init__(self):
+                self._pending = []
+                self._lock = threading.Lock()
+
+            def start(self):
+                thread = threading.Thread(target=self._worker)
+                thread.start()
+
+            def _worker(self):
+                with self._lock:
+                    self._pending.append("job")
+
+            async def view(self, request):
+                return len(self._pending)
+        """
+    )
+    assert "RACE002" not in rule_ids(findings)
+
+
+def test_race002_suppressed_by_noqa():
+    findings = check(
+        """
+        import threading
+
+        class Index:
+            def __init__(self):
+                self._pending = []
+
+            def start(self):
+                thread = threading.Thread(target=self._worker)
+                thread.start()
+
+            def _worker(self):
+                self._pending.append("job")  # repro: noqa[RACE002]
+
+            async def view(self, request):
+                return len(self._pending)
+        """
+    )
+    assert "RACE002" not in rule_ids(findings)

@@ -1,0 +1,297 @@
+"""Unit tests for the must-close lattice (repro.devtools.lifecycle).
+
+These drive :class:`LifecycleAnalysis` directly — acquire/close/escape
+transfer, spec-aware ``with`` handling, the exception edges the CFG
+models inside ``try``, and join behaviour on path-dependent leaks —
+without going through the rule/analyzer stack.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.lifecycle import (
+    RESOURCE_SPECS,
+    LifecycleAnalysis,
+    acquire_spec,
+)
+
+
+def analyze(source: str, function: str | None = "f") -> LifecycleAnalysis:
+    """Run the analysis over ``def f`` (or the module body)."""
+    ctx = ModuleContext(textwrap.dedent(source), path="m.py", module="m")
+    if function is None:
+        body = ctx.tree.body
+    else:
+        body = next(
+            node.body
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == function
+        )
+    return LifecycleAnalysis(body, ctx.resolve)
+
+
+# -- specs -------------------------------------------------------------------------
+
+
+def test_specs_cover_the_required_resource_kinds():
+    assert "sqlite3.connect" in RESOURCE_SPECS
+    assert "socket.create_connection" in RESOURCE_SPECS
+    assert "concurrent.futures.ThreadPoolExecutor" in RESOURCE_SPECS
+    assert "tempfile.NamedTemporaryFile" in RESOURCE_SPECS
+    # The stdlib trap: sqlite's context manager scopes a transaction,
+    # not the connection lifetime.
+    assert RESOURCE_SPECS["sqlite3.connect"].with_closes is False
+
+
+def test_acquire_spec_handles_the_open_builtin():
+    ctx = ModuleContext("open(p)\n", path="m.py", module="m")
+    call = ctx.tree.body[0].value
+    spec = acquire_spec(call, ctx.resolve)
+    assert spec is not None and spec.label == "file handle"
+
+
+# -- straight-line lifecycle -------------------------------------------------------
+
+
+def test_unclosed_handle_leaks():
+    analysis = analyze(
+        """
+        def f(p):
+            handle = open(p)
+            handle.read()
+        """
+    )
+    leaks = analysis.leaks()
+    assert len(leaks) == 1
+    assert leaks[0].closed_somewhere is False
+    assert leaks[0].site.name == "handle"
+
+
+def test_explicit_close_is_clean():
+    analysis = analyze(
+        """
+        def f(p):
+            handle = open(p)
+            handle.read()
+            handle.close()
+        """
+    )
+    assert analysis.leaks() == []
+
+
+def test_executor_shutdown_and_tempfile_close_are_releases():
+    analysis = analyze(
+        """
+        import tempfile
+        from concurrent.futures import ThreadPoolExecutor
+
+        def f():
+            pool = ThreadPoolExecutor(max_workers=2)
+            tmp = tempfile.NamedTemporaryFile()
+            pool.shutdown(wait=True)
+            tmp.close()
+        """
+    )
+    assert analysis.leaks() == []
+
+
+def test_rebinding_loses_the_only_reference():
+    analysis = analyze(
+        """
+        def f(p):
+            handle = open(p)
+            handle = None
+            return handle
+        """
+    )
+    assert len(analysis.leaks()) == 1
+
+
+# -- with-statement semantics ------------------------------------------------------
+
+
+def test_with_open_closes_but_with_sqlite_does_not():
+    clean = analyze(
+        """
+        def f(p):
+            with open(p) as handle:
+                return handle.read()
+        """
+    )
+    assert clean.leaks() == []
+
+    leaky = analyze(
+        """
+        import sqlite3
+
+        def f(p):
+            with sqlite3.connect(p) as conn:
+                conn.execute("SELECT 1")
+        """
+    )
+    leaks = leaky.leaks()
+    assert len(leaks) == 1
+    assert leaks[0].site.spec.label == "sqlite3 connection"
+
+
+def test_contextlib_closing_manages_a_sqlite_connection():
+    analysis = analyze(
+        """
+        import sqlite3
+        from contextlib import closing
+
+        def f(p):
+            with closing(sqlite3.connect(p)) as conn:
+                conn.execute("SELECT 1")
+        """
+    )
+    assert analysis.leaks() == []
+
+
+def test_bare_with_on_a_bound_name_releases_with_closing_specs_only():
+    clean = analyze(
+        """
+        def f(p):
+            handle = open(p)
+            with handle:
+                handle.read()
+        """
+    )
+    assert clean.leaks() == []
+
+    leaky = analyze(
+        """
+        import sqlite3
+
+        def f(p):
+            conn = sqlite3.connect(p)
+            with conn:
+                conn.execute("INSERT INTO t VALUES (1)")
+        """
+    )
+    assert len(leaky.leaks()) == 1
+
+
+# -- escapes -----------------------------------------------------------------------
+
+
+def test_returned_handle_is_an_ownership_transfer():
+    analysis = analyze(
+        """
+        def f(p):
+            handle = open(p)
+            return handle
+        """
+    )
+    assert analysis.leaks() == []
+
+
+def test_handle_passed_to_a_call_escapes():
+    analysis = analyze(
+        """
+        def f(p, sink):
+            handle = open(p)
+            sink(handle)
+        """
+    )
+    assert analysis.leaks() == []
+
+
+def test_attribute_store_escapes_to_the_owning_object():
+    analysis = analyze(
+        """
+        import sqlite3
+
+        def f(self, p):
+            self.conn = sqlite3.connect(p)
+        """
+    )
+    assert analysis.leaks() == []
+
+
+def test_method_receiver_use_is_not_an_escape():
+    analysis = analyze(
+        """
+        import sqlite3
+
+        def f(p):
+            conn = sqlite3.connect(p)
+            conn.execute("SELECT 1")
+            rows = conn.execute("SELECT 2").fetchall()
+            return rows
+        """
+    )
+    assert len(analysis.leaks()) == 1
+
+
+# -- path sensitivity --------------------------------------------------------------
+
+
+def test_branch_that_skips_the_close_is_path_dependent():
+    analysis = analyze(
+        """
+        def f(p, flag):
+            handle = open(p)
+            if flag:
+                handle.close()
+        """
+    )
+    leaks = analysis.leaks()
+    assert len(leaks) == 1
+    assert leaks[0].closed_somewhere is True
+
+
+def test_exception_path_skipping_the_close_leaks():
+    analysis = analyze(
+        """
+        import sqlite3
+
+        def f(p):
+            conn = sqlite3.connect(p)
+            try:
+                conn.execute("SELECT 1")
+            except ValueError:
+                return []
+            conn.close()
+        """
+    )
+    leaks = analysis.leaks()
+    assert len(leaks) == 1
+    assert leaks[0].closed_somewhere is True
+
+
+def test_try_finally_close_covers_raise_and_return_paths():
+    analysis = analyze(
+        """
+        import sqlite3
+
+        def f(p):
+            conn = sqlite3.connect(p)
+            try:
+                return conn.execute("SELECT 1").fetchall()
+            except ValueError as exc:
+                raise RuntimeError("boom") from exc
+            finally:
+                conn.close()
+        """
+    )
+    assert analysis.leaks() == []
+
+
+def test_sites_are_assigned_deterministically_in_block_order():
+    source = """
+        def f(p, q):
+            a = open(p)
+            b = open(q)
+            a.close()
+            b.close()
+        """
+    first = analyze(source)
+    second = analyze(source)
+    assert [site.site_id for site in first.sites] == [0, 1]
+    assert [site.name for site in first.sites] == ["a", "b"]
+    assert [site.name for site in second.sites] == ["a", "b"]

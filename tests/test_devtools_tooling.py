@@ -22,6 +22,7 @@ from repro.devtools import (
     render_sarif,
     write_baseline,
 )
+from repro.devtools.findings import TraceStep
 from repro.devtools.baseline import BaselineError, fingerprint
 from repro.devtools.fixer import fix_source
 
@@ -225,6 +226,31 @@ def test_sarif_output_is_deterministic():
     findings = [_finding(rule="FLOW001"), _finding(rule="DET001", line=2)]
     rules = Analyzer().rules
     assert render_sarif(findings, rules) == render_sarif(findings, rules)
+
+
+def test_sarif_code_flows_carry_the_finding_trace():
+    trace = (
+        TraceStep(path="a.py", line=3, message="coroutine view runs on the loop"),
+        TraceStep(path="a.py", line=8, message="view calls helper"),
+        TraceStep(path="b.py", line=2, message="time.sleep() blocks"),
+    )
+    with_trace = Finding(
+        path="a.py", line=3, col=5, rule_id="ASYNC001",
+        severity=Severity.ERROR, message="blocking call", trace=trace,
+    )
+    plain = _finding(rule="DET001")
+    document = json.loads(render_sarif([with_trace, plain], []))
+    results = document["runs"][0]["results"]
+    flows = results[0]["codeFlows"]
+    locations = flows[0]["threadFlows"][0]["locations"]
+    assert len(locations) == len(trace)
+    for step, entry in zip(trace, locations):
+        physical = entry["location"]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == step.path
+        assert physical["region"]["startLine"] == step.line
+        assert entry["location"]["message"]["text"] == step.message
+    # Trace-free findings must not grow an empty codeFlows key.
+    assert "codeFlows" not in results[1]
 
 
 # -- fixer --------------------------------------------------------------------------

@@ -294,3 +294,21 @@ class TestHttpBridge:
             with socket.create_connection((host, port), timeout=10) as raw:
                 raw.sendall(b"GARBAGE\r\n\r\n")
                 assert raw.recv(1024).startswith(b"HTTP/1.1 400")
+
+    def test_graceful_shutdown_closes_executor_and_socket(self, index):
+        app = FacetApp(index)
+        with run_in_thread(app) as (host, port):
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.request("GET", "/healthz")
+            assert connection.getresponse().status == 200
+            connection.close()
+        # Teardown is deterministic: the app's query executor is shut
+        # down (its threads joined), not abandoned to interpreter exit...
+        assert app._closed is True
+        assert app._executor._shutdown is True
+        # ...and the listening socket is really closed: a fresh
+        # connection attempt must be refused, not queued.
+        import socket
+
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=2).close()
