@@ -20,7 +20,7 @@ Besides the human-readable table, the benchmark writes a
 machine-readable payload to ``benchmarks/results/efficiency.json`` and
 mirrors it to ``BENCH_efficiency.json`` at the repo root
 (schema ``repro.bench_efficiency/1``, validated in CI by
-``benchmarks/check_efficiency_json.py``).
+``benchmarks/check_bench_json.py efficiency``).
 """
 
 import dataclasses

@@ -28,7 +28,7 @@ The machine-readable payload goes to
 ``benchmarks/results/incremental.json`` and is mirrored to
 ``BENCH_incremental.json`` at the repo root (schema
 ``repro.bench_incremental/1``, validated by
-``benchmarks/check_incremental_json.py``).
+``benchmarks/check_bench_json.py incremental``).
 """
 
 import pathlib

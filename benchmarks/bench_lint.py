@@ -5,9 +5,10 @@ production-scale story: CI and editors re-run the analyzer constantly,
 and almost nothing changes between runs.  This benchmark measures a
 cold whole-tree analysis of ``src/repro`` against a warm run backed by
 the on-disk cache, asserting that the warm run (a) returns exactly the
-same findings and (b) is at least 5x faster.
+same findings and contract database and (b) is at least 5x faster.
 """
 
+import json
 import time
 from pathlib import Path
 
@@ -16,10 +17,21 @@ from repro.devtools import AnalysisStats, Analyzer, LintCache, render_sarif
 #: Warm runs must beat cold runs by at least this factor.
 MIN_SPEEDUP = 5.0
 
-#: The concurrency/lifecycle tier must be part of the cold/warm
-#: comparison — a cache bug that silently drops a project-tier rule
-#: would otherwise still pass the equality assertion.
-REQUIRED_RULES = {"ASYNC001", "ASYNC002", "ASYNC003", "LEAK001", "RACE002"}
+#: The concurrency/lifecycle and contract tiers must be part of the
+#: cold/warm comparison — a cache bug that silently drops a project-tier
+#: rule would otherwise still pass the equality assertion.
+REQUIRED_RULES = {
+    "ASYNC001",
+    "ASYNC002",
+    "ASYNC003",
+    "LEAK001",
+    "RACE002",
+    "SQL001",
+    "SCHEMA001",
+    "OBS002",
+    "CFG002",
+    "CLI002",
+}
 
 
 def test_lint_cold_vs_warm(benchmark, tmp_path, save_result, save_json):
@@ -30,20 +42,26 @@ def test_lint_cold_vs_warm(benchmark, tmp_path, save_result, save_json):
     def cold_run():
         cache = LintCache(tmp_path / "cache", analyzer.signature)
         stats = AnalysisStats()
+        contracts = {}
         start = time.perf_counter()
-        findings = analyzer.analyze_paths([src], cache=cache, stats=stats)
+        findings = analyzer.analyze_paths(
+            [src], cache=cache, stats=stats, contracts_out=contracts
+        )
         elapsed = time.perf_counter() - start
         cache.save()
-        return findings, stats, elapsed
+        return findings, stats, contracts, elapsed
 
-    cold_findings, cold_stats, cold_s = benchmark.pedantic(
+    cold_findings, cold_stats, cold_contracts, cold_s = benchmark.pedantic(
         cold_run, rounds=1, iterations=1
     )
 
     warm_cache = LintCache(tmp_path / "cache", analyzer.signature)
     warm_stats = AnalysisStats()
+    warm_contracts = {}
     start = time.perf_counter()
-    warm_findings = analyzer.analyze_paths([src], cache=warm_cache, stats=warm_stats)
+    warm_findings = analyzer.analyze_paths(
+        [src], cache=warm_cache, stats=warm_stats, contracts_out=warm_contracts
+    )
     warm_s = time.perf_counter() - start
 
     speedup = cold_s / warm_s if warm_s else float("inf")
@@ -79,8 +97,14 @@ def test_lint_cold_vs_warm(benchmark, tmp_path, save_result, save_json):
     assert warm_findings == cold_findings
     assert warm_stats.files_from_cache == warm_stats.files_total
     assert warm_stats.project_from_cache is True
+    assert warm_stats.contracts_from_cache is True
     assert speedup >= MIN_SPEEDUP
 
-    # SARIF output (codeFlows included) must be byte-identical across
-    # runs — the property the CI `cmp` step gates on.
+    # SARIF output (codeFlows included) and the extracted contract
+    # database must be byte-identical across runs — the properties the
+    # CI `cmp` steps gate on.
     assert render_sarif(cold_findings) == render_sarif(warm_findings)
+    assert json.dumps(cold_contracts, sort_keys=True) == json.dumps(
+        warm_contracts, sort_keys=True
+    )
+    assert cold_contracts.get("schema") == "repro.contracts/1"

@@ -13,7 +13,7 @@ Besides the human-readable table, the benchmark writes a
 machine-readable payload to ``benchmarks/results/serving.json`` and
 mirrors it to ``BENCH_serving.json`` at the repo root (schema
 ``repro.bench_serving/1``, validated in CI by
-``benchmarks/check_serving_json.py``).
+``benchmarks/check_bench_json.py serving``).
 """
 
 import http.client

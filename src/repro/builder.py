@@ -136,6 +136,8 @@ class FacetPipelineBuilder:
         resources = build_resources(
             list(self._resource_names), self.substrates, self.config
         )
+        for resource in resources:
+            resource.resize_memory_cache(self._parallel.memory_cache_size)
         if len(resources) > 1:
             resource_list = [CompositeResource(resources)]
         else:

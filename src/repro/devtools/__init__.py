@@ -38,12 +38,19 @@ Layout
     Path-sensitive must-close analysis: acquire/close/escape lattice
     over the CFG with exception edges (:class:`LifecycleAnalysis`).
 :mod:`~repro.devtools.rules` / :mod:`~repro.devtools.flow_rules` /
-:mod:`~repro.devtools.concurrency_rules`
+:mod:`~repro.devtools.concurrency_rules` /
+:mod:`~repro.devtools.contract_rules`
     The self-registering :class:`Rule` base class, the syntactic rules
     (DET001/PAR001/OBS001/CACHE001/API001), the flow rules
-    (FLOW001/FLOW002/RACE001 and the data-flow DET002), and the
+    (FLOW001/FLOW002/RACE001 and the data-flow DET002), the
     concurrency/lifecycle rules (ASYNC001-003/LEAK001/RACE002) built on
-    the kind-aware call graph.
+    the kind-aware call graph, and the contract drift rules
+    (SQL001/SCHEMA001/OBS002/CFG002/CLI002).
+:mod:`~repro.devtools.contracts`
+    Static extraction of the program's declared contracts — SQL DDL
+    and queries, versioned payload schemas, observability names,
+    config fields, CLI flags — into the deterministic
+    ``repro.contracts/1`` database the contract rules check.
 :mod:`~repro.devtools.analyzer`
     :class:`Analyzer`: module rules per file, project rules per
     program, suppression filtering, timing stats.
@@ -74,6 +81,12 @@ from .baseline import apply_baseline, load_baseline, write_baseline
 from .cache import LintCache
 from .cfg import CFG
 from .context import ModuleContext
+from .contracts import (
+    CONTRACTS_SCHEMA,
+    ProjectContracts,
+    contracts_for,
+    extract_contracts,
+)
 from .dataflow import ReachingDefinitions
 from .findings import Finding, Fix, Severity, TraceStep
 from .fixer import apply_fixes
@@ -89,6 +102,7 @@ __all__ = [
     "AnalysisStats",
     "Analyzer",
     "CFG",
+    "CONTRACTS_SCHEMA",
     "CallEdge",
     "Finding",
     "Fix",
@@ -96,6 +110,7 @@ __all__ = [
     "LifecycleAnalysis",
     "LintCache",
     "ModuleContext",
+    "ProjectContracts",
     "ProjectModel",
     "ReachingDefinitions",
     "ResourceSpec",
@@ -107,7 +122,9 @@ __all__ = [
     "all_rules",
     "apply_baseline",
     "apply_fixes",
+    "contracts_for",
     "expand_rule_patterns",
+    "extract_contracts",
     "load_baseline",
     "render_json",
     "render_sarif",

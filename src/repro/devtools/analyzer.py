@@ -25,6 +25,7 @@ from pathlib import Path
 
 from .cache import LintCache, engine_signature
 from .context import ModuleContext
+from .contracts import contracts_for
 from .findings import Finding, Severity
 from .project import ProjectModel
 from .rules import Rule, all_rules, expand_rule_patterns
@@ -42,6 +43,7 @@ class AnalysisStats:
     files_from_cache: int = 0
     project_from_cache: bool = False
     project_rules_ran: bool = False
+    contracts_from_cache: bool = False
     duration_s: float = 0.0
     rule_seconds: dict[str, float] = field(default_factory=dict)
     rule_findings: dict[str, int] = field(default_factory=dict)
@@ -118,8 +120,14 @@ class Analyzer:
         paths: "list[str | Path]",
         cache: "LintCache | None" = None,
         stats: "AnalysisStats | None" = None,
+        contracts_out: "dict | None" = None,
     ) -> list[Finding]:
-        """Analyze files and/or directory trees (``*.py``, sorted)."""
+        """Analyze files and/or directory trees (``*.py``, sorted).
+
+        When ``contracts_out`` is a dict, it is filled in place with the
+        extracted ``repro.contracts/1`` payload for the analyzed tree
+        (served from the cache when the tree is unchanged).
+        """
         stats = stats if stats is not None else AnalysisStats()
         started = time.perf_counter()
         findings: list[Finding] = []
@@ -146,6 +154,13 @@ class Analyzer:
         if cache is not None and self.project_rules:
             project_cached = cache.lookup_project(project_hash)
         need_project_run = bool(self.project_rules) and project_cached is None
+        contracts_cached: "dict | None" = None
+        if cache is not None and contracts_out is not None:
+            contracts_cached = cache.lookup_contracts(project_hash)
+        need_contracts_run = contracts_out is not None and contracts_cached is None
+        # Either project-wide consumer forces a full parse: cached
+        # per-file findings alone cannot rebuild the ProjectModel.
+        need_parse_all = need_project_run or need_contracts_run
 
         contexts: dict[str, ModuleContext] = {}
         for key, mtime_ns, digest, text in pending:
@@ -154,7 +169,7 @@ class Analyzer:
                 if cache is not None
                 else None
             )
-            if cached is not None and not need_project_run:
+            if cached is not None and not need_parse_all:
                 findings.extend(cached)
                 stats.files_from_cache += 1
                 continue
@@ -186,18 +201,35 @@ class Analyzer:
             findings.extend(file_findings)
             stats.files_reanalyzed += 1
 
+        project_model: "ProjectModel | None" = None
+        if need_parse_all:
+            project_model = ProjectModel(list(contexts.values()))
+
         if self.project_rules:
             stats.project_rules_ran = True
             if project_cached is not None:
                 stats.project_from_cache = True
                 findings.extend(project_cached)
             else:
+                assert project_model is not None
                 project_findings = self._run_project_rules(
-                    ProjectModel(list(contexts.values())), contexts, stats
+                    project_model, contexts, stats
                 )
                 if cache is not None:
                     cache.store_project(project_hash, project_findings)
                 findings.extend(project_findings)
+
+        if contracts_out is not None:
+            if contracts_cached is not None:
+                stats.contracts_from_cache = True
+                payload = contracts_cached
+            else:
+                assert project_model is not None
+                payload = contracts_for(project_model).to_payload()
+                if cache is not None:
+                    cache.store_contracts(project_hash, payload)
+            contracts_out.clear()
+            contracts_out.update(payload)
 
         findings.sort(key=Finding.sort_key)
         stats.duration_s = time.perf_counter() - started

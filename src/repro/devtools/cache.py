@@ -12,6 +12,9 @@ stale finding:
 * **project-rule findings** (call graph, taint) can be invalidated by a
   change *anywhere*, so they are keyed by a single hash over every
   file's content hash;
+* the **contract database** (``repro.contracts/1``, extracted by
+  :mod:`repro.devtools.contracts`) is project-wide state too, keyed by
+  the same whole-tree hash;
 * the whole cache is discarded when the **engine signature** changes —
   the signature covers an engine version stamp plus the exact ruleset
   the analyzer was built with, so toggling ``--select`` or upgrading
@@ -34,7 +37,9 @@ __all__ = ["LintCache", "engine_signature", "ENGINE_VERSION"]
 
 #: Bump when analysis semantics change in a way the ruleset id list
 #: cannot capture (e.g. a rule's logic is rewritten under the same id).
-ENGINE_VERSION = "5"
+#: "6": contract extraction added; the cache payload gained a
+#: ``contracts`` section.
+ENGINE_VERSION = "6"
 
 #: Schema version of the cache file itself.
 _CACHE_SCHEMA = 1
@@ -55,6 +60,7 @@ class LintCache:
         self.signature = signature
         self._files: dict[str, dict] = {}
         self._project: "dict | None" = None
+        self._contracts: "dict | None" = None
         self._dirty = False
         self._load()
 
@@ -75,6 +81,9 @@ class LintCache:
         project = payload.get("project")
         if isinstance(project, dict):
             self._project = project
+        contracts = payload.get("contracts")
+        if isinstance(contracts, dict):
+            self._contracts = contracts
 
     # -- per-file results --------------------------------------------------------
 
@@ -135,6 +144,21 @@ class LintCache:
         }
         self._dirty = True
 
+    # -- contract database -------------------------------------------------------
+
+    def lookup_contracts(self, project_hash: str) -> "dict | None":
+        """The cached ``repro.contracts/1`` payload for this tree state."""
+        if self._contracts is None:
+            return None
+        if self._contracts.get("hash") != project_hash:
+            return None
+        payload = self._contracts.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def store_contracts(self, project_hash: str, payload: dict) -> None:
+        self._contracts = {"hash": project_hash, "payload": payload}
+        self._dirty = True
+
     # -- persistence -------------------------------------------------------------
 
     def save(self) -> None:
@@ -146,6 +170,7 @@ class LintCache:
             "signature": self.signature,
             "files": self._files,
             "project": self._project,
+            "contracts": self._contracts,
         }
         try:
             self.directory.mkdir(parents=True, exist_ok=True)

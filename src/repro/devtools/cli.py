@@ -8,6 +8,7 @@ unreadable baseline).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -29,22 +30,6 @@ exit codes:
   1  at least one finding at or above --fail-on
   2  usage error (unknown rule id/pattern, unreadable baseline)
 """
-
-#: Rule-id prefix → what the family is about (for --list-rules).
-_FAMILIES = {
-    "API": "public API hygiene",
-    "ASYNC": "asyncio/event-loop safety",
-    "CACHE": "cache hygiene",
-    "CKPT": "checkpoint durability",
-    "DET": "determinism",
-    "FLOW": "data-flow (taint) invariants",
-    "LEAK": "resource lifecycle (must-close)",
-    "OBS": "observability",
-    "PAR": "parallelism",
-    "RACE": "shared-state safety",
-    "SRV": "serving/event-loop hygiene",
-}
-
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the lint options to a (sub)parser."""
@@ -135,6 +120,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="print per-rule timing and cache statistics to stderr",
     )
     parser.add_argument(
+        "--contracts-out",
+        default=None,
+        metavar="FILE",
+        help="write the extracted contract database (repro.contracts/1) "
+        "to FILE as deterministic JSON",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rules (grouped by family) and exit",
@@ -153,13 +145,21 @@ def _family(rule: Rule) -> str:
 
 
 def list_rules() -> str:
-    """Rules grouped by family, with scope and project/module kind."""
+    """Rules grouped by family, with scope and project/module kind.
+
+    Family headers are data-driven: each family's description is the
+    first nonempty :attr:`Rule.family_description` among its members
+    (id order), so a new rule family registers its own group header.
+    """
     by_family: dict[str, list[Rule]] = {}
     for rule in all_rules():
         by_family.setdefault(_family(rule), []).append(rule)
     lines = []
     for family in sorted(by_family):
-        description = _FAMILIES.get(family, "")
+        description = next(
+            (r.family_description for r in by_family[family] if r.family_description),
+            "",
+        )
         header = f"{family} — {description}" if description else family
         lines.append(header)
         for rule in by_family[family]:
@@ -198,9 +198,17 @@ def run_lint(args: argparse.Namespace) -> int:
         cache = LintCache(args.cache_dir, analyzer.signature)
     stats = AnalysisStats()
     paths = list(args.paths)
-    findings = analyzer.analyze_paths(paths, cache=cache, stats=stats)
+    contracts_out: "dict | None" = {} if args.contracts_out else None
+    findings = analyzer.analyze_paths(
+        paths, cache=cache, stats=stats, contracts_out=contracts_out
+    )
     if cache is not None:
         cache.save()
+    if args.contracts_out and contracts_out is not None:
+        Path(args.contracts_out).write_text(
+            json.dumps(contracts_out, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     if args.write_baseline:
         count = write_baseline(findings, args.write_baseline)

@@ -81,6 +81,7 @@ class TransitiveBlockingCallRule(Rule):
         "make the whole chain async"
     )
     requires_project: ClassVar[bool] = True
+    family_description = "asyncio/event-loop safety"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         return iter(())
@@ -296,6 +297,7 @@ class ResourceLeakRule(Rule):
         "sqlite3), or close it in a 'finally:' — exception paths leak "
         "it otherwise"
     )
+    family_description = "resource lifecycle (must-close)"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         scopes: list[tuple[ast.AST | None, list[ast.stmt]]] = [

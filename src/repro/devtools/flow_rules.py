@@ -74,6 +74,7 @@ class UnvalidatedResourceFlowRule(Rule):
     )
     scopes = ("repro.resources", "repro.db")
     requires_project: ClassVar[bool] = True
+    family_description = "data-flow (taint) invariants"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         return iter(())
@@ -214,6 +215,7 @@ class WorkerSharedStateRule(Rule):
     )
     excludes = ("repro.devtools",)
     requires_project: ClassVar[bool] = True
+    family_description = "shared-state safety"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         return iter(())

@@ -47,7 +47,16 @@ ASYNC002  coroutine results must be awaited or scheduled
 ASYNC003  no await while holding a synchronous threading lock
 LEAK001   acquired resources must be closed on every path
 RACE002   no unlocked shared-attribute mutation across loop/thread
+SQL001    queries must agree with the extracted CREATE TABLE DDL
+SCHEMA001 writer/reader key sets of a schema id must agree
+OBS002    no singleton metric/span name near-duplicating another
+CFG002    config fields must be read; getattr reads must exist
+CLI002    every declared CLI flag's dest must be consumed
 ========  ==========================================================
+
+The SQL/SCHEMA/OBS002/CFG/CLI tier lives in
+:mod:`repro.devtools.contract_rules`, driven by the contract database
+:mod:`repro.devtools.contracts` extracts.
 """
 
 from __future__ import annotations
@@ -103,6 +112,11 @@ class Rule(abc.ABC):
     severity: ClassVar[Severity] = Severity.ERROR
     summary: ClassVar[str] = ""
     hint: ClassVar[str] = ""
+    #: One-line description of the rule's family (the id prefix), shown
+    #: as the group header by ``--list-rules``.  Families are discovered
+    #: from the registry, so a new family self-registers its header by
+    #: setting this on any member rule.
+    family_description: ClassVar[str] = ""
     #: Dotted module prefixes the rule applies to; empty = everywhere.
     scopes: ClassVar[tuple[str, ...]] = ()
     #: Dotted module prefixes the rule never applies to.
@@ -200,6 +214,7 @@ class DeterministicClockRule(Rule):
         "(time.perf_counter/time.monotonic) are allowed"
     )
     scopes = ("repro.core", "repro.extractors", "repro.resources")
+    family_description = "determinism"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -264,6 +279,7 @@ class PicklablePayloadRule(Rule):
         "drop the handle in __getstate__ and rebuild it in __setstate__ "
         "(see PersistentResourceCache), or keep it out of the payload"
     )
+    family_description = "parallelism"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -344,6 +360,7 @@ class NoOpSafeObservabilityRule(Rule):
         "repro.observability"
     )
     excludes = ("repro.observability", "repro.devtools")
+    family_description = "observability"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -400,6 +417,7 @@ class ImmutableCacheValueRule(Rule):
         "convert before storing: tuple(...), frozenset(...), or a "
         "frozen dataclass — and return fresh copies to callers"
     )
+    family_description = "cache hygiene"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -472,6 +490,7 @@ class PublicApiAnnotationRule(Rule):
     summary = "public API functions need complete type annotations"
     hint = "annotate every parameter and the return type"
     scopes = ("repro.api", "repro.config", "repro.core.pipeline")
+    family_description = "public API hygiene"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         yield from self._check_body(ctx, ctx.tree.body, method=False)
@@ -540,6 +559,7 @@ class AtomicCheckpointWriteRule(Rule):
     )
     scopes = ("repro.incremental",)
     excludes = ("repro.incremental.checkpoint",)
+    family_description = "checkpoint durability"
 
     #: ``open`` mode characters that create or truncate the target.
     _WRITE_MODES = ("w", "a", "x", "+")
@@ -626,6 +646,7 @@ class NonBlockingAsyncViewRule(Rule):
         "connections inside FacetIndex's thread-local pool"
     )
     scopes = ("repro.serving",)
+    family_description = "serving/event-loop hygiene"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -665,7 +686,8 @@ class NonBlockingAsyncViewRule(Rule):
             yield from cls._walk_same_context(child)
 
 
-# Register the flow-aware rules (FLOW001/FLOW002/RACE001/DET002) and
-# the concurrency/lifecycle rules (ASYNC001-003/LEAK001/RACE002); the
+# Register the flow-aware rules (FLOW001/FLOW002/RACE001/DET002), the
+# concurrency/lifecycle rules (ASYNC001-003/LEAK001/RACE002), and the
+# contract drift rules (SQL001/SCHEMA001/OBS002/CFG002/CLI002); the
 # imports are for their registration side effects.
-from . import concurrency_rules, flow_rules  # noqa: E402,F401
+from . import concurrency_rules, contract_rules, flow_rules  # noqa: E402,F401

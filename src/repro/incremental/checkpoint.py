@@ -239,6 +239,13 @@ class CheckpointStore:
             raise CheckpointError(
                 f"{path}: schema {payload.get('schema')!r} != {CHECKPOINT_SCHEMA!r}"
             )
+        if payload.get("sequence") != sequence:
+            # A snapshot renamed or copied over another one: the file
+            # name and its embedded sequence must agree.
+            raise CheckpointError(
+                f"{path}: embedded sequence {payload.get('sequence')!r} "
+                f"does not match file name sequence {sequence}"
+            )
         state = payload.get("state")
         if not isinstance(state, dict):
             raise CheckpointError(f"{path}: missing state section")

@@ -65,6 +65,7 @@ from ..corpus.document import Document
 from ..extractors.base import TermExtractor
 from ..extractors.significant_terms import SignificantTermsExtractor
 from ..observability import Observability
+from ..observability import names as obs_names
 from ..observability.logging import get_logger
 from ..parallel import chunked, map_chunks
 from ..text.tokenizer import normalize_term
@@ -273,7 +274,7 @@ class IncrementalExtractor:
         label = batch_id if batch_id is not None else f"batch-{batch_index:06d}"
         start = time.perf_counter()
         with obs.collect(), obs.tracer.span(
-            "incremental:batch", batch=label, documents=len(docs)
+            obs_names.SPAN_INCREMENTAL_BATCH, batch=label, documents=len(docs)
         ) as batch_span:
             dirty: list[str] = []
             flips = 0
@@ -292,13 +293,13 @@ class IncrementalExtractor:
             batch_span.add("touched_terms", len(touched))
             if obs.metrics is not None:
                 metrics = obs.metrics
-                metrics.increment("incremental.batches")
-                metrics.increment("incremental.documents", len(docs))
-                metrics.increment("incremental.dirty_documents", len(dirty))
-                metrics.increment("incremental.touched_terms", len(touched))
-                metrics.increment("incremental.pretest_changes", flips)
-                metrics.gauge("incremental.corpus_size", state.document_count)
-                metrics.gauge("incremental.pretest_size", len(state.pretest))
+                metrics.increment(obs_names.INCREMENTAL_BATCHES)
+                metrics.increment(obs_names.INCREMENTAL_DOCUMENTS, len(docs))
+                metrics.increment(obs_names.INCREMENTAL_DIRTY_DOCUMENTS, len(dirty))
+                metrics.increment(obs_names.INCREMENTAL_TOUCHED_TERMS, len(touched))
+                metrics.increment(obs_names.INCREMENTAL_PRETEST_CHANGES, flips)
+                metrics.gauge(obs_names.INCREMENTAL_CORPUS_SIZE, state.document_count)
+                metrics.gauge(obs_names.INCREMENTAL_PRETEST_SIZE, len(state.pretest))
         seconds = time.perf_counter() - start
         log.info(
             "incremental.batch_done",
@@ -386,7 +387,9 @@ class IncrementalExtractor:
         state = self._state
         parallel = self._pipeline.parallel
         touched: set[str] = set()
-        with obs.tracer.span("incremental:annotation", documents=len(docs)):
+        with obs.tracer.span(
+            obs_names.SPAN_INCREMENTAL_ANNOTATION, documents=len(docs)
+        ):
             chunks = chunked(docs, max(1, parallel.resolve_chunk_size(len(docs))))
             stats: dict[str, list[str]] = {}
             for chunk_result in map_chunks(_stats_chunk, chunks, parallel, obs=obs):
@@ -427,7 +430,7 @@ class IncrementalExtractor:
         dirty: list[str] = []
         if not (rescore or reextract) or state.document_count == len(new_ids):
             return dirty
-        with obs.tracer.span("incremental:rescore") as span:
+        with obs.tracer.span(obs_names.SPAN_INCREMENTAL_RESCORE) as span:
             idf = self._memoized_idf()
             rescored = 0
             for document in state.documents:
@@ -457,7 +460,9 @@ class IncrementalExtractor:
                         dirty.append(doc_id)
             span.add("dirty_documents", len(dirty))
             if obs.metrics is not None:
-                obs.metrics.increment("incremental.rescored_candidates", rescored)
+                obs.metrics.increment(
+                    obs_names.INCREMENTAL_RESCORED_CANDIDATES, rescored
+                )
         return dirty
 
     def _memoized_idf(self) -> Callable[[str], float]:
@@ -502,7 +507,9 @@ class IncrementalExtractor:
             for document in state.documents
             if document.doc_id in pending
         ]
-        with obs.tracer.span("incremental:contextualization", documents=len(items)):
+        with obs.tracer.span(
+            obs_names.SPAN_INCREMENTAL_CONTEXTUALIZATION, documents=len(items)
+        ):
             expand = partial(expand_items, self._pipeline.resources)
             chunks = chunked(items, max(1, parallel.resolve_chunk_size(len(items))))
             for chunk_result in map_chunks(expand, chunks, parallel, obs=obs):
@@ -532,7 +539,7 @@ class IncrementalExtractor:
         """Step 3 + hierarchy over the pre-test set only."""
         state = self._state
         pipeline = self._pipeline
-        with obs.tracer.span("incremental:selection") as span:
+        with obs.tracer.span(obs_names.SPAN_INCREMENTAL_SELECTION) as span:
             n = max(state.document_count, 1)
             shifts = ShiftTables(
                 state.original_vocabulary, state.contextualized_vocabulary
@@ -569,10 +576,12 @@ class IncrementalExtractor:
             span.add("pretest_terms", len(state.pretest))
             span.add("selected", len(self._facet_terms))
             if obs.metrics is not None:
-                obs.metrics.increment("incremental.scored_terms", len(candidates))
+                obs.metrics.increment(
+                    obs_names.INCREMENTAL_SCORED_TERMS, len(candidates)
+                )
         self._hierarchies = []
         if pipeline.build_hierarchies:
-            with obs.tracer.span("incremental:hierarchy") as span:
+            with obs.tracer.span(obs_names.SPAN_INCREMENTAL_HIERARCHY) as span:
                 self._hierarchies = self._build_hierarchies(obs)
                 span.add("facets", len(self._hierarchies))
 
@@ -604,8 +613,12 @@ class IncrementalExtractor:
             if pair[0] in current and pair[1] in current
         }
         if obs.metrics is not None:
-            obs.metrics.increment("incremental.pair_cache_hits", self._pair_hits)
-            obs.metrics.increment("incremental.pair_cache_misses", self._pair_misses)
+            obs.metrics.increment(
+                obs_names.INCREMENTAL_PAIR_CACHE_HITS, self._pair_hits
+            )
+            obs.metrics.increment(
+                obs_names.INCREMENTAL_PAIR_CACHE_MISSES, self._pair_misses
+            )
         return hierarchies
 
     def _overlap(self, x: str, y: str) -> int:
@@ -630,9 +643,11 @@ class IncrementalExtractor:
             return False
         if len(self._state.batches_done) % self._checkpoint_every != 0:
             return False
-        with obs.tracer.span("incremental:checkpoint") as span:
+        with obs.tracer.span(obs_names.SPAN_INCREMENTAL_CHECKPOINT) as span:
             sequence = len(self._state.batches_done)
             path = self._checkpoint.save(self._state.to_payload(), sequence)
             span.add("sequence", sequence)
-            span.add("path", str(path))
+            # A path is a tag, not a counter: Span.add sums floats and
+            # raises on strings once tracing is actually enabled.
+            span.set(path=str(path))
         return True

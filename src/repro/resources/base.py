@@ -47,6 +47,7 @@ from collections.abc import Sequence
 
 from ..db.resource_cache import PersistentResourceCache
 from ..errors import ResourceError
+from ..observability import names as obs_names
 from ..observability.context import current_metrics, current_span, use_span
 from ..observability.stats import ResourceStats
 from ..observability.tracing import Span
@@ -220,7 +221,7 @@ class ExternalResource(abc.ABC):
                     missing.append(key)
         if metrics is not None and len(missing) != len(keys):
             metrics.increment(
-                f"resource.{label}.memory_hits", len(keys) - len(missing)
+                obs_names.resource_metric(label, "memory_hits"), len(keys) - len(missing)
             )
         if not missing:
             return []
@@ -234,7 +235,7 @@ class ExternalResource(abc.ABC):
                 resolved.update(stored)
                 if metrics is not None:
                     metrics.increment(
-                        f"resource.{label}.persistent_hits", len(stored)
+                        obs_names.resource_metric(label, "persistent_hits"), len(stored)
                     )
                 missing = [key for key in missing if key not in stored]
         if not missing:
@@ -265,7 +266,7 @@ class ExternalResource(abc.ABC):
                         if not skip:
                             persistable[key] = value
                 if metrics is not None:
-                    metrics.increment(f"resource.{label}.misses", len(leaders))
+                    metrics.increment(obs_names.resource_metric(label, "misses"), len(leaders))
                 if (
                     persistable
                     and self._persistent is not None
@@ -296,7 +297,7 @@ class ExternalResource(abc.ABC):
                 self._cache.move_to_end(key)
                 self._memory_hits += 1
                 if metrics is not None:
-                    metrics.increment(f"resource.{self.metric_label()}.memory_hits")
+                    metrics.increment(obs_names.resource_metric(self.metric_label(), "memory_hits"))
                 return cached
         if self._persistent is not None and self._namespace is not None:
             stored = self._persistent.get(self._namespace, key)
@@ -306,7 +307,7 @@ class ExternalResource(abc.ABC):
                     self._memory_put(key, stored)
                 if metrics is not None:
                     metrics.increment(
-                        f"resource.{self.metric_label()}.persistent_hits"
+                        obs_names.resource_metric(self.metric_label(), "persistent_hits")
                     )
                 return stored
         return None
@@ -329,11 +330,11 @@ class ExternalResource(abc.ABC):
                 self._coalesced_hits += 1
         if metrics is not None:
             label = self.metric_label()
-            metrics.record_time(f"resource.{label}.coalesce_wait_seconds", waited)
+            metrics.record_time(obs_names.resource_metric(label, "coalesce_wait_seconds"), waited)
             if result is not None:
-                metrics.increment(f"resource.{label}.coalesced_hits")
+                metrics.increment(obs_names.resource_metric(label, "coalesced_hits"))
             else:
-                metrics.increment(f"resource.{label}.coalesce_retries")
+                metrics.increment(obs_names.resource_metric(label, "coalesce_retries"))
         return result
 
     def _run_batch_query(
@@ -351,7 +352,7 @@ class ExternalResource(abc.ABC):
         parent = current_span()
         span: Span | None = None
         if parent is not None:
-            span = Span.begin(f"resource:{label}:batch", terms=len(surfaces))
+            span = Span.begin(obs_names.resource_batch_span(label), terms=len(surfaces))
         overridden = type(self).query_many is not ExternalResource.query_many
         start = time.perf_counter()
         try:
@@ -371,7 +372,7 @@ class ExternalResource(abc.ABC):
                 span.finish(status="error")
                 parent.children.append(span)
             if metrics is not None:
-                metrics.increment(f"resource.{label}.errors")
+                metrics.increment(obs_names.resource_metric(label, "errors"))
             raise
         elapsed = time.perf_counter() - start
         if len(answers) != len(surfaces):
@@ -386,10 +387,10 @@ class ExternalResource(abc.ABC):
         with self._lock:
             self._batch_queries += 1
         if metrics is not None:
-            metrics.increment(f"resource.{label}.batch_queries")
-            metrics.record_time(f"resource.{label}.batch_query_seconds", elapsed)
+            metrics.increment(obs_names.resource_metric(label, "batch_queries"))
+            metrics.record_time(obs_names.resource_metric(label, "batch_query_seconds"), elapsed)
             metrics.observe(
-                f"resource.{label}.batch_size",
+                obs_names.resource_metric(label, "batch_size"),
                 float(len(surfaces)),
                 buckets=BATCH_SIZE_BUCKETS,
             )
@@ -409,7 +410,7 @@ class ExternalResource(abc.ABC):
         label = self.metric_label()
         span: Span | None = None
         if parent is not None:
-            span = Span.begin(f"resource:{label}", term=key)
+            span = Span.begin(obs_names.resource_span(label), term=key)
         start = time.perf_counter()
         try:
             with use_span(span):
@@ -419,7 +420,7 @@ class ExternalResource(abc.ABC):
                 span.finish(status="error")
                 parent.children.append(span)
             if metrics is not None:
-                metrics.increment(f"resource.{label}.errors")
+                metrics.increment(obs_names.resource_metric(label, "errors"))
             raise
         elapsed = time.perf_counter() - start
         if span is not None:
@@ -427,9 +428,9 @@ class ExternalResource(abc.ABC):
             span.counters["terms"] = float(len(result))
             parent.children.append(span)
         if metrics is not None:
-            metrics.increment(f"resource.{label}.misses")
-            metrics.record_time(f"resource.{label}.query_seconds", elapsed)
-            metrics.observe(f"resource.{label}.query_latency", elapsed)
+            metrics.increment(obs_names.resource_metric(label, "misses"))
+            metrics.record_time(obs_names.resource_metric(label, "query_seconds"), elapsed)
+            metrics.observe(obs_names.resource_metric(label, "query_latency"), elapsed)
         return result
 
     def metric_label(self) -> str:
@@ -460,6 +461,21 @@ class ExternalResource(abc.ABC):
         self._cache.move_to_end(key)
         while len(self._cache) > self._memory_cache_size:
             self._cache.popitem(last=False)
+
+    def resize_memory_cache(self, memory_cache_size: int) -> None:
+        """Resize the LRU tier, evicting oldest entries when shrinking.
+
+        How ``ParallelConfig.memory_cache_size`` reaches resources the
+        builder constructed before the parallel settings were known.
+        """
+        if memory_cache_size < 1:
+            raise ValueError(
+                f"memory_cache_size must be >= 1, got {memory_cache_size}"
+            )
+        with self._lock:
+            self._memory_cache_size = memory_cache_size
+            while len(self._cache) > memory_cache_size:
+                self._cache.popitem(last=False)
 
     # -- persistent tier ---------------------------------------------------------
 

@@ -38,6 +38,7 @@ from urllib.parse import parse_qs, unquote
 from ..config import ServingConfig
 from ..errors import HierarchyError, StorageError
 from ..observability import DISABLED, Observability, Span
+from ..observability import names as obs_names
 from ..observability.logging import get_logger
 from . import renderers
 
@@ -126,7 +127,7 @@ class FacetApp:
         wants_html = self._wants_html(scope, query)
         tracer = self._obs.tracer
         span = (
-            Span.begin("serving.request", method=method, path=path)
+            Span.begin(obs_names.SPAN_SERVING_REQUEST, method=method, path=path)
             if tracer.enabled
             else None
         )
@@ -153,10 +154,10 @@ class FacetApp:
             tracer.attach(span.finish("ok" if status < 500 else "error"))
         metrics = self._obs.metrics
         if metrics is not None:
-            metrics.increment("serving.requests")
-            metrics.increment(f"serving.status.{status}")
+            metrics.increment(obs_names.SERVING_REQUESTS)
+            metrics.increment(obs_names.serving_status(status))
             if span is not None:
-                metrics.record_time("serving.request_seconds", span.duration)
+                metrics.record_time(obs_names.SERVING_REQUEST_SECONDS, span.duration)
         log.info("serving.request", method=method, path=path, status=status)
 
     async def _respond(

@@ -455,11 +455,15 @@ class FacetIndex:
         content = hashlib.sha256(
             f"{documents_sha}\n{postings_sha}\n{facets_sha}".encode("ascii")
         ).hexdigest()
+        (posting_count,) = connection.execute(
+            "SELECT COUNT(*) FROM postings"
+        ).fetchone()
         return (
             documents_sha == self._manifest.get("documents_sha256")
             and postings_sha == self._manifest.get("postings_sha256")
             and facets_sha == self._manifest.get("facets_sha256")
             and content == self._manifest.get("content_sha256")
+            and int(posting_count) == int(self._manifest.get("posting_count", -1))
         )
 
     # -- facet navigation ----------------------------------------------------------

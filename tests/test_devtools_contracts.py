@@ -1,0 +1,658 @@
+"""Tests for contract extraction and the cross-layer drift rules.
+
+Each of the five contract rules (SQL001, SCHEMA001, OBS002, CFG002,
+CLI002) gets a fixture snippet that must fire, one that must not, and
+one suppressed with ``# repro: noqa``.  The extraction layer itself is
+tested for determinism: the ``contracts.json`` payload must be
+byte-identical between a cold run and a warm (cache-backed) run, and an
+engine-version bump must invalidate the cached contract database.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.devtools import (
+    AnalysisStats,
+    Analyzer,
+    LintCache,
+    all_rules,
+    render_sarif,
+)
+from repro.devtools.cache import engine_signature
+from repro.devtools.contracts import (
+    CONTRACTS_SCHEMA,
+    extract_contracts,
+)
+from repro.devtools.project import ProjectModel
+
+CONTRACT_RULES = {"SQL001", "SCHEMA001", "OBS002", "CFG002", "CLI002"}
+
+
+def _findings(source: str, module: str, select: "set[str] | None" = None):
+    analyzer = Analyzer(select=select)
+    return analyzer.analyze_source(
+        textwrap.dedent(source), path=f"{module.replace('.', '/')}.py", module=module
+    )
+
+
+def _rule_ids(source: str, module: str, select: "set[str] | None" = None):
+    return [f.rule_id for f in _findings(source, module, select)]
+
+
+# -- registry ---------------------------------------------------------------------
+
+
+def test_contract_rules_are_registered():
+    assert CONTRACT_RULES <= {rule.rule_id for rule in all_rules()}
+
+
+def test_contract_rules_carry_family_descriptions():
+    by_id = {rule.rule_id: rule for rule in all_rules()}
+    for rule_id in CONTRACT_RULES:
+        assert by_id[rule_id].family_description, rule_id
+
+
+# -- SQL001: query vs DDL ---------------------------------------------------------
+
+
+_SQL_MODULE = "repro.db.demo"
+
+
+def test_sql001_unknown_column_fires():
+    source = """
+        _SCHEMA = "CREATE TABLE docs (id INTEGER PRIMARY KEY, body TEXT)"
+
+        def setup(conn):
+            conn.execute(_SCHEMA)
+
+        def read(conn):
+            return conn.execute("SELECT id, missing FROM docs").fetchall()
+    """
+    findings = _findings(source, _SQL_MODULE, select={"SQL001"})
+    assert [f.rule_id for f in findings] == ["SQL001"]
+    assert "missing" in findings[0].message
+    assert findings[0].trace, "SQL001 must carry a trace to the DDL"
+
+
+def test_sql001_unknown_table_fires():
+    ids = _rule_ids(
+        """
+        _SCHEMA = "CREATE TABLE docs (id INTEGER PRIMARY KEY)"
+
+        def setup(conn):
+            conn.execute(_SCHEMA)
+
+        def read(conn):
+            return conn.execute("SELECT id FROM postings").fetchall()
+        """,
+        _SQL_MODULE,
+        select={"SQL001"},
+    )
+    assert ids == ["SQL001"]
+
+
+def test_sql001_insert_arity_mismatch_fires():
+    ids = _rule_ids(
+        """
+        _SCHEMA = "CREATE TABLE docs (id INTEGER, body TEXT)"
+
+        def setup(conn):
+            conn.execute(_SCHEMA)
+
+        def write(conn, row):
+            conn.execute("INSERT INTO docs (id, body) VALUES (?, ?, ?)", row)
+        """,
+        _SQL_MODULE,
+        select={"SQL001"},
+    )
+    assert ids == ["SQL001"]
+
+
+def test_sql001_matching_query_is_clean():
+    ids = _rule_ids(
+        """
+        _SCHEMA = "CREATE TABLE docs (id INTEGER PRIMARY KEY, body TEXT)"
+
+        def setup(conn):
+            conn.execute(_SCHEMA)
+
+        def read(conn, key):
+            conn.execute("INSERT INTO docs (id, body) VALUES (?, ?)", (key, ""))
+            return conn.execute(
+                "SELECT d.id, d.body FROM docs AS d WHERE d.id = ?", (key,)
+            ).fetchall()
+        """,
+        _SQL_MODULE,
+        select={"SQL001"},
+    )
+    assert ids == []
+
+
+def test_sql001_noqa_suppresses():
+    ids = _rule_ids(
+        """
+        _SCHEMA = "CREATE TABLE docs (id INTEGER PRIMARY KEY)"
+
+        def setup(conn):
+            conn.execute(_SCHEMA)
+
+        def read(conn):
+            return conn.execute("SELECT nope FROM docs")  # repro: noqa: SQL001
+        """,
+        _SQL_MODULE,
+        select={"SQL001"},
+    )
+    assert ids == []
+
+
+# -- SCHEMA001: payload writer vs reader ------------------------------------------
+
+
+_SCHEMA_MODULE = "repro.store.demo"
+
+
+def test_schema001_read_never_written_fires():
+    findings = _findings(
+        """
+        SCHEMA = "repro.demo/1"
+
+        def save(count):
+            return {"schema": SCHEMA, "count": count}
+
+        def load(payload):
+            if payload.get("schema") != SCHEMA:
+                raise ValueError("bad schema")
+            return payload["count"], payload["rows"]
+        """,
+        _SCHEMA_MODULE,
+        select={"SCHEMA001"},
+    )
+    assert [f.rule_id for f in findings] == ["SCHEMA001"]
+    assert "rows" in findings[0].message
+    assert findings[0].trace, "SCHEMA001 must point at the writer"
+
+
+def test_schema001_written_never_read_fires():
+    findings = _findings(
+        """
+        SCHEMA = "repro.demo/1"
+
+        def save(count):
+            return {"schema": SCHEMA, "count": count, "orphan": 1}
+
+        def load(payload):
+            if payload.get("schema") != SCHEMA:
+                raise ValueError("bad schema")
+            return payload["count"]
+        """,
+        _SCHEMA_MODULE,
+        select={"SCHEMA001"},
+    )
+    assert [f.rule_id for f in findings] == ["SCHEMA001"]
+    assert "orphan" in findings[0].message
+
+
+def test_schema001_agreeing_sides_are_clean():
+    ids = _rule_ids(
+        """
+        SCHEMA = "repro.demo/1"
+
+        def save(count):
+            return {"schema": SCHEMA, "count": count}
+
+        def load(payload):
+            if payload.get("schema") != SCHEMA:
+                raise ValueError("bad schema")
+            return payload["count"]
+        """,
+        _SCHEMA_MODULE,
+        select={"SCHEMA001"},
+    )
+    assert ids == []
+
+
+def test_schema001_helper_dict_keys_count_as_written():
+    # Sub-payloads built in sibling dict literals of the same writer
+    # function belong to the same schema (the incremental-state idiom).
+    ids = _rule_ids(
+        """
+        SCHEMA = "repro.demo/1"
+
+        def save(rows):
+            body = {"rows": list(rows)}
+            return {"schema": SCHEMA, "body": body}
+
+        def load(payload):
+            if payload.get("schema") != SCHEMA:
+                raise ValueError("bad schema")
+            return payload["body"]["rows"]
+        """,
+        _SCHEMA_MODULE,
+        select={"SCHEMA001"},
+    )
+    assert ids == []
+
+
+def test_schema001_noqa_suppresses():
+    ids = _rule_ids(
+        """
+        SCHEMA = "repro.demo/1"
+
+        def save(count):
+            return {"schema": SCHEMA, "count": count}
+
+        def load(payload):
+            if payload.get("schema") != SCHEMA:  # repro: noqa: SCHEMA001
+                raise ValueError("bad schema")
+            return payload["count"], payload["rows"]
+        """,
+        _SCHEMA_MODULE,
+        select={"SCHEMA001"},
+    )
+    assert ids == []
+
+
+# -- OBS002: observability name near-misses ---------------------------------------
+
+
+_OBS_MODULE = "repro.core.demo"
+
+
+def test_obs002_near_duplicate_metric_fires():
+    findings = _findings(
+        """
+        def run(metrics):
+            metrics.increment("pipeline.documents")
+
+        def other(metrics):
+            metrics.increment("pipeline.docuemnts")
+        """,
+        _OBS_MODULE,
+        select={"OBS002"},
+    )
+    # The near-miss is symmetric: each singleton is flagged, pointing
+    # at the other.
+    assert [f.rule_id for f in findings] == ["OBS002", "OBS002"]
+    for finding in findings:
+        assert finding.trace, "OBS002 must point at the sibling name"
+
+
+def test_obs002_repeated_name_is_clean():
+    ids = _rule_ids(
+        """
+        def run(metrics):
+            metrics.increment("pipeline.documents")
+
+        def other(metrics):
+            metrics.increment("pipeline.documents")
+        """,
+        _OBS_MODULE,
+        select={"OBS002"},
+    )
+    assert ids == []
+
+
+def test_obs002_distinct_names_are_clean():
+    ids = _rule_ids(
+        """
+        def run(metrics):
+            metrics.increment("pipeline.documents")
+            metrics.increment("serving.requests")
+        """,
+        _OBS_MODULE,
+        select={"OBS002"},
+    )
+    assert ids == []
+
+
+def test_obs002_noqa_suppresses():
+    ids = _rule_ids(
+        """
+        def run(metrics):
+            metrics.increment("pipeline.documents")  # repro: noqa: OBS002
+
+        def other(metrics):
+            metrics.increment("pipeline.docuemnts")  # repro: noqa: OBS002
+        """,
+        _OBS_MODULE,
+        select={"OBS002"},
+    )
+    assert ids == []
+
+
+# -- CFG002: config field liveness ------------------------------------------------
+
+
+_CFG_MODULE = "repro.config_demo"
+
+
+def test_cfg002_unread_field_fires():
+    findings = _findings(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class DemoConfig:
+            used: int = 1
+            unused: int = 2
+
+        def consume(cfg: DemoConfig):
+            return cfg.used
+        """,
+        _CFG_MODULE,
+        select={"CFG002"},
+    )
+    assert [f.rule_id for f in findings] == ["CFG002"]
+    assert "unused" in findings[0].message
+
+
+def test_cfg002_post_init_only_read_still_fires():
+    # Validation inside __post_init__ must not count as consumption.
+    ids = _rule_ids(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class DemoConfig:
+            knob: int = 1
+
+            def __post_init__(self):
+                if self.knob < 0:
+                    raise ValueError("knob")
+        """,
+        _CFG_MODULE,
+        select={"CFG002"},
+    )
+    assert ids == ["CFG002"]
+
+
+def test_cfg002_all_fields_read_is_clean():
+    ids = _rule_ids(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class DemoConfig:
+            used: int = 1
+            also_used: int = 2
+
+        def consume(cfg: DemoConfig):
+            return cfg.used + cfg.also_used
+        """,
+        _CFG_MODULE,
+        select={"CFG002"},
+    )
+    assert ids == []
+
+
+def test_cfg002_getattr_of_unknown_field_fires():
+    findings = _findings(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class DemoConfig:
+            used: int = 1
+
+        def consume(config: DemoConfig):
+            config.used
+            return getattr(config, "missing", None)
+        """,
+        _CFG_MODULE,
+        select={"CFG002"},
+    )
+    assert [f.rule_id for f in findings] == ["CFG002"]
+    assert "missing" in findings[0].message
+
+
+def test_cfg002_noqa_suppresses():
+    ids = _rule_ids(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class DemoConfig:
+            used: int = 1
+            unused: int = 2  # repro: noqa: CFG002
+
+        def consume(cfg: DemoConfig):
+            return cfg.used
+        """,
+        _CFG_MODULE,
+        select={"CFG002"},
+    )
+    assert ids == []
+
+
+# -- CLI002: flag consumption -----------------------------------------------------
+
+
+_CLI_MODULE = "repro.cli_demo"
+
+
+def test_cli002_unconsumed_flag_fires():
+    findings = _findings(
+        """
+        import argparse
+
+        def build():
+            parser = argparse.ArgumentParser()
+            parser.add_argument("--used")
+            parser.add_argument("--dead-flag")
+            return parser
+
+        def main():
+            args = build().parse_args()
+            return args.used
+        """,
+        _CLI_MODULE,
+        select={"CLI002"},
+    )
+    assert [f.rule_id for f in findings] == ["CLI002"]
+    assert "dead_flag" in findings[0].message
+
+
+def test_cli002_all_flags_consumed_is_clean():
+    ids = _rule_ids(
+        """
+        import argparse
+
+        def build():
+            parser = argparse.ArgumentParser()
+            parser.add_argument("--used")
+            parser.add_argument("--other", dest="renamed")
+            return parser
+
+        def main():
+            args = build().parse_args()
+            return args.used, getattr(args, "renamed")
+        """,
+        _CLI_MODULE,
+        select={"CLI002"},
+    )
+    assert ids == []
+
+
+def test_cli002_vars_args_consumes_everything():
+    ids = _rule_ids(
+        """
+        import argparse
+
+        def build():
+            parser = argparse.ArgumentParser()
+            parser.add_argument("--anything")
+            return parser
+
+        def main():
+            args = build().parse_args()
+            return dict(vars(args))
+        """,
+        _CLI_MODULE,
+        select={"CLI002"},
+    )
+    assert ids == []
+
+
+def test_cli002_noqa_suppresses():
+    ids = _rule_ids(
+        """
+        import argparse
+
+        def build():
+            parser = argparse.ArgumentParser()
+            parser.add_argument("--used")
+            parser.add_argument("--dead-flag")  # repro: noqa: CLI002
+            return parser
+
+        def main():
+            args = build().parse_args()
+            return args.used
+        """,
+        _CLI_MODULE,
+        select={"CLI002"},
+    )
+    assert ids == []
+
+
+# -- SARIF traces -----------------------------------------------------------------
+
+
+def test_contract_finding_traces_serialize_to_sarif_code_flows():
+    findings = _findings(
+        """
+        SCHEMA = "repro.demo/1"
+
+        def save(count):
+            return {"schema": SCHEMA, "count": count}
+
+        def load(payload):
+            if payload.get("schema") != SCHEMA:
+                raise ValueError("bad schema")
+            return payload["count"], payload["rows"]
+        """,
+        _SCHEMA_MODULE,
+        select={"SCHEMA001"},
+    )
+    assert findings and findings[0].trace
+    sarif = json.loads(render_sarif(findings))
+    result = sarif["runs"][0]["results"][0]
+    assert result["ruleId"] == "SCHEMA001"
+    flows = result["codeFlows"][0]["threadFlows"][0]["locations"]
+    messages = [
+        loc["location"]["message"]["text"] for loc in flows
+    ]
+    assert any("writer" in message for message in messages)
+
+
+# -- extraction determinism + cache lifecycle -------------------------------------
+
+
+_PKG_SOURCES = {
+    "__init__.py": "",
+    "store.py": """\
+SCHEMA = "repro.pkg-store/1"
+_DDL = "CREATE TABLE rows (key TEXT PRIMARY KEY, value TEXT)"
+
+
+def setup(conn):
+    conn.execute(_DDL)
+
+
+def save(rows):
+    return {"schema": SCHEMA, "rows": list(rows)}
+
+
+def load(payload):
+    if payload.get("schema") != SCHEMA:
+        raise ValueError("bad schema")
+    return payload["rows"]
+""",
+    "cli.py": """\
+import argparse
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--limit", type=int, default=10)
+    args = parser.parse_args()
+    return args.limit
+""",
+}
+
+
+def _write_package(root: Path) -> Path:
+    package = root / "pkg"
+    package.mkdir()
+    for name, source in _PKG_SOURCES.items():
+        (package / name).write_text(source, encoding="utf-8")
+    return package
+
+
+def _run(analyzer: Analyzer, cache_dir: Path, package: Path):
+    cache = LintCache(cache_dir, analyzer.signature)
+    stats = AnalysisStats()
+    contracts: dict = {}
+    findings = analyzer.analyze_paths(
+        [package], cache=cache, stats=stats, contracts_out=contracts
+    )
+    cache.save()
+    return findings, stats, contracts
+
+
+def test_contracts_payload_cold_vs_warm_is_byte_identical(tmp_path):
+    package = _write_package(tmp_path)
+    analyzer = Analyzer()
+    cold_findings, cold_stats, cold = _run(analyzer, tmp_path / "cache", package)
+    warm_findings, warm_stats, warm = _run(analyzer, tmp_path / "cache", package)
+
+    assert cold_stats.contracts_from_cache is False
+    assert warm_stats.contracts_from_cache is True
+    assert warm_findings == cold_findings
+    cold_bytes = json.dumps(cold, indent=2, sort_keys=True)
+    warm_bytes = json.dumps(warm, indent=2, sort_keys=True)
+    assert cold_bytes == warm_bytes
+    assert cold["schema"] == CONTRACTS_SCHEMA
+    table_names = [t["name"] for t in cold["sql"]["tables"]]
+    assert table_names == ["rows"]
+    assert [f["dest"] for f in cold["cli"]["flags"]] == ["limit"]
+
+
+def test_engine_version_bump_invalidates_cached_contracts(tmp_path, monkeypatch):
+    package = _write_package(tmp_path)
+    analyzer = Analyzer()
+    original = analyzer.signature
+    _run(analyzer, tmp_path / "cache", package)
+
+    from repro.devtools import cache as cache_module
+
+    monkeypatch.setattr(cache_module, "ENGINE_VERSION", "bumped-for-test")
+    bumped = engine_signature([rule.rule_id for rule in analyzer.rules])
+    assert bumped != original
+
+    cache = LintCache(tmp_path / "cache", bumped)
+    stats = AnalysisStats()
+    contracts: dict = {}
+    analyzer.analyze_paths(
+        [package], cache=cache, stats=stats, contracts_out=contracts
+    )
+    assert stats.contracts_from_cache is False
+    assert stats.files_from_cache == 0
+    assert contracts["schema"] == CONTRACTS_SCHEMA
+
+
+def test_extract_contracts_is_deterministic_across_instances(tmp_path):
+    package = _write_package(tmp_path)
+    one = extract_contracts(ProjectModel.from_paths([package])).to_payload()
+    two = extract_contracts(ProjectModel.from_paths([package])).to_payload()
+    assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+
+def test_real_tree_is_clean_of_contract_drift():
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    analyzer = Analyzer(select=CONTRACT_RULES)
+    stats = AnalysisStats()
+    findings = analyzer.analyze_paths([src], cache=None, stats=stats)
+    assert findings == []
