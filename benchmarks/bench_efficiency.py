@@ -5,6 +5,16 @@ service at 2-3 s/doc is the bottleneck; expansion with local resources
 >= 100 docs/s vs ~1 s/doc for Google; selection takes milliseconds and
 hierarchy construction a couple of seconds.
 
+The columnar comparison times the legacy dict/Counter data plane
+against the columnar one (interned term ids, array-backed statistics)
+over the local extractors and resources, reporting per-stage CPU
+seconds and docs/sec for annotation and contextualization.  Annotation
+must be at least 4x faster with byte-identical output; on an otherwise
+idle machine the measured numbers are ~5-6x on annotation and ~4.5-5x
+on annotation+contextualization combined (contextualization alone
+moves less — both planes answer resource queries from the same
+memoized substrates).
+
 On top of the paper's numbers, the second half of the benchmark measures
 the batch engine (``repro.parallel``): contextualization over a remote
 (simulated-latency) resource run serially, sharded across a thread pool,
@@ -19,7 +29,7 @@ from a cold cache with byte-identical output.
 Besides the human-readable table, the benchmark writes a
 machine-readable payload to ``benchmarks/results/efficiency.json`` and
 mirrors it to ``BENCH_efficiency.json`` at the repo root
-(schema ``repro.bench_efficiency/1``, validated in CI by
+(schema ``repro.bench_efficiency/2``, validated in CI by
 ``benchmarks/check_bench_json.py efficiency``).
 """
 
@@ -36,7 +46,17 @@ from repro.eval.efficiency import COMPARISON_LATENCY_SECONDS, EfficiencyStudy
 PARALLEL_SAMPLE = 60
 
 #: Schema tag of the machine-readable payload (bump on layout changes).
-JSON_SCHEMA = "repro.bench_efficiency/1"
+JSON_SCHEMA = "repro.bench_efficiency/2"
+
+#: Hard floor for the columnar annotation speedup asserted below.  The
+#: measured ratio on an idle machine is ~5-6x; the gate sits lower so a
+#: noisy shared CI runner (cache pollution inflates CPU time of the
+#: larger legacy working set unevenly) cannot fail an honest run.
+MIN_COLUMNAR_ANNOTATION_SPEEDUP = 4.0
+
+#: Hard floor for the combined annotation+contextualization speedup
+#: (measured ~4.5-5x idle; see the module docstring).
+MIN_COLUMNAR_COMBINED_SPEEDUP = 3.0
 
 #: Repo-root mirror of the efficiency payload.
 ROOT_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_efficiency.json"
@@ -58,6 +78,7 @@ def test_efficiency(benchmark, config, builder, save_result, save_json):
         parallel_sample, workers=4, latency_seconds=2 * COMPARISON_LATENCY_SECONDS
     )
     instrumented = study.run_instrumented(parallel_sample, workers=4)
+    columnar_report = study.run_columnar_comparison(sample, trials=3)
     save_result(
         "efficiency",
         report.format_summary()
@@ -65,6 +86,8 @@ def test_efficiency(benchmark, config, builder, save_result, save_json):
         + parallel_report.format_summary()
         + "\n\n"
         + batched_report.format_summary()
+        + "\n\n"
+        + columnar_report.format_summary()
         + "\n\n"
         + instrumented.format_summary(),
     )
@@ -80,6 +103,7 @@ def test_efficiency(benchmark, config, builder, save_result, save_json):
                 "warm_speedup": parallel_report.warm_speedup,
             },
             "batched": batched_report.as_dict(),
+            "columnar": columnar_report.as_dict(),
             "instrumented": instrumented.as_dict(),
         },
         extra_path=ROOT_JSON,
@@ -105,6 +129,16 @@ def test_efficiency(benchmark, config, builder, save_result, save_json):
     assert batched_report.speedup >= 2.0
     assert batched_report.identical_output
     assert batched_report.batched_round_trips < batched_report.per_term_round_trips
+
+    # The columnar data plane: annotation over interned ids and array
+    # folds must beat the dict/Counter plane by the gated factor with
+    # byte-identical output, and the combined annotation +
+    # contextualization CPU time must clear the combined floor.
+    assert columnar_report.annotation_speedup >= MIN_COLUMNAR_ANNOTATION_SPEEDUP
+    assert columnar_report.speedup >= MIN_COLUMNAR_COMBINED_SPEEDUP
+    assert columnar_report.identical_output
+    assert columnar_report.columnar_annotation_docs_per_s > 100
+    assert columnar_report.columnar_contextualization_docs_per_s > 100
 
     # The instrumented run sources its breakdown from the metrics
     # registry: every stage timer must be present and the resources must

@@ -5,7 +5,8 @@ runs ``bench_efficiency.py`` / ``bench_incremental.py`` /
 ``bench_serving.py`` on a tiny corpus and then calls this script on the
 ``BENCH_<name>.json`` each wrote::
 
-    python benchmarks/check_bench_json.py efficiency  --min-speedup 2.0
+    python benchmarks/check_bench_json.py efficiency  --min-speedup 2.0 \
+        --min-columnar-speedup 4.0
     python benchmarks/check_bench_json.py incremental --min-speedup 3.0
     python benchmarks/check_bench_json.py serving     --min-rps 20
 
@@ -135,6 +136,22 @@ _EFFICIENCY_NUMERIC = (
     "batched.per_term_round_trips",
     "batched.batched_round_trips",
     "batched.speedup",
+    "columnar.documents",
+    "columnar.legacy_annotation_s",
+    "columnar.legacy_contextualization_s",
+    "columnar.legacy_selection_s",
+    "columnar.columnar_annotation_s",
+    "columnar.columnar_contextualization_s",
+    "columnar.columnar_selection_s",
+    "columnar.legacy_annotation_docs_per_s",
+    "columnar.legacy_contextualization_docs_per_s",
+    "columnar.legacy_selection_docs_per_s",
+    "columnar.columnar_annotation_docs_per_s",
+    "columnar.columnar_contextualization_docs_per_s",
+    "columnar.columnar_selection_docs_per_s",
+    "columnar.annotation_speedup",
+    "columnar.contextualization_speedup",
+    "columnar.speedup",
     "instrumented.documents",
     "instrumented.workers",
 )
@@ -151,16 +168,33 @@ def check_efficiency(payload: dict, options) -> list[str]:
     batched = payload.get("batched")
     if isinstance(batched, dict) and batched.get("identical_output") is not True:
         problems.append("batched.identical_output is not true")
+    columnar_speedup = _numeric(payload, "columnar.annotation_speedup")
+    if (
+        columnar_speedup is not None
+        and columnar_speedup < options.min_columnar_speedup
+    ):
+        problems.append(
+            f"columnar.annotation_speedup {columnar_speedup:.2f} below "
+            f"minimum {options.min_columnar_speedup:.2f}"
+        )
+    columnar = payload.get("columnar")
+    if isinstance(columnar, dict) and columnar.get("identical_output") is not True:
+        problems.append("columnar.identical_output is not true")
     return problems
 
 
 def summarize_efficiency(path: pathlib.Path, payload: dict) -> str:
     batched = payload["batched"]
+    columnar = payload["columnar"]
     return (
         f"OK: {path} matches {payload['schema']}; batched engine "
         f"{batched['speedup']:.1f}x over per-term "
         f"({batched['batched_round_trips']} vs "
-        f"{batched['per_term_round_trips']} round trips), output identical"
+        f"{batched['per_term_round_trips']} round trips), columnar plane "
+        f"{columnar['annotation_speedup']:.1f}x on annotation / "
+        f"{columnar['speedup']:.1f}x combined "
+        f"({columnar['columnar_annotation_docs_per_s']:.0f} docs/s "
+        "annotation), output identical"
     )
 
 
@@ -263,7 +297,7 @@ def summarize_serving(path: pathlib.Path, payload: dict) -> str:
 BENCHES = {
     "efficiency": BenchSpec(
         "efficiency",
-        "repro.bench_efficiency/1",
+        "repro.bench_efficiency/2",
         "bench_efficiency.py",
         check_efficiency,
     ),
@@ -308,6 +342,13 @@ def main(argv: "list[str] | None" = None) -> int:
         type=float,
         default=2.0,
         help="minimum speedup for efficiency/incremental (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-columnar-speedup",
+        type=float,
+        default=3.0,
+        help="minimum columnar annotation speedup for efficiency "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--min-rps",

@@ -118,6 +118,15 @@ class ParallelConfig:
         overlapping latency-bound expansion with CPU-bound extraction.
         Prefetch only warms caches (results are identical with it off)
         and activates only for thread-backed pools with ``workers > 1``.
+    columnar:
+        Run Steps 1-3 on the columnar data plane
+        (:mod:`repro.core.columnar`): normalized terms are interned to
+        stable ``int32`` ids, df/tf/rank statistics live in flat arrays,
+        chunk workers memoize the pure text functions, and process-pool
+        workers read the background vocabulary from a shared read-only
+        memory segment.  Results are bit-for-bit identical either way;
+        False keeps the dict-of-strings path (used by benchmarks as the
+        comparison baseline).
     """
 
     workers: int = field(default_factory=_env_workers)
@@ -127,6 +136,7 @@ class ParallelConfig:
     memory_cache_size: int = 65_536
     batch_queries: bool = True
     prefetch: bool = True
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -4,6 +4,13 @@ Each important term of each document is sent to every external resource;
 the union of returned context terms ``C(d)`` augments the document.  The
 contextualized database keeps, per document, the original terms plus the
 context terms — the input to the comparative analysis of Step 3.
+
+With ``ParallelConfig.columnar`` (and batched queries, the default) the
+expansion runs on the columnar data plane: the run's distinct important
+terms are resolved once (one batch per resource per term shard), every
+answer is normalized and interned once, and the per-document merges
+become integer set operations over precomputed ``(surface, key-id)``
+contribution lists.  Output is byte-identical to the per-chunk path.
 """
 
 from __future__ import annotations
@@ -17,9 +24,10 @@ from ..observability import Observability
 from ..observability.context import current_metrics
 from ..parallel import chunked, map_chunks
 from ..resources.base import ExternalResource
-from ..text.tokenizer import normalize_term
-from ..text.vocabulary import Vocabulary
+from ..text.interning import MemoizedChunk, install_worker_memo, normalize_term
+from ..text.vocabulary import TermInterner, Vocabulary
 from .annotate import AnnotatedDatabase
+from .columnar import ColumnarVocabulary, DocumentColumns
 
 
 @dataclass
@@ -32,6 +40,8 @@ class ContextualizedDatabase:
     """doc_id -> normalized original + context terms."""
     vocabulary: Vocabulary = field(default_factory=Vocabulary)
     """Term statistics of the contextualized database."""
+    columns: DocumentColumns | None = None
+    """Columnar view of per-document expanded term ids (columnar runs)."""
 
     def context(self, doc_id: str) -> list[str]:
         """Context terms ``C(d)`` of one document."""
@@ -136,6 +146,155 @@ def expand_items(
     return _expand_chunk_batched(resources, items)
 
 
+def _resolve_chunk(
+    resources: list[ExternalResource], terms: list[str]
+) -> list[list[list[str]]]:
+    """Columnar phase-A worker: per-resource batched answers for a shard
+    of the run's distinct important terms."""
+    return [resource.context_terms_many(terms) for resource in resources]
+
+
+#: Shared empty contribution list for keys no resource answered.
+_NO_PAIRS: tuple[tuple[str, int], ...] = ()
+
+
+def _contextualize_columnar(
+    annotated: AnnotatedDatabase,
+    resources: list[ExternalResource],
+    work: list[tuple[str, list[str]]],
+    settings: ParallelConfig,
+    parallel: ParallelConfig | None,
+    obs: Observability | None,
+) -> ContextualizedDatabase:
+    """Columnar expansion: resolve the run's distinct terms once, then
+    merge per document with integer set operations.
+
+    Produces exactly what the per-chunk batched path produces: resource
+    answers are keyed by normalized term (chunking-invariant, certified
+    by the worker-count equivalence tests), contribution lists preserve
+    resource order and answer order, and the per-document first-seen
+    filter is the same — only executed over interned ids.
+    """
+    interner = (
+        annotated.columns.interner
+        if annotated.columns is not None
+        else TermInterner()
+    )
+    # Phase A: the run's distinct important terms, first surface per key.
+    # Per-document key-id lists are kept (dropping empty normalizations)
+    # so phase B never re-probes the surface → id table.
+    ordered_terms: list[str] = []
+    key_ids: list[int] = []
+    known: set[int] = set()
+    kids_per_doc: list[list[int]] = []
+    for _doc_id, important in work:
+        doc_kids: list[int] = []
+        for term, kid in zip(important, interner.normalized_ids(important)):
+            if kid < 0:
+                continue
+            doc_kids.append(kid)
+            if kid not in known:
+                known.add(kid)
+                ordered_terms.append(term)
+                key_ids.append(kid)
+        kids_per_doc.append(doc_kids)
+    term_chunks = (
+        chunked(
+            ordered_terms,
+            max(1, settings.resolve_chunk_size(len(ordered_terms))),
+        )
+        if ordered_terms
+        else []
+    )
+    resolve: Callable[[list[str]], list[list[list[str]]]] = MemoizedChunk(
+        partial(_resolve_chunk, resources)
+    )
+    per_resource: list[list[list[str]]] = [[] for _ in resources]
+    for chunk_answers in map_chunks(
+        resolve,
+        term_chunks,
+        parallel,
+        obs=obs,
+        initializer=install_worker_memo if settings.enabled else None,
+    ):
+        for r_index, answers in enumerate(chunk_answers):
+            per_resource[r_index].extend(answers)
+    # Contribution lists: per key id, the (surface, key id) pairs its
+    # answers add, in resource order then answer order — each answer
+    # term normalized and interned exactly once per run.
+    pairs: dict[int, list[tuple[str, int]]] = {}
+    for position, kid in enumerate(key_ids):
+        contributions: list[tuple[str, int]] = []
+        for answers in per_resource:
+            answer = answers[position]
+            contributions.extend(
+                (context_term, context_kid)
+                for context_term, context_kid in zip(
+                    answer, interner.normalized_ids(answer)
+                )
+                if context_kid >= 0
+            )
+        if contributions:
+            pairs[kid] = contributions
+    # Phase B: per-document merges (first-seen over ids) and statistics.
+    terms_by_id = interner.terms()
+    context_terms: dict[str, list[str]] = {}
+    expanded_sets: dict[str, set[str]] = {}
+    vocabulary = ColumnarVocabulary(interner)
+    columns = DocumentColumns(interner)
+    annotated_columns = annotated.columns
+    for doc_index, (doc_id, _important) in enumerate(work):
+        merged: list[str] = []
+        seen: set[int] = set()
+        seen_order: list[int] = []
+        for kid in kids_per_doc[doc_index]:
+            for context_term, context_kid in pairs.get(kid, _NO_PAIRS):
+                if context_kid not in seen:
+                    seen.add(context_kid)
+                    seen_order.append(context_kid)
+                    merged.append(context_term)
+        context_terms[doc_id] = merged
+        if (
+            annotated_columns is not None
+            and doc_index < len(annotated_columns)
+            and annotated_columns.doc_ids[doc_index] == doc_id
+        ):
+            expanded_ids = set(annotated_columns.ids_of(doc_index))
+        else:
+            expanded_ids = {
+                interner.intern(term)
+                for term in annotated.term_sets.get(doc_id, set())
+            }
+        expanded_ids.update(seen_order)
+        expanded_sets[doc_id] = {terms_by_id[i] for i in expanded_ids}
+        vocabulary.add_document_distinct_ids(expanded_ids)
+        columns.add_document_ids(doc_id, sorted(expanded_ids))
+    _record_metrics(work, context_terms, vocabulary)
+    return ContextualizedDatabase(
+        annotated=annotated,
+        context_terms=context_terms,
+        expanded_sets=expanded_sets,
+        vocabulary=vocabulary,
+        columns=columns,
+    )
+
+
+def _record_metrics(
+    work: list[tuple[str, list[str]]],
+    context_terms: dict[str, list[str]],
+    vocabulary: Vocabulary,
+) -> None:
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.increment("contextualize.documents", len(work))
+        metrics.increment(
+            "contextualize.context_terms",
+            # order: summing ints is order-insensitive
+            sum(len(terms) for terms in context_terms.values()),
+        )
+        metrics.gauge("contextualize.vocabulary_size", len(vocabulary))
+
+
 def contextualize(
     annotated: AnnotatedDatabase,
     resources: list[ExternalResource],
@@ -159,16 +318,30 @@ def contextualize(
     resource instead of one round trip per term; the per-term path
     remains available as the benchmark baseline and produces identical
     output.
+
+    With ``parallel.columnar`` on top of batched queries the expansion
+    moves to the run-level columnar plan (:func:`_contextualize_columnar`);
+    with batched queries off, the columnar flag only wraps the per-term
+    baseline workers in a text-function memo.  All combinations emit
+    byte-identical databases.
     """
     work: list[tuple[str, list[str]]] = [
         (document.doc_id, annotated.important(document.doc_id))
         for document in annotated.documents
     ]
     settings = parallel or ParallelConfig(workers=1)
+    if settings.columnar and settings.batch_queries:
+        return _contextualize_columnar(
+            annotated, resources, work, settings, parallel, obs
+        )
     chunk_size = settings.resolve_chunk_size(len(work))
     chunks = chunked(work, max(1, chunk_size))
     worker = _expand_chunk_batched if settings.batch_queries else _expand_chunk
-    expand = partial(worker, resources)
+    expand: Callable[
+        [list[tuple[str, list[str]]]], list[tuple[str, list[str], list[str]]]
+    ] = partial(worker, resources)
+    if settings.columnar:
+        expand = MemoizedChunk(expand)
     context_terms: dict[str, list[str]] = {}
     expanded_sets: dict[str, set[str]] = {}
     vocabulary = Vocabulary()
@@ -179,15 +352,7 @@ def contextualize(
             expanded.update(seen_keys)
             expanded_sets[doc_id] = expanded
             vocabulary.add_document(expanded)
-    metrics = current_metrics()
-    if metrics is not None:
-        metrics.increment("contextualize.documents", len(work))
-        metrics.increment(
-            "contextualize.context_terms",
-            # order: summing ints is order-insensitive
-            sum(len(terms) for terms in context_terms.values()),
-        )
-        metrics.gauge("contextualize.vocabulary_size", len(vocabulary))
+    _record_metrics(work, context_terms, vocabulary)
     return ContextualizedDatabase(
         annotated=annotated,
         context_terms=context_terms,

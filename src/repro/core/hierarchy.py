@@ -106,14 +106,40 @@ def build_facet_hierarchies(
         raise HierarchyError(f"min_docs must be >= 1, got {min_docs}")
     terms = [normalize_term(c.term) for c in candidates]
     doc_sets: dict[str, set[str]] = {}
-    for term in terms:
-        docs = {
-            doc_id
-            for doc_id, expanded in database.expanded_sets.items()
-            if term in expanded
+    columns = database.columns
+    if columns is not None and len(columns) == len(database.expanded_sets):
+        # Columnar fast path: invert the expanded id columns for just
+        # the candidate ids (one pass) instead of scanning every
+        # document's string set once per candidate.  The id rows hold
+        # exactly the expanded_sets members, so the doc sets are equal.
+        id_of = columns.interner.id_of
+        candidate_ids = {
+            term_id
+            # order: building a set from a set is order-insensitive
+            for term_id in (id_of(term) for term in set(terms))
+            if term_id is not None
         }
-        if len(docs) >= min_docs:
-            doc_sets[term] = docs
+        postings = columns.postings(candidate_ids)
+        doc_ids = columns.doc_ids
+        for term in terms:
+            term_id = id_of(term)
+            posting = postings.get(term_id) if term_id is not None else None
+            docs = (
+                {doc_ids[index] for index in posting}
+                if posting is not None
+                else set()
+            )
+            if len(docs) >= min_docs:
+                doc_sets[term] = docs
+    else:
+        for term in terms:
+            docs = {
+                doc_id
+                for doc_id, expanded in database.expanded_sets.items()
+                if term in expanded
+            }
+            if len(docs) >= min_docs:
+                doc_sets[term] = docs
     return build_hierarchies_from_doc_sets(
         terms,
         doc_sets,

@@ -81,6 +81,9 @@ class ShiftTables:
     )
 
     def __init__(self, original: Vocabulary, contextualized: Vocabulary) -> None:
+        # On the columnar plane these maps are zero-copy views over the
+        # vocabularies' id-indexed columns (ColumnarCountMap /
+        # ColumnarRankMap) — same Mapping contract, no dict rebuild.
         self._df_original = original.df_map()
         self._df_contextualized = contextualized.df_map()
         self._ranks_original = original.rank_map()
@@ -90,6 +93,16 @@ class ShiftTables:
         self._unknown_contextualized = len(contextualized) + 1
         self._bins_original = _bins_by_rank(self._unknown_original)
         self._bins_contextualized = _bins_by_rank(self._unknown_contextualized)
+
+    @property
+    def bins_original(self) -> list[int]:
+        """``B(r)`` by rank for the original database (index 0 unused)."""
+        return self._bins_original
+
+    @property
+    def bins_contextualized(self) -> list[int]:
+        """``B(r)`` by rank for the contextualized database."""
+        return self._bins_contextualized
 
     def df_original(self, term: str) -> int:
         """``df(t)`` in the original database."""

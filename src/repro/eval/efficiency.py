@@ -192,6 +192,133 @@ class BatchedEfficiencyReport:
 
 
 @dataclass
+class ColumnarEfficiencyReport:
+    """Legacy dict/Counter data plane vs the columnar one (Steps 1-2).
+
+    Both sides run serially (``workers=1``) over shared substrates with
+    fresh extractor and resource instances per trial, using the local
+    extractors (named entities + Wikipedia titles), the local
+    resources, and the selection stage, so the comparison isolates the
+    data-plane change itself: interned term ids, array-backed
+    statistics folds, and batched resource resolution against
+    per-occurrence string churn.  Selection is reported but not part
+    of the headline speedup — it was vectorized before this plane and
+    consumes the same ``df_map``/``rank_map`` views on both sides.
+
+    Stage times are **CPU seconds** (``time.process_time``), the
+    per-side minimum over ``trials`` interleaved runs — wall-clock on a
+    shared box charges scheduler noise to whichever side is running,
+    while CPU time only moves with the work actually done.
+    ``identical_output`` certifies byte-identical extraction and
+    contextualization output across the two planes.
+    """
+
+    documents: int
+    trials: int
+    legacy_annotation_s: float
+    legacy_contextualization_s: float
+    legacy_selection_s: float
+    columnar_annotation_s: float
+    columnar_contextualization_s: float
+    columnar_selection_s: float
+    identical_output: bool
+
+    @property
+    def annotation_speedup(self) -> float:
+        return self.legacy_annotation_s / max(self.columnar_annotation_s, 1e-9)
+
+    @property
+    def contextualization_speedup(self) -> float:
+        return self.legacy_contextualization_s / max(
+            self.columnar_contextualization_s, 1e-9
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Combined annotation + contextualization speedup."""
+        legacy = self.legacy_annotation_s + self.legacy_contextualization_s
+        columnar = self.columnar_annotation_s + self.columnar_contextualization_s
+        return legacy / max(columnar, 1e-9)
+
+    @property
+    def legacy_annotation_docs_per_s(self) -> float:
+        return self.documents / max(self.legacy_annotation_s, 1e-9)
+
+    @property
+    def legacy_contextualization_docs_per_s(self) -> float:
+        return self.documents / max(self.legacy_contextualization_s, 1e-9)
+
+    @property
+    def columnar_annotation_docs_per_s(self) -> float:
+        return self.documents / max(self.columnar_annotation_s, 1e-9)
+
+    @property
+    def columnar_contextualization_docs_per_s(self) -> float:
+        return self.documents / max(self.columnar_contextualization_s, 1e-9)
+
+    @property
+    def legacy_selection_docs_per_s(self) -> float:
+        return self.documents / max(self.legacy_selection_s, 1e-9)
+
+    @property
+    def columnar_selection_docs_per_s(self) -> float:
+        return self.documents / max(self.columnar_selection_s, 1e-9)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "documents": self.documents,
+            "trials": self.trials,
+            "legacy_annotation_s": self.legacy_annotation_s,
+            "legacy_contextualization_s": self.legacy_contextualization_s,
+            "legacy_selection_s": self.legacy_selection_s,
+            "columnar_annotation_s": self.columnar_annotation_s,
+            "columnar_contextualization_s": self.columnar_contextualization_s,
+            "columnar_selection_s": self.columnar_selection_s,
+            "legacy_annotation_docs_per_s": self.legacy_annotation_docs_per_s,
+            "legacy_contextualization_docs_per_s": (
+                self.legacy_contextualization_docs_per_s
+            ),
+            "legacy_selection_docs_per_s": self.legacy_selection_docs_per_s,
+            "columnar_annotation_docs_per_s": self.columnar_annotation_docs_per_s,
+            "columnar_contextualization_docs_per_s": (
+                self.columnar_contextualization_docs_per_s
+            ),
+            "columnar_selection_docs_per_s": self.columnar_selection_docs_per_s,
+            "annotation_speedup": self.annotation_speedup,
+            "contextualization_speedup": self.contextualization_speedup,
+            "speedup": self.speedup,
+            "identical_output": self.identical_output,
+        }
+
+    def format_summary(self) -> str:
+        return "\n".join(
+            [
+                f"Legacy vs columnar data plane over {self.documents} "
+                f"documents (workers=1, min CPU time of {self.trials} "
+                "interleaved trials):",
+                f"  annotation:        legacy {self.legacy_annotation_s:.3f} s "
+                f"({self.legacy_annotation_docs_per_s:.0f} docs/s) vs "
+                f"columnar {self.columnar_annotation_s:.3f} s "
+                f"({self.columnar_annotation_docs_per_s:.0f} docs/s) — "
+                f"{self.annotation_speedup:.1f}x",
+                "  contextualization: legacy "
+                f"{self.legacy_contextualization_s:.3f} s "
+                f"({self.legacy_contextualization_docs_per_s:.0f} docs/s) vs "
+                f"columnar {self.columnar_contextualization_s:.3f} s "
+                f"({self.columnar_contextualization_docs_per_s:.0f} docs/s) — "
+                f"{self.contextualization_speedup:.1f}x",
+                f"  selection:         legacy {self.legacy_selection_s:.3f} s "
+                f"({self.legacy_selection_docs_per_s:.0f} docs/s) vs "
+                f"columnar {self.columnar_selection_s:.3f} s "
+                f"({self.columnar_selection_docs_per_s:.0f} docs/s)",
+                f"  combined speedup: {self.speedup:.1f}x",
+                "  identical output: "
+                + ("yes" if self.identical_output else "NO"),
+            ]
+        )
+
+
+@dataclass
 class InstrumentedEfficiencyReport:
     """Per-stage / per-resource breakdown sourced from the metrics registry.
 
@@ -499,5 +626,100 @@ class EfficiencyStudy:
             batched_s=batched_s,
             per_term_round_trips=per_term.simulated_calls,
             batched_round_trips=batched.simulated_calls,
+            identical_output=identical,
+        )
+
+    def run_columnar_comparison(
+        self,
+        documents: list[Document],
+        trials: int = 3,
+    ) -> ColumnarEfficiencyReport:
+        """Measure the columnar data plane against the legacy one.
+
+        Both sides annotate with the local extractors, contextualize
+        with the local resources, and run facet-term selection,
+        serially, over this study's shared substrates; extractors and
+        resources are rebuilt fresh for every run so neither side
+        inherits the other's instance state.  One
+        untimed warm-up of each side primes the substrates' lazy
+        structures (anchor indexes, derived graph/synonym caches) so the
+        timed trials compare steady-state data planes, not first-touch
+        initialization.  Per stage, the report keeps the minimum CPU
+        time across ``trials`` interleaved runs — external noise only
+        ever adds time, so the minimum is the least-contaminated
+        estimate on a shared machine.
+        """
+        substrates = self.builder.substrates
+        legacy_parallel = ParallelConfig(
+            workers=1, columnar=False, batch_queries=False
+        )
+        columnar_parallel = ParallelConfig(
+            workers=1, columnar=True, batch_queries=True
+        )
+        local_resources = [
+            ResourceName.WIKI_GRAPH,
+            ResourceName.WIKI_SYNONYMS,
+            ResourceName.WORDNET,
+        ]
+
+        def run_side(parallel: ParallelConfig):
+            extractors = build_extractors(
+                [ExtractorName.NAMED_ENTITIES, ExtractorName.WIKIPEDIA],
+                wikipedia=substrates.wikipedia,
+            )
+            resources = build_resources(local_resources, substrates, self.config)
+            start = time.process_time()
+            annotated = annotate_database(documents, extractors, parallel=parallel)
+            mid = time.process_time()
+            contextualized = contextualize(annotated, resources, parallel)
+            post_ctx = time.process_time()
+            candidates = select_facet_terms(contextualized)
+            end = time.process_time()
+            return (
+                mid - start,
+                post_ctx - mid,
+                end - post_ctx,
+                annotated,
+                contextualized,
+                candidates,
+            )
+
+        # Untimed warm-up of both sides (substrate lazy structures).
+        run_side(columnar_parallel)
+        run_side(legacy_parallel)
+
+        legacy_ann = legacy_ctx = legacy_sel = float("inf")
+        columnar_ann = columnar_ctx = columnar_sel = float("inf")
+        identical = True
+        for _ in range(max(trials, 1)):
+            l_ann, l_ctx, l_sel, l_annotated, l_contextualized, l_candidates = (
+                run_side(legacy_parallel)
+            )
+            c_ann, c_ctx, c_sel, c_annotated, c_contextualized, c_candidates = (
+                run_side(columnar_parallel)
+            )
+            legacy_ann = min(legacy_ann, l_ann)
+            legacy_ctx = min(legacy_ctx, l_ctx)
+            legacy_sel = min(legacy_sel, l_sel)
+            columnar_ann = min(columnar_ann, c_ann)
+            columnar_ctx = min(columnar_ctx, c_ctx)
+            columnar_sel = min(columnar_sel, c_sel)
+            identical = identical and (
+                l_annotated.important_terms == c_annotated.important_terms
+                and l_contextualized.context_terms
+                == c_contextualized.context_terms
+                and l_contextualized.expanded_sets
+                == c_contextualized.expanded_sets
+                and l_candidates == c_candidates
+            )
+        return ColumnarEfficiencyReport(
+            documents=len(documents),
+            trials=max(trials, 1),
+            legacy_annotation_s=legacy_ann,
+            legacy_contextualization_s=legacy_ctx,
+            legacy_selection_s=legacy_sel,
+            columnar_annotation_s=columnar_ann,
+            columnar_contextualization_s=columnar_ctx,
+            columnar_selection_s=columnar_sel,
             identical_output=identical,
         )

@@ -17,11 +17,12 @@ the extractor finds **only named entities**: topical common nouns
 from __future__ import annotations
 
 from collections import Counter
+from itertools import compress
 
 from ..corpus.document import Document
+from ..text.interning import TextMemo, active_memo, sentences, tokenize
 from ..text.phrases import capitalized_spans, join_span
 from ..text.stopwords import is_common_opener, is_stopword
-from ..text.tokenizer import sentences, tokenize
 from .base import ExtractorName, TermExtractor
 
 #: Sentences with at least this fraction of capitalized words are
@@ -40,12 +41,20 @@ def _is_headline(sentence: str) -> bool:
     return capitalized / len(tokens) >= HEADLINE_CAP_RATIO
 
 
+#: Lower-case particles that may join adjacent capitalized runs; must
+#: stay equal to the set in :func:`~repro.text.phrases.capitalized_spans`.
+_PARTICLES = frozenset({"of", "de", "la", "van", "von", "al", "bin", "the"})
+
+
 class NamedEntityExtractor(TermExtractor):
     """Capitalization-based NE chunker."""
 
     name = ExtractorName.NAMED_ENTITIES
 
     def extract(self, document: Document) -> list[str]:
+        memo = active_memo()
+        if memo is not None:
+            return self._extract_columnar(document, memo)
         text = document.text
         body_sentences = [s for s in sentences(text) if not _is_headline(s)]
         # Count capitalized occurrences to vet sentence-initial singletons.
@@ -75,4 +84,82 @@ class NamedEntityExtractor(TermExtractor):
                 if key not in seen:
                     seen.add(key)
                     entities.append(surface)
+        return entities
+
+    def _extract_columnar(
+        self, document: Document, memo: TextMemo
+    ) -> list[str]:
+        """The plain chunker over memoized sentence columns.
+
+        One fused sweep per sentence replaces the three token passes of
+        the plain path (headline test, capitalized-occurrence count,
+        span chunking); every predicate reads a precomputed column, and
+        the dedup key is the join of the span's lower-cased tokens —
+        ``surface.lower()`` exactly, since lower-casing distributes over
+        a space join.  Same entities, same order (pinned by
+        ``tests/test_columnar.py`` and the differential matrix).
+        """
+        body: list = []
+        cap_counts: Counter[str] = Counter()
+        for sentence in memo.sentences(document.text):
+            columns = memo.sentence_columns(sentence)
+            caps = columns.caps
+            word_count = len(columns.nums) - sum(columns.nums)
+            if word_count >= 4 and sum(caps) / word_count >= HEADLINE_CAP_RATIO:
+                continue
+            body.append(columns)
+            cap_counts.update(compress(columns.texts, caps))
+
+        entities: list[str] = []
+        seen: set[str] = set()
+        for columns in body:
+            texts = columns.texts
+            lowers = columns.lowers
+            starts = columns.starts
+            ends = columns.ends
+            caps = columns.caps
+            nums = columns.nums
+            count = len(texts)
+            spans: list[list[int]] = []
+            current: list[int] = []
+            for index, cap in enumerate(caps):
+                if not current:
+                    # Empty run: the adjacency test is vacuously true and
+                    # the particle branch cannot fire.
+                    if cap and not nums[index]:
+                        current.append(index)
+                    continue
+                adjacent = starts[index] - ends[current[-1]] <= 1
+                if cap and not nums[index] and adjacent:
+                    current.append(index)
+                elif (
+                    adjacent
+                    and lowers[index] in _PARTICLES
+                    and index + 1 < count
+                    and caps[index + 1]
+                    and starts[index + 1] - ends[index] <= 1
+                ):
+                    current.append(index)
+                else:
+                    spans.append(current)
+                    current = []
+                    if cap and not nums[index]:
+                        current.append(index)
+            if current:
+                spans.append(current)
+            for span in spans:
+                if len(span) > MAX_SPAN_TOKENS:
+                    continue
+                if len(span) == 1:
+                    index = span[0]
+                    if columns.stops[index] or len(texts[index]) <= 2:
+                        continue
+                    if is_common_opener(lowers[index]):
+                        continue
+                    if starts[index] == 0 and cap_counts[texts[index]] < 2:
+                        continue
+                key = " ".join(lowers[index] for index in span)
+                if key not in seen:
+                    seen.add(key)
+                    entities.append(" ".join(texts[index] for index in span))
         return entities

@@ -19,9 +19,9 @@ import time
 from collections.abc import Callable
 
 from ..corpus.document import Document
+from ..text.interning import tokenize
 from ..text.phrases import candidate_phrases
 from ..text.stopwords import is_stopword
-from ..text.tokenizer import word_tokens
 from ..text.vocabulary import Vocabulary
 from .base import ExtractorName, TermExtractor
 
@@ -70,6 +70,17 @@ class SignificantTermsExtractor(TermExtractor):
             self._background = vocabulary
             self._adopted_background = True
 
+    def rebind_background(self, vocabulary) -> None:
+        """Swap an adopted background for an equivalent statistics view.
+
+        Only adopted backgrounds move (an explicit one is caller-owned
+        configuration); the replacement must answer ``df`` and
+        ``document_count`` identically, which the columnar plane's
+        shared-memory view does by construction.
+        """
+        if self._adopted_background:
+            self._background = vocabulary
+
     @property
     def background(self) -> Vocabulary | None:
         """The background corpus currently scoring idf (None = flat idf)."""
@@ -102,7 +113,11 @@ class SignificantTermsExtractor(TermExtractor):
         statistics change.
         """
         counts: dict[str, int] = {}
-        words = [w for w in word_tokens(document.text) if not is_stopword(w)]
+        words = [
+            token.lower
+            for token in tokenize(document.text)
+            if not is_stopword(token.lower)
+        ]
         for word in words:
             counts[word] = counts.get(word, 0) + 1
         for phrase in candidate_phrases(

@@ -68,6 +68,7 @@ from ..observability import Observability
 from ..observability import names as obs_names
 from ..observability.logging import get_logger
 from ..parallel import chunked, map_chunks
+from ..text.interning import MemoizedChunk
 from ..text.tokenizer import normalize_term
 from .checkpoint import CheckpointStore
 from .state import DocumentState, IncrementalState
@@ -391,8 +392,14 @@ class IncrementalExtractor:
             obs_names.SPAN_INCREMENTAL_ANNOTATION, documents=len(docs)
         ):
             chunks = chunked(docs, max(1, parallel.resolve_chunk_size(len(docs))))
+            # The memo only deduplicates tokenize/sentences/normalize
+            # calls within a chunk — outputs are unchanged, so the
+            # byte-identity contract with the batch pipeline holds.
+            stats_worker: Callable[[list[Document]], object] = (
+                MemoizedChunk(_stats_chunk) if parallel.columnar else _stats_chunk
+            )
             stats: dict[str, list[str]] = {}
-            for chunk_result in map_chunks(_stats_chunk, chunks, parallel, obs=obs):
+            for chunk_result in map_chunks(stats_worker, chunks, parallel, obs=obs):
                 for doc_id, normalized in chunk_result:
                     stats[doc_id] = normalized
             for document in docs:
@@ -405,6 +412,8 @@ class IncrementalExtractor:
                 state.original_vocabulary.add_document(normalized)
                 touched.update(normalized)
             extract = partial(_annotate_chunk, self._pipeline.extractors, self._modes)
+            if parallel.columnar:
+                extract = MemoizedChunk(extract)
             for chunk_result in map_chunks(extract, chunks, parallel, obs=obs):
                 for doc_id, outputs, candidates in chunk_result:
                     doc_state = state.doc_states[doc_id]
@@ -511,6 +520,8 @@ class IncrementalExtractor:
             obs_names.SPAN_INCREMENTAL_CONTEXTUALIZATION, documents=len(items)
         ):
             expand = partial(expand_items, self._pipeline.resources)
+            if parallel.columnar:
+                expand = MemoizedChunk(expand)
             chunks = chunked(items, max(1, parallel.resolve_chunk_size(len(items))))
             for chunk_result in map_chunks(expand, chunks, parallel, obs=obs):
                 for doc_id, merged, seen_keys in chunk_result:

@@ -97,6 +97,22 @@ INCREMENTAL_PAIR_CACHE_HITS: Final = "incremental.pair_cache_hits"
 INCREMENTAL_PAIR_CACHE_MISSES: Final = "incremental.pair_cache_misses"
 
 
+# -- columnar data plane -----------------------------------------------------
+
+#: Gauge: distinct terms interned by the columnar plane in one run.
+COLUMNAR_INTERNED_TERMS: Final = "columnar.interned_terms"
+
+#: Counter: shared read-only vocabulary segments published to workers.
+COLUMNAR_SHARED_SEGMENTS: Final = "columnar.shared_segments"
+
+#: Counter: bytes published through shared vocabulary segments.
+COLUMNAR_SHARED_SEGMENT_BYTES: Final = "columnar.shared_segment_bytes"
+
+#: Counter: times shared memory was unavailable and workers fell back
+#: to receiving the pickled vocabulary.
+COLUMNAR_PICKLE_FALLBACKS: Final = "columnar.pickle_fallbacks"
+
+
 # -- external resources ------------------------------------------------------
 
 

@@ -56,11 +56,15 @@ def chunked(items: Sequence[T], size: int) -> list[list[T]]:
     return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
-def _make_executor(config: ParallelConfig, job_count: int) -> Executor:
+def _make_executor(
+    config: ParallelConfig,
+    job_count: int,
+    initializer: Callable[[], None] | None = None,
+) -> Executor:
     workers = min(config.workers, job_count)
     if config.backend == "process":
-        return ProcessPoolExecutor(max_workers=workers)
-    return ThreadPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(max_workers=workers, initializer=initializer)
+    return ThreadPoolExecutor(max_workers=workers, initializer=initializer)
 
 
 class _ChunkOutcome:
@@ -99,6 +103,7 @@ def _run_jobs(
     jobs: list[tuple[Callable[[list[T]], R], list[T]]],
     config: ParallelConfig,
     on_result: Callable[[R], None] | None = None,
+    initializer: Callable[[], None] | None = None,
 ) -> list[R]:
     """Run ``(callable, chunk)`` jobs inline or pooled, submission order.
 
@@ -108,6 +113,11 @@ def _run_jobs(
     while later chunks are still running.  It must be cheap, thread-safe
     and side-effect-only: returned values are still merged in submission
     order regardless of completion order.
+
+    ``initializer`` runs once in every pool worker before its first
+    chunk (the columnar plane pre-attaches shared memory segments with
+    it); inline runs skip it — it must be an optimization only, never a
+    correctness requirement.
     """
     if not config.enabled or len(jobs) <= 1:
         results_inline: list[R] = []
@@ -117,7 +127,7 @@ def _run_jobs(
                 on_result(result)
             results_inline.append(result)
         return results_inline
-    with _make_executor(config, len(jobs)) as pool:
+    with _make_executor(config, len(jobs), initializer=initializer) as pool:
         futures = []
         for job, chunk in jobs:
             future = pool.submit(job, chunk)
@@ -154,6 +164,7 @@ def map_chunks(
     config: ParallelConfig | None = None,
     obs: Observability | None = None,
     on_result: Callable[[R], None] | None = None,
+    initializer: Callable[[], None] | None = None,
 ) -> list[R]:
     """Apply ``fn`` to every chunk, results in submission order.
 
@@ -171,12 +182,17 @@ def map_chunks(
 
     ``on_result`` receives each chunk's *result* (never the
     instrumentation wrapper) as the chunk completes — see
-    :func:`_run_jobs` for the contract.
+    :func:`_run_jobs` for the contract; ``initializer`` runs once per
+    pool worker before its first chunk (same contract as
+    :func:`_run_jobs`).
     """
     config = config or SERIAL
     if obs is None or not obs.active:
         return _run_jobs(
-            [(fn, chunk) for chunk in chunks], config, on_result=on_result
+            [(fn, chunk) for chunk in chunks],
+            config,
+            on_result=on_result,
+            initializer=initializer,
         )
     parent_span = obs.tracer.current()
     jobs = [
@@ -190,7 +206,9 @@ def map_chunks(
         def on_outcome(outcome: _ChunkOutcome) -> None:
             notify(outcome.result)  # type: ignore[arg-type]
 
-    outcomes: list[_ChunkOutcome] = _run_jobs(jobs, config, on_result=on_outcome)
+    outcomes: list[_ChunkOutcome] = _run_jobs(
+        jobs, config, on_result=on_outcome, initializer=initializer
+    )
     results: list[R] = []
     for outcome in outcomes:
         if obs.metrics is not None:

@@ -51,7 +51,7 @@ from ..observability import names as obs_names
 from ..observability.context import current_metrics, current_span, use_span
 from ..observability.stats import ResourceStats
 from ..observability.tracing import Span
-from ..text.tokenizer import normalize_term
+from ..text.interning import normalize_term
 from .engine import Flight, SingleFlight
 
 #: Default bound of the in-process LRU tier.
@@ -255,7 +255,17 @@ class ExternalResource(abc.ABC):
                 answers, no_persist = self._run_batch_query(
                     [surface[key] for key in leaders], metrics
                 )
-                validated = [validate_context_terms(raw) for raw in answers]
+                # Bulk resources alias one answer list across terms that
+                # resolve to the same entry; validate each distinct list
+                # once (`answers` keeps every list alive, so ids are
+                # stable for the duration of the loop).
+                validated_by_id: dict[int, tuple[str, ...]] = {}
+                validated: list[tuple[str, ...]] = []
+                for raw in answers:
+                    value = validated_by_id.get(id(raw))
+                    if value is None:
+                        value = validated_by_id[id(raw)] = validate_context_terms(raw)
+                    validated.append(value)
                 persistable: dict[str, tuple[str, ...]] = {}
                 with self._lock:
                     for key, value, skip in zip(

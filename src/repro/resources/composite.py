@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..text.tokenizer import normalize_term
+from ..text.interning import normalize_term
 from .base import ExternalResource
 
 

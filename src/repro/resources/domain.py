@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..corpus.document import Document
-from ..text.tokenizer import normalize_term, tokenize
+from ..text.interning import normalize_term, tokenize
 from .base import ExternalResource, ResourceName
 
 

@@ -46,13 +46,40 @@ class Flight:
 
     ``result`` stays None when the leader failed; waiters observing None
     after the event fires must retry the query themselves.
+
+    The event is created lazily, under the :class:`SingleFlight` lock,
+    when the first waiter arrives (see :meth:`SingleFlight.claim`): an
+    uncontended flight — every flight of a single-worker run — never
+    allocates one.  Reading :attr:`event` materializes it on demand,
+    already set when the flight has completed, so the attribute behaves
+    exactly as the eager version did.
     """
 
-    __slots__ = ("event", "result")
+    __slots__ = ("_event", "_done", "result")
 
     def __init__(self) -> None:
-        self.event = threading.Event()
+        self._event: threading.Event | None = None
+        self._done = False
         self.result: tuple[str, ...] | None = None
+
+    def arm(self) -> threading.Event:
+        """The flight's event, created on first use (set if completed).
+
+        First-time arming must happen either under the owning
+        :class:`SingleFlight` lock (the waiter path in ``claim``) or
+        after the flight completed — concurrent unsynchronized first
+        reads could otherwise each build their own event.
+        """
+        event = self._event
+        if event is None:
+            event = self._event = threading.Event()
+            if self._done:
+                event.set()
+        return event
+
+    @property
+    def event(self) -> threading.Event:
+        return self.arm()
 
 
 class SingleFlight:
@@ -74,6 +101,11 @@ class SingleFlight:
         with self._lock:
             flight = self._flights.get(key)
             if flight is not None:
+                # First (and later) waiters arm the event while the
+                # flight is still claimable; resolve/abandon pop under
+                # this same lock, so a waiter that got the flight here
+                # is always woken.
+                flight.arm()
                 return flight, False
             flight = Flight()
             self._flights[key] = flight
@@ -83,14 +115,20 @@ class SingleFlight:
         """Publish the leader's result and wake every waiter."""
         flight.result = result
         with self._lock:
+            flight._done = True
             self._flights.pop(key, None)
-        flight.event.set()
+            event = flight._event
+        if event is not None:
+            event.set()
 
     def abandon(self, key: str, flight: Flight) -> None:
         """Wake waiters empty-handed after a failed leader (they retry)."""
         with self._lock:
+            flight._done = True
             self._flights.pop(key, None)
-        flight.event.set()
+            event = flight._event
+        if event is not None:
+            event.set()
 
     @property
     def in_flight(self) -> int:

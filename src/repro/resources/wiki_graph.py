@@ -30,11 +30,22 @@ class WikipediaGraphResource(ExternalResource):
         return [n.title for n in self._graph.neighbours(term, k=self._top_k)]
 
     def query_many(self, terms: list[str]) -> list[list[str]]:
-        """Bulk lookup: one graph pass, shared per-page neighbour scoring."""
-        return [
-            [n.title for n in neighbours]
-            for neighbours in self._graph.neighbours_many(terms, k=self._top_k)
-        ]
+        """Bulk lookup: one graph pass, shared per-page neighbour scoring.
+
+        Terms resolving to the same page share one scored list (see
+        :meth:`~repro.wikipedia.graph.WikipediaGraph.neighbours_many`),
+        so the title projection also runs once per distinct list.
+        """
+        projected: dict[int, list[str]] = {}
+        answers: list[list[str]] = []
+        for neighbours in self._graph.neighbours_many(terms, k=self._top_k):
+            titles = projected.get(id(neighbours))
+            if titles is None:
+                titles = projected[id(neighbours)] = [
+                    n.title for n in neighbours
+                ]
+            answers.append(titles)
+        return answers
 
     def cache_namespace(self) -> str:
         return f"WikipediaGraphResource(k={self._top_k})"

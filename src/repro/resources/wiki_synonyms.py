@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..text.tokenizer import normalize_term
+from ..text.interning import normalize_term
 from ..wikipedia.synonyms import SynonymFinder
 from .base import ExternalResource, ResourceName
 
@@ -31,17 +31,26 @@ class WikipediaSynonymsResource(ExternalResource):
         ]
 
     def query_many(self, terms: list[str]) -> list[list[str]]:
-        """Bulk lookup: variants of one entry expand once per batch."""
+        """Bulk lookup: variants of one entry expand once per batch.
+
+        Terms resolving to the same entry share one synonym group (see
+        :meth:`~repro.wikipedia.synonyms.SynonymFinder.synonyms_many`),
+        so each group's phrases are normalized once per batch and the
+        per-term work is the self-exclusion filter alone.
+        """
+        normalized: dict[int, list[tuple[str, str]]] = {}
         answers: list[list[str]] = []
         for term, synonyms in zip(
             terms, self._finder.synonyms_many(terms), strict=True
         ):
             key = normalize_term(term)
-            answers.append(
-                [
-                    synonym.phrase
+            group = normalized.get(id(synonyms))
+            if group is None:
+                group = normalized[id(synonyms)] = [
+                    (synonym.phrase, normalize_term(synonym.phrase))
                     for synonym in synonyms
-                    if normalize_term(synonym.phrase) != key
                 ]
+            answers.append(
+                [phrase for phrase, phrase_key in group if phrase_key != key]
             )
         return answers

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from .interning import sentences, tokenize
 from .stopwords import is_stopword
-from .tokenizer import Token, sentences, tokenize
+from .tokenizer import Token
 
 
 def ngrams(words: list[str], n: int) -> Iterator[tuple[str, ...]]:
@@ -32,6 +33,28 @@ def _valid_phrase(words: tuple[str, ...]) -> bool:
     return True
 
 
+def phrases_from_words(
+    words: list[str],
+    max_words: int = 3,
+    include_unigrams: bool = True,
+) -> list[str]:
+    """Candidate phrases of one sentence, given its lower-cased words.
+
+    The n-gram half of :func:`candidate_phrases` — callers that already
+    hold a sentence's token stream (the annotation statistics pass) use
+    this directly instead of re-tokenizing the text.
+    """
+    if max_words <= 0:
+        raise ValueError(f"max_words must be positive, got {max_words}")
+    phrases: list[str] = []
+    min_n = 1 if include_unigrams else 2
+    for n in range(min_n, max_words + 1):
+        for gram in ngrams(words, n):
+            if _valid_phrase(gram):
+                phrases.append(" ".join(gram))
+    return phrases
+
+
 def candidate_phrases(
     text: str,
     max_words: int = 3,
@@ -45,13 +68,13 @@ def candidate_phrases(
     if max_words <= 0:
         raise ValueError(f"max_words must be positive, got {max_words}")
     phrases: list[str] = []
-    min_n = 1 if include_unigrams else 2
     for sentence in sentences(text):
         words = [token.lower for token in tokenize(sentence)]
-        for n in range(min_n, max_words + 1):
-            for gram in ngrams(words, n):
-                if _valid_phrase(gram):
-                    phrases.append(" ".join(gram))
+        phrases.extend(
+            phrases_from_words(
+                words, max_words=max_words, include_unigrams=include_unigrams
+            )
+        )
     return phrases
 
 

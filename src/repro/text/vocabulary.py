@@ -4,6 +4,12 @@ The comparative frequency analysis of the paper (Section IV-C) works on
 *document frequencies* ``df(t)`` and frequency ranks ``Rank(t)`` in two
 collections (original and contextualized).  :class:`Vocabulary` maintains
 those statistics incrementally and exposes rank lookups.
+
+:class:`TermInterner` is the string↔id table of the columnar data plane
+(:mod:`repro.core.columnar`): every normalized term receives a stable
+``int32`` id in first-seen order, and normalization itself is memoized
+per distinct surface form so a batch never pays the regex in
+:func:`repro.text.tokenizer.normalize_term` twice for the same string.
 """
 
 from __future__ import annotations
@@ -12,6 +18,110 @@ from collections import Counter
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 from types import MappingProxyType
+
+from .tokenizer import normalize_term
+
+
+class TermInterner:
+    """Append-only bidirectional string ↔ ``int32`` id table.
+
+    Ids are assigned in first-seen order and never change or get
+    reused, so any structure keyed by id (df vectors, postings arrays,
+    shared segments) stays valid as the vocabulary grows.  The table
+    also memoizes :func:`~repro.text.tokenizer.normalize_term` per
+    distinct *surface* form: the regex runs once per distinct string
+    per interner, not once per occurrence.
+    """
+
+    __slots__ = ("_ids", "_terms", "_surface_ids")
+
+    #: Id returned for surfaces that normalize to the empty string.
+    EMPTY = -1
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._terms: list[str] = []
+        self._surface_ids: dict[str, int] = {}
+
+    def intern(self, term: str) -> int:
+        """Id of an already-normalized ``term``, assigning on first use."""
+        term_id = self._ids.get(term)
+        if term_id is None:
+            term_id = len(self._terms)
+            self._ids[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def normalized_id(self, surface: str) -> int:
+        """Id of ``normalize_term(surface)``; :data:`EMPTY` when empty.
+
+        The normalization result is cached per distinct surface form,
+        so repeated occurrences of the same string cost one dict hit.
+        """
+        term_id = self._surface_ids.get(surface)
+        if term_id is None:
+            normalized = normalize_term(surface)
+            term_id = self.intern(normalized) if normalized else self.EMPTY
+            self._surface_ids[surface] = term_id
+        return term_id
+
+    def normalize(self, surface: str) -> str:
+        """Memoized :func:`~repro.text.tokenizer.normalize_term`."""
+        term_id = self.normalized_id(surface)
+        return "" if term_id == self.EMPTY else self._terms[term_id]
+
+    def normalized_ids(self, surfaces: Iterable[str]) -> list[int]:
+        """Bulk :meth:`normalized_id` over a surface stream."""
+        memo = self._surface_ids
+        get = memo.get
+        out: list[int] = []
+        append = out.append
+        for surface in surfaces:
+            term_id = get(surface)
+            if term_id is None:
+                normalized = normalize_term(surface)
+                term_id = self.intern(normalized) if normalized else self.EMPTY
+                memo[surface] = term_id
+            append(term_id)
+        return out
+
+    def intern_many(self, terms: Iterable[str]) -> list[int]:
+        """Bulk :meth:`intern`: one call for a whole term stream.
+
+        Same ids in the same order; the point is amortizing the method
+        dispatch the statistics fold would otherwise pay per occurrence.
+        """
+        ids = self._ids
+        table = self._terms
+        get = ids.get
+        out: list[int] = []
+        append = out.append
+        for term in terms:
+            term_id = get(term)
+            if term_id is None:
+                term_id = len(table)
+                ids[term] = term_id
+                table.append(term)
+            append(term_id)
+        return out
+
+    def id_of(self, term: str) -> int | None:
+        """Id of an exact (normalized) term, or None when never seen."""
+        return self._ids.get(term)
+
+    def term(self, term_id: int) -> str:
+        """The normalized term for ``term_id``."""
+        return self._terms[term_id]
+
+    def terms(self) -> list[str]:
+        """All interned terms, indexable by id.  Treat as read-only."""
+        return self._terms
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._ids
 
 
 @dataclass(frozen=True)

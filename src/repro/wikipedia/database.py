@@ -13,7 +13,7 @@ from collections import defaultdict
 from collections.abc import Iterable
 
 from ..errors import StorageError
-from ..text.tokenizer import normalize_term
+from ..text.interning import normalize_term
 from .model import AnchorStats, WikiPage
 
 _SCHEMA = """
@@ -47,6 +47,15 @@ class WikipediaDatabase:
         self._incoming: dict[str, set[str]] = defaultdict(set)
         self._redirect_groups: dict[str, list[str]] = defaultdict(list)
         self._title_by_norm: dict[str, str] = {}
+        # Lazy target -> [(phrase, score)] index for anchors_to;
+        # invalidated whenever an anchor is added.
+        self._anchors_by_target: dict[str, list[tuple[str, float]]] | None = None
+        # Mutation counter: derived caches (graph neighbours, synonym
+        # groups) key their validity on this instead of subscribing to
+        # individual mutators.
+        self._version = 0
+        self._derived: dict[str, dict] = {}
+        self._derived_version = 0
 
     # -- construction -------------------------------------------------------
 
@@ -58,6 +67,7 @@ class WikipediaDatabase:
         self._title_by_norm.setdefault(normalize_term(page.title), page.title)
         for target in page.links:
             self._incoming[target].add(page.title)
+        self._version += 1
 
     def add_redirect(self, variant: str, target: str) -> None:
         """Register a redirect page ``variant -> target``."""
@@ -66,6 +76,7 @@ class WikipediaDatabase:
             return
         self._redirects.setdefault(key, target)
         self._redirect_groups[target].append(variant)
+        self._version += 1
 
     def add_anchor(self, phrase: str, target: str, count: int = 1) -> None:
         """Record ``count`` uses of ``phrase`` as anchor text to ``target``."""
@@ -77,12 +88,35 @@ class WikipediaDatabase:
             stats = AnchorStats(phrase=key)
             self._anchors[key] = stats
         stats.add(target, count)
+        self._anchors_by_target = None
+        self._version += 1
 
     # -- lookups ------------------------------------------------------------------
 
     @property
     def page_count(self) -> int:
         return len(self._pages)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever any table changes."""
+        return self._version
+
+    def derived_cache(self, namespace: str) -> dict:
+        """Memo dict for structures derived from the current snapshot.
+
+        Living on the database rather than on the deriving object
+        (graph, synonym finder), the memo survives those objects being
+        rebuilt over the same snapshot; every cache is dropped wholesale
+        on the first access after any mutation.
+        """
+        if self._derived_version != self._version:
+            self._derived.clear()
+            self._derived_version = self._version
+        cache = self._derived.get(namespace)
+        if cache is None:
+            cache = self._derived[namespace] = {}
+        return cache
 
     def titles(self) -> tuple[str, ...]:
         return tuple(self._pages)
@@ -113,13 +147,23 @@ class WikipediaDatabase:
         return self._anchors.get(normalize_term(phrase))
 
     def anchors_to(self, title: str) -> list[tuple[str, float]]:
-        """All anchor phrases pointing at ``title`` with their scores."""
-        results = []
-        for stats in self._anchors.values():
-            if title in stats.targets:
-                results.append((stats.phrase, stats.score(title)))
-        results.sort(key=lambda item: (-item[1], item[0]))
-        return results
+        """All anchor phrases pointing at ``title`` with their scores.
+
+        Served from a lazily built target index: one pass over the
+        anchor table amortizes what used to be a full scan per call.
+        Each per-target list is sorted with the scan's exact key
+        (phrases are unique, so the order is total either way).
+        """
+        index = self._anchors_by_target
+        if index is None:
+            grouped: dict[str, list[tuple[str, float]]] = defaultdict(list)
+            for stats in self._anchors.values():
+                for target in stats.targets:
+                    grouped[target].append((stats.phrase, stats.score(target)))
+            for results in grouped.values():
+                results.sort(key=lambda item: (-item[1], item[0]))
+            index = self._anchors_by_target = dict(grouped)
+        return list(index.get(title, ()))
 
     def out_links(self, title: str) -> tuple[str, ...]:
         page = self._pages.get(title)

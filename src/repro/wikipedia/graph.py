@@ -59,12 +59,20 @@ class WikipediaGraph:
         return self._scored_neighbours(title, k)
 
     def _scored_neighbours(self, title: str, k: int) -> list[Neighbour]:
+        # Degree-dependent scores change whenever pages do, so the memo
+        # lives in the database's version-guarded derived-cache store.
+        cache = self._db.derived_cache("graph.scored_neighbours")
+        cached = cache.get((title, k))
+        if cached is not None:
+            return cached
         scored = [
             Neighbour(target, self._score(title, target))
             for target in self._db.out_links(title)
         ]
         scored.sort(key=lambda item: (-item.score, item.title))
-        return scored[:k]
+        result = scored[:k]
+        cache[(title, k)] = result
+        return result
 
     def neighbours_many(
         self, terms: list[str], k: int = 50

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..text.tokenizer import normalize_term
+from ..text.interning import normalize_term
 from .database import WikipediaDatabase
 
 #: Minimum anchor score for a phrase to count as a synonym.
@@ -52,6 +52,13 @@ class SynonymFinder:
         title = self._db.resolve(term)
         if title is None:
             return []
+        # The group depends only on the resolved title and threshold, so
+        # every surface variant of an entry shares one expansion; the
+        # memo lives in the database's version-guarded store.
+        cache = self._db.derived_cache(f"synonyms.groups/{self._threshold}")
+        cached = cache.get(title)
+        if cached is not None:
+            return cached
         results = [Synonym(title, "title", 1.0)]
         seen = {normalize_term(title)}
         for variant in self._db.redirect_group(title):
@@ -66,6 +73,7 @@ class SynonymFinder:
                 continue
             seen.add(key)
             results.append(Synonym(phrase, "anchor", score))
+        cache[title] = results
         return results
 
     def synonyms_many(self, terms: list[str]) -> list[list[Synonym]]:
